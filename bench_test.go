@@ -1,0 +1,159 @@
+// Package repro's root benchmarks regenerate the paper's tables and
+// figures through `go test -bench`. One benchmark per experiment; each
+// reports paper-relevant metrics via b.ReportMetric and prints the full
+// table under -v through the bench package's String renderers.
+//
+// The heavyweight STAMP sweeps run reduced configurations here so the
+// whole suite stays minutes-scale; use cmd/rococobench for the full
+// paper-shaped runs.
+package repro_test
+
+import (
+	"testing"
+
+	"rococotm/internal/bench"
+	"rococotm/internal/sig"
+	"rococotm/internal/stamp"
+)
+
+// BenchmarkFig7 regenerates Figure 7 (bloom-filter false positivity).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultFig7()
+		cfg.Probes = 1000
+		rep, err := bench.RunFig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range rep.Points {
+				if p.M == 512 && p.N == 8 {
+					b.ReportMetric(p.IntersectModel, "intersectFP@512/8")
+				}
+			}
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (CC-algorithm abort rates).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.DefaultFig9()
+		cfg.Traces = 10 // full 50 via cmd/rococobench
+		rep, err := bench.RunFig9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*rep.MaxReductionVs2PL, "maxRed%vs2PL")
+			b.ReportMetric(100*rep.MaxReductionVsTOCC, "maxRed%vsTOCC")
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 (STAMP speedups and abort rates)
+// on a reduced thread sweep.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.Fig10Config{
+			Scale:   stamp.Small,
+			Threads: []int{1, 8, 28},
+			Apps:    bench.AppNames(),
+		}
+		rep, err := bench.RunFig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if v, ok := rep.GeomeanVsTinySTM[28]; ok {
+				b.ReportMetric(v, "geomean-vs-tinystm@28")
+			}
+			if v, ok := rep.GeomeanVsHTM[28]; ok {
+				b.ReportMetric(v, "geomean-vs-htm@28")
+			}
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11 (per-transaction validation
+// overhead).
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := bench.Fig11Config{
+			Scale:   stamp.Small,
+			Threads: 8,
+			Apps:    []string{"genome", "labyrinth", "vacation", "yada"},
+		}
+		rep, err := bench.RunFig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range rep.Rows {
+				if row.App == "labyrinth" {
+					b.ReportMetric(row.ROCoCoModelUs, "rococo-validation-us")
+					b.ReportMetric(row.TinySTMWallUs, "tinystm-validation-us")
+				}
+			}
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// BenchmarkResources regenerates the §6.5 resource table.
+func BenchmarkResources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.RunResources(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Rows[0].Registers), "registers@64/512")
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// BenchmarkAblationWindow sweeps the ROCoCo sliding-window size.
+func BenchmarkAblationWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.RunWindowAblation([]int{4, 8, 16, 32, 64}, 16, 16, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// BenchmarkAblationSig compares signature geometries under ROCoCoTM.
+func BenchmarkAblationSig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.RunSigAblation([]string{"vacation"}, stamp.Small, 8,
+			[]sig.Config{{M: 512, K: 4}, {M: 1024, K: 4}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the exclusive-vs-pipelined validation
+// comparison of Figure 6.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := bench.RunFig6(nil)
+		if i == 0 {
+			last := rep.Rows[len(rep.Rows)-1]
+			b.ReportMetric(last.PipelinedPerTxn, "pipelined-ns/txn@28")
+			b.ReportMetric(last.ExclusivePerTxn, "exclusive-ns/txn@28")
+			b.Log("\n" + rep.String())
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command rococobench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rococobench -exp fig7|fig9|fig10|fig11|resources|ablation-window|ablation-sig|all
+//	            [-scale small|medium|large] [-app name] [-threads list]
+//
+// Each experiment prints a paper-style text table; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rococotm/internal/bench"
+	"rococotm/internal/stamp"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, ablation-window, ablation-sig, ablation-contention, all")
+	scaleFlag := flag.String("scale", "medium", "STAMP input scale: small, medium, large")
+	app := flag.String("app", "", "restrict fig10/fig11 to one app")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10 (default 1,4,8,14,28)")
+	flag.Parse()
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig6":
+			emit(bench.RunFig6(nil), nil)
+		case "fig7":
+			rep, err := bench.RunFig7(bench.DefaultFig7())
+			emit(rep, err)
+		case "fig9":
+			rep, err := bench.RunFig9(bench.DefaultFig9())
+			emit(rep, err)
+		case "fig10":
+			cfg := bench.DefaultFig10()
+			cfg.Scale = scale
+			if len(threads) > 0 {
+				cfg.Threads = threads
+			}
+			if *app != "" {
+				cfg.Apps = []string{*app}
+			}
+			rep, err := bench.RunFig10(cfg)
+			emit(rep, err)
+		case "fig11":
+			cfg := bench.DefaultFig11()
+			cfg.Scale = scale
+			if *app != "" {
+				cfg.Apps = []string{*app}
+			}
+			rep, err := bench.RunFig11(cfg)
+			emit(rep, err)
+		case "resources":
+			rep, err := bench.RunResources(nil)
+			emit(rep, err)
+		case "ablation-window":
+			rep, err := bench.RunWindowAblation(nil, 16, 16, 25)
+			emit(rep, err)
+		case "ablation-contention":
+			rep, err := bench.RunContentionAblation(scale, 8)
+			emit(rep, err)
+		case "ablation-sig":
+			apps := []string{"vacation", "genome"}
+			if *app != "" {
+				apps = []string{*app}
+			}
+			rep, err := bench.RunSigAblation(apps, scale, 8, nil)
+			emit(rep, err)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "ablation-window", "ablation-sig", "ablation-contention"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*exp)
+}
+
+func parseScale(s string) (stamp.Scale, error) {
+	switch s {
+	case "small":
+		return stamp.Small, nil
+	case "medium":
+		return stamp.Medium, nil
+	case "large":
+		return stamp.Large, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", s)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func emit(rep fmt.Stringer, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rococobench:", err)
+	os.Exit(1)
+}

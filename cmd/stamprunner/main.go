@@ -1,0 +1,83 @@
+// Command stamprunner runs a single STAMP application under a chosen TM
+// runtime and reports wall time, commit/abort statistics and whether the
+// application's self-check passed.
+//
+// Usage:
+//
+//	stamprunner -app vacation -tm rococotm -threads 8 -scale medium
+//
+// Apps: genome, intruder, kmeans, labyrinth, ssca2, vacation, yada.
+// Runtimes: seq, tinystm, htm-tsx, rococotm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rococotm/internal/bench"
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/tm"
+)
+
+func main() {
+	app := flag.String("app", "vacation", "STAMP application")
+	rt := flag.String("tm", "rococotm", "runtime: seq, tinystm, htm-tsx, rococotm")
+	threads := flag.Int("threads", 4, "worker threads")
+	scaleFlag := flag.String("scale", "medium", "input scale: small, medium, large")
+	flag.Parse()
+
+	var scale stamp.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = stamp.Small
+	case "medium":
+		scale = stamp.Medium
+	case "large":
+		scale = stamp.Large
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+
+	a, err := bench.NewApp(*app, scale)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := stamp.Execute(a, func(h *mem.Heap) tm.TM {
+		return bench.NewRuntime(*rt, h, *threads+1)
+	}, *threads)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("app=%s runtime=%s threads=%d scale=%s\n", res.App, res.Runtime, res.Threads, scale)
+	fmt.Printf("wall time      %v\n", res.Wall)
+	fmt.Printf("transactions   %d started, %d committed (%d read-only), %d aborted (%.2f%%)\n",
+		res.TM.Starts, res.TM.Commits, res.TM.ReadOnly, res.TM.Aborts, 100*res.TM.AbortRate())
+	if res.TM.Aborts > 0 {
+		fmt.Printf("abort reasons ")
+		keys := make([]string, 0, len(res.TM.Reasons))
+		for k, v := range res.TM.Reasons {
+			if v > 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf(" %s=%d", k, res.TM.Reasons[k])
+		}
+		fmt.Println()
+	}
+	if res.TM.ModelValidationNanos > 0 {
+		fmt.Printf("modeled validation latency total %.3f ms\n",
+			float64(res.TM.ModelValidationNanos)/1e6)
+	}
+	fmt.Println("verification   OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stamprunner:", err)
+	os.Exit(1)
+}

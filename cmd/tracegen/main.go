@@ -1,0 +1,66 @@
+// Command tracegen generates the synthetic micro-benchmark traces of §6.1
+// and optionally replays them through the concurrency-control algorithms,
+// printing either the trace itself (one transaction per line) or the
+// abort-rate summary.
+//
+// Usage:
+//
+//	tracegen -n 8 -locations 1024 -count 1000 -seed 7          # print trace
+//	tracegen -n 8 -count 1000 -replay -t 16                     # replay
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"rococotm/internal/occ"
+	"rococotm/internal/trace"
+)
+
+func main() {
+	locations := flag.Int("locations", 1024, "shared array size")
+	n := flag.Int("n", 8, "locations accessed per transaction")
+	count := flag.Int("count", 1000, "transactions")
+	readFrac := flag.Float64("readfrac", 0.5, "probability an access is a read")
+	seed := flag.Int64("seed", 1, "generator seed")
+	replay := flag.Bool("replay", false, "replay through CC algorithms instead of printing")
+	t := flag.Int("t", 16, "visibility window (concurrent transactions) for -replay")
+	window := flag.Int("window", 64, "ROCoCo window size for -replay")
+	flag.Parse()
+
+	cfg := trace.Config{
+		Locations: *locations, N: *n, Count: *count,
+		ReadFrac: *readFrac, Seed: *seed,
+	}
+	txns, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	if !*replay {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		fmt.Fprintf(w, "# locations=%d n=%d count=%d readfrac=%g seed=%d collision=%.4f\n",
+			cfg.Locations, cfg.N, cfg.Count, cfg.ReadFrac, cfg.Seed, cfg.CollisionRate())
+		for _, tx := range txns {
+			fmt.Fprintf(w, "T%d R%v W%v\n", tx.ID, tx.Reads, tx.Writes)
+		}
+		return
+	}
+
+	fmt.Printf("collision rate (model) %.2f%%, T=%d\n", 100*cfg.CollisionRate(), *t)
+	for _, alg := range []occ.Algorithm{occ.TwoPL{}, occ.TOCC{}, occ.BOCC{}, occ.FOCC{}, occ.NewROCoCo(*window)} {
+		res, _ := occ.Replay(alg, txns, *t)
+		fmt.Printf("%-8s abort rate %6.2f%%  (commits %d, aborts %d", alg.Name(),
+			100*res.AbortRate(), res.Commits, res.Aborts)
+		for reason, cnt := range res.Reasons {
+			if cnt > 0 {
+				fmt.Printf(", %s=%d", reason, cnt)
+			}
+		}
+		fmt.Println(")")
+	}
+}

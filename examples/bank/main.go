@@ -1,0 +1,135 @@
+// Bank: concurrent transfers with online auditing, run under every TM
+// runtime in the repository. Transfer transactions move money between
+// random accounts while auditor transactions sum all balances; the total
+// must never change — the classic atomicity/isolation demonstration, and a
+// direct comparison of abort behaviour across TinySTM, the TSX-like HTM
+// model and ROCoCoTM.
+//
+//	go run ./examples/bank [-accounts 64] [-threads 8] [-transfers 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"rococotm/internal/htm"
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/stm/sitm"
+	"rococotm/internal/stm/tinystm"
+	"rococotm/internal/tm"
+)
+
+func main() {
+	accounts := flag.Int("accounts", 64, "number of accounts")
+	threads := flag.Int("threads", 8, "worker threads")
+	transfers := flag.Int("transfers", 2000, "transfers per thread")
+	flag.Parse()
+
+	runtimes := []struct {
+		name string
+		mk   func(h *mem.Heap) tm.TM
+	}{
+		{"tinystm", func(h *mem.Heap) tm.TM { return tinystm.New(h, tinystm.Config{}) }},
+		{"si", func(h *mem.Heap) tm.TM { return sitm.New(h, sitm.Config{}) }},
+		{"htm-tsx", func(h *mem.Heap) tm.TM { return htm.New(h, htm.Config{}) }},
+		{"rococotm", func(h *mem.Heap) tm.TM { return rococotm.New(h, rococotm.Config{}) }},
+	}
+
+	for _, rc := range runtimes {
+		heap := mem.NewHeap(1 << 16)
+		m := rc.mk(heap)
+		run(m, *accounts, *threads, *transfers)
+		m.Close()
+	}
+}
+
+func run(m tm.TM, accounts, threads, transfers int) {
+	heap := m.Heap()
+	const initial = 1000
+	base := heap.MustAlloc(accounts)
+	for i := 0; i < accounts; i++ {
+		heap.Store(base+mem.Addr(i), initial)
+	}
+	want := mem.Word(accounts * initial)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var auditFailures int64
+	var mu sync.Mutex
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(th) + 1))
+			for i := 0; i < transfers; i++ {
+				if i%64 == 0 {
+					// Audit: a read-only transaction over every account.
+					var sum mem.Word
+					err := tm.Run(m, th, func(x tm.Txn) error {
+						sum = 0
+						for j := 0; j < accounts; j++ {
+							v, err := x.Read(base + mem.Addr(j))
+							if err != nil {
+								return err
+							}
+							sum += v
+						}
+						return nil
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					if sum != want {
+						mu.Lock()
+						auditFailures++
+						mu.Unlock()
+					}
+					continue
+				}
+				from := mem.Addr(rng.Intn(accounts))
+				to := mem.Addr(rng.Intn(accounts))
+				amount := mem.Word(1 + rng.Intn(10))
+				err := tm.Run(m, th, func(x tm.Txn) error {
+					fv, err := x.Read(base + from)
+					if err != nil {
+						return err
+					}
+					if fv < amount || from == to {
+						return nil
+					}
+					tv, err := x.Read(base + to)
+					if err != nil {
+						return err
+					}
+					if err := x.Write(base+from, fv-amount); err != nil {
+						return err
+					}
+					return x.Write(base+to, tv+amount)
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var final mem.Word
+	for i := 0; i < accounts; i++ {
+		final += heap.Load(base + mem.Addr(i))
+	}
+	st := m.Stats()
+	status := "OK"
+	if final != want || auditFailures > 0 {
+		status = fmt.Sprintf("BROKEN (final %d, %d audit failures)", final, auditFailures)
+	}
+	fmt.Printf("%-9s %8v  commits %6d  aborts %6d (%5.1f%%)  conservation %s\n",
+		m.Name(), elapsed.Round(time.Millisecond), st.Commits, st.Aborts,
+		100*st.AbortRate(), status)
+}

@@ -1,0 +1,61 @@
+// ccexplorer: an interactive tour of the paper's semantics and
+// concurrency-control results. Part one runs the motivating histories of
+// Figures 1 and 2 through the axiom-based semantics checkers (§3); part
+// two replays a synthetic trace sweep through 2PL, TOCC, BOCC and ROCoCo
+// and prints the abort-rate comparison of Figure 9.
+//
+//	go run ./examples/ccexplorer
+package main
+
+import (
+	"fmt"
+
+	"rococotm/internal/occ"
+	"rococotm/internal/semantics"
+	"rococotm/internal/trace"
+)
+
+func main() {
+	fmt.Println("== Part 1: axiom-based semantics on the paper's examples ==")
+	fmt.Println()
+	check := func(name string, h semantics.History, note string) {
+		si, _ := h.SnapshotIsolation()
+		ser, order, _ := h.Serializable()
+		strict, _, _ := h.StrictSerializable()
+		tocc, _ := h.CommitOrderConsistent()
+		fmt.Printf("%-22s SI=%-5v serializable=%-5v strict=%-5v TOCC-admits=%-5v",
+			name, si, ser, strict, tocc)
+		if ser {
+			fmt.Printf("  serial order %v", order)
+		}
+		fmt.Println()
+		fmt.Printf("%22s %s\n\n", "", note)
+	}
+	check("Figure 1 (write skew)", semantics.Fig1WriteSkew(),
+		"SI admits it, serializability must not: the anomaly that makes SI too weak.")
+	check("Figure 2(a)", semantics.Fig2a(),
+		"Fine under commit-time stamps; start-time stamps would abort t1.")
+	check("Figure 2(b)", semantics.Fig2b(),
+		"Serializable as t2,t3,t1 — but commit-order timestamps (TOCC/LSA) reject it. ROCoCo commits it.")
+
+	fmt.Println("== Part 2: abort rates of the CC algorithms (Figure 9, T=16) ==")
+	fmt.Println()
+	fmt.Printf("%3s %9s  %8s %8s %8s %8s\n", "N", "collision", "2PL", "TOCC", "BOCC", "ROCoCo")
+	for _, n := range []int{4, 8, 12, 16, 20, 24, 28, 32} {
+		cfg := trace.Config{Locations: 1024, N: n, Count: 1500, ReadFrac: 0.5, Seed: 7}
+		txns, err := trace.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		r2, _ := occ.Replay(occ.TwoPL{}, txns, 16)
+		rt, _ := occ.Replay(occ.TOCC{}, txns, 16)
+		rb, _ := occ.Replay(occ.BOCC{}, txns, 16)
+		rr, _ := occ.Replay(occ.NewROCoCo(64), txns, 16)
+		fmt.Printf("%3d %8.1f%%  %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+			n, 100*cfg.CollisionRate(),
+			100*r2.AbortRate(), 100*rt.AbortRate(), 100*rb.AbortRate(), 100*rr.AbortRate())
+	}
+	fmt.Println("\nROCoCo tracks reachability instead of timestamps, so it only aborts")
+	fmt.Println("transactions that close real dependency cycles — the phantom orderings")
+	fmt.Println("TOCC pays for are exactly the gap between the last two columns.")
+}

@@ -1,0 +1,63 @@
+// Quickstart: the smallest complete ROCoCoTM program.
+//
+// It creates a shared heap, starts the hybrid TM (CPU runtime + simulated
+// FPGA validation pipeline), runs a few concurrent counter transactions,
+// and prints the runtime statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/tm"
+)
+
+func main() {
+	// A word-addressable shared heap; all transactional state lives here.
+	heap := mem.NewHeap(1 << 16)
+
+	// The ROCoCoTM runtime with the paper's deployment defaults:
+	// 64-transaction FPGA window, 512-bit signatures.
+	rtm := rococotm.New(heap, rococotm.Config{})
+	defer rtm.Close()
+
+	counter := heap.MustAlloc(1)
+
+	const threads = 4
+	const increments = 1000
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				// tm.Run retries automatically on conflict aborts.
+				err := tm.Run(rtm, th, func(x tm.Txn) error {
+					v, err := x.Read(counter)
+					if err != nil {
+						return err
+					}
+					return x.Write(counter, v+1)
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	st := rtm.Stats()
+	fmt.Printf("counter = %d (expected %d)\n", heap.Load(counter), threads*increments)
+	fmt.Printf("transactions: %d started, %d committed, %d aborted (%.1f%% abort rate)\n",
+		st.Starts, st.Commits, st.Aborts, 100*st.AbortRate())
+	fmt.Printf("FPGA engine: %d validations, %d cycle aborts, %d window aborts\n",
+		rtm.Engine().Stats().Requests,
+		rtm.Engine().Stats().CycleAborts,
+		rtm.Engine().Stats().WindowAborts)
+}

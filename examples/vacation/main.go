@@ -1,0 +1,69 @@
+// Vacation: the travel-reservation OLTP workload as an API demo. It runs
+// the STAMP vacation port on ROCoCoTM, then inspects the final database
+// through read-only transactions: per-table occupancy, revenue booked, and
+// the conservation invariant.
+//
+//	go run ./examples/vacation [-threads 8] [-tasks 4096]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stamp/vacation"
+	"rococotm/internal/tm"
+)
+
+func main() {
+	threads := flag.Int("threads", 8, "client threads")
+	tasks := flag.Int("tasks", 4096, "client transactions")
+	relations := flag.Int("relations", 256, "resources per table")
+	customers := flag.Int("customers", 128, "customers")
+	flag.Parse()
+
+	app := vacation.New(vacation.Config{
+		Relations: *relations,
+		Customers: *customers,
+		Tasks:     *tasks,
+		Queries:   4,
+		Seed:      99,
+	})
+
+	var rtm *rococotm.TM
+	res, err := stamp.Execute(app, func(h *mem.Heap) tm.TM {
+		rtm = rococotm.New(h, rococotm.Config{MaxThreads: *threads + 1})
+		return rtm
+	}, *threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("ran %d client transactions on %d threads in %v\n",
+		*tasks, *threads, res.Wall.Round(res.Wall/100))
+	fmt.Printf("commits %d (%d read-only), aborts %d (%.1f%%)\n",
+		res.TM.Commits, res.TM.ReadOnly, res.TM.Aborts, 100*res.TM.AbortRate())
+
+	// Inspect the database with read-only transactions through the public
+	// API (a fresh thread id, as a client would).
+	for t, name := range []string{"cars", "flights", "rooms"} {
+		var total, free, bookings int
+		err := tm.Run(rtm, *threads, func(x tm.Txn) error {
+			total, free, bookings = 0, 0, 0
+			tt, ff, bb, err := app.TableOccupancy(x, t)
+			total, free, bookings = tt, ff, bb
+			return err
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s capacity %5d, free %5d, booked %5d  (conservation %v)\n",
+			name, total, free, bookings, total == free+bookings)
+	}
+	es := rtm.Engine().Stats()
+	fmt.Printf("FPGA engine: %d validations, %d commits, %d cycle aborts, %d window aborts\n",
+		es.Requests, es.Commits, es.CycleAborts, es.WindowAborts)
+}

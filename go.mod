@@ -1,0 +1,3 @@
+module rococotm
+
+go 1.22

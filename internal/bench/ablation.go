@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"rococotm/internal/fpga"
+	"rococotm/internal/mem"
+	"rococotm/internal/occ"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/sig"
+	"rococotm/internal/simclock"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stamp/vacation"
+	"rococotm/internal/tm"
+	"rococotm/internal/trace"
+)
+
+// WindowAblationRow is the ROCoCo abort rate at one window size.
+type WindowAblationRow struct {
+	Window    int
+	AbortRate float64
+	// WindowAborts is the share of aborts caused by window overflow
+	// rather than real cycles.
+	WindowAborts float64
+}
+
+// WindowAblationReport sweeps the sliding-window size W (§4.2's design
+// choice: the paper deploys W=64 for ≤28 threads).
+type WindowAblationReport struct {
+	T    int
+	N    int
+	Rows []WindowAblationRow
+}
+
+// RunWindowAblation replays the Figure 9 micro-benchmark at T concurrent
+// transactions through ROCoCo windows of different sizes.
+func RunWindowAblation(windows []int, T, N, traces int) (*WindowAblationReport, error) {
+	if len(windows) == 0 {
+		windows = []int{4, 8, 16, 32, 64, 128}
+	}
+	rep := &WindowAblationReport{T: T, N: N}
+	for _, w := range windows {
+		var rate, wrate float64
+		for s := 0; s < traces; s++ {
+			tc := trace.Config{Locations: 1024, N: N, Count: 1000, ReadFrac: 0.5, Seed: int64(s)}
+			txns, err := trace.Generate(tc)
+			if err != nil {
+				return nil, err
+			}
+			res, _ := occ.Replay(occ.NewROCoCo(w), txns, T)
+			rate += res.AbortRate()
+			if res.Total > 0 {
+				wrate += float64(res.Reasons["window"]) / float64(res.Total)
+			}
+		}
+		rep.Rows = append(rep.Rows, WindowAblationRow{
+			Window:       w,
+			AbortRate:    rate / float64(traces),
+			WindowAborts: wrate / float64(traces),
+		})
+	}
+	return rep, nil
+}
+
+// String renders the table.
+func (r *WindowAblationReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: ROCoCo window size (T=%d, N=%d)\n", r.T, r.N)
+	fmt.Fprintf(&sb, "%6s %12s %16s\n", "W", "abort rate", "window aborts")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%6d %11.2f%% %15.2f%%\n",
+			row.Window, 100*row.AbortRate, 100*row.WindowAborts)
+	}
+	return sb.String()
+}
+
+// SigAblationRow is one (geometry, app) abort-rate measurement.
+type SigAblationRow struct {
+	M, K      int
+	App       string
+	AbortRate float64
+	FmaxMHz   float64
+}
+
+// SigAblationReport reproduces the paper's 512- vs 1024-bit signature
+// discussion (§6.5): bigger filters barely move the abort rate but cost
+// clock frequency.
+type SigAblationReport struct {
+	Threads int
+	Rows    []SigAblationRow
+}
+
+// RunSigAblation runs the given apps under ROCoCoTM with different
+// signature geometries.
+func RunSigAblation(apps []string, scale stamp.Scale, threads int, geos []sig.Config) (*SigAblationReport, error) {
+	if len(geos) == 0 {
+		geos = []sig.Config{{M: 256, K: 2}, {M: 512, K: 4}, {M: 1024, K: 4}}
+	}
+	rep := &SigAblationReport{Threads: threads}
+	for _, g := range geos {
+		res, err := fpga.EstimateResources(64, g.M)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range apps {
+			app, err := NewApp(name, scale)
+			if err != nil {
+				return nil, err
+			}
+			group := simclock.NewGroup(threads)
+			out, err := stamp.Execute(app, func(h *mem.Heap) tm.TM {
+				inner := rococotm.New(h, rococotm.Config{
+					MaxThreads: threads + 1,
+					Engine:     fpga.Config{Sig: g},
+				})
+				return NewTimed(inner, CostModelFor("rococotm").scaled(threads), group)
+			}, threads)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, SigAblationRow{
+				M: g.M, K: g.K, App: name,
+				AbortRate: out.TM.AbortRate(),
+				FmaxMHz:   res.FmaxMHz,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// String renders the table.
+func (r *SigAblationReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: signature size under ROCoCoTM (%d threads)\n", r.Threads)
+	fmt.Fprintf(&sb, "%-12s %-11s %11s %8s\n", "geometry", "app", "abort rate", "Fmax")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "m=%-4d k=%-3d %-11s %10.2f%% %5.0fMHz\n",
+			row.M, row.K, row.App, 100*row.AbortRate, row.FmaxMHz)
+	}
+	sb.WriteString("(paper: extending to 1024-bit signatures shows no noteworthy abort improvement and costs clock frequency)\n")
+	return sb.String()
+}
+
+// ContentionRow is one (flavour, runtime) abort-rate measurement for
+// vacation.
+type ContentionRow struct {
+	Flavour   string
+	Runtime   string
+	Threads   int
+	AbortRate float64
+}
+
+// ContentionReport contrasts STAMP's vacation-low and vacation-high
+// configurations across the runtimes — the contention knob the suite is
+// usually run with, complementing Figure 10's largest-input runs.
+type ContentionReport struct {
+	Rows []ContentionRow
+}
+
+// RunContentionAblation measures both vacation flavours.
+func RunContentionAblation(scale stamp.Scale, threads int) (*ContentionReport, error) {
+	rep := &ContentionReport{}
+	flavours := []struct {
+		name string
+		cfg  vacation.Config
+	}{
+		{"vacation-low", vacation.ConfigFor(scale)},
+		{"vacation-high", vacation.ConfigHighContention(scale)},
+	}
+	for _, fl := range flavours {
+		for _, rt := range Runtimes() {
+			app := vacation.New(fl.cfg)
+			group := simclock.NewGroup(threads)
+			res, err := stamp.Execute(app, func(h *mem.Heap) tm.TM {
+				// The Timed wrapper injects per-access scheduler yields so
+				// transactions genuinely interleave on this host (see
+				// costs.go); its clocks are unused here.
+				return NewTimed(NewRuntime(rt, h, threads+1),
+					CostModelFor(rt).scaled(threads), group)
+			}, threads)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rows = append(rep.Rows, ContentionRow{
+				Flavour: fl.name, Runtime: rt, Threads: threads,
+				AbortRate: res.TM.AbortRate(),
+			})
+		}
+	}
+	return rep, nil
+}
+
+// String renders the table.
+func (r *ContentionReport) String() string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: vacation contention flavours (abort rate)\n")
+	fmt.Fprintf(&sb, "%-14s %-10s %8s %11s\n", "flavour", "runtime", "threads", "abort rate")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-14s %-10s %8d %10.2f%%\n",
+			row.Flavour, row.Runtime, row.Threads, 100*row.AbortRate)
+	}
+	return sb.String()
+}

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/simclock"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stamp/genome"
+	"rococotm/internal/stamp/intruder"
+	"rococotm/internal/stamp/kmeans"
+	"rococotm/internal/stamp/labyrinth"
+	"rococotm/internal/stamp/ssca2"
+	"rococotm/internal/stamp/vacation"
+	"rococotm/internal/stamp/yada"
+	"rococotm/internal/tm"
+)
+
+// AppNames lists the STAMP ports in presentation order (bayes excluded, as
+// in the paper).
+func AppNames() []string {
+	return []string{"genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation", "yada"}
+}
+
+// NewApp builds a fresh instance of a STAMP port by name.
+func NewApp(name string, scale stamp.Scale) (stamp.App, error) {
+	switch name {
+	case "genome":
+		return genome.NewAt(scale), nil
+	case "intruder":
+		return intruder.NewAt(scale), nil
+	case "kmeans":
+		return kmeans.NewAt(scale), nil
+	case "labyrinth":
+		return labyrinth.NewAt(scale), nil
+	case "ssca2":
+		return ssca2.NewAt(scale), nil
+	case "vacation":
+		return vacation.NewAt(scale), nil
+	case "yada":
+		return yada.NewAt(scale), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown app %q", name)
+	}
+}
+
+// Fig10Cell is one (runtime, threads) measurement for one app.
+type Fig10Cell struct {
+	Runtime string
+	Threads int
+	// Speedup is sequential modeled makespan / this run's modeled
+	// makespan (the paper's left y-axis).
+	Speedup float64
+	// AbortRate is aborted attempts / started attempts (right y-axis,
+	// real, not modeled).
+	AbortRate float64
+	// FPGAAbortRate is the share of attempts aborted by the FPGA verdict
+	// (cycle + window) — the dotted line; zero for other runtimes.
+	FPGAAbortRate float64
+	// ModelNanos is the parallel makespan.
+	ModelNanos float64
+}
+
+// Fig10AppSeries is one app's sweep.
+type Fig10AppSeries struct {
+	App      string
+	SeqNanos float64
+	Cells    []Fig10Cell
+}
+
+// Fig10Report regenerates Figure 10 plus the abstract's geomean claims.
+type Fig10Report struct {
+	Scale   stamp.Scale
+	Threads []int
+	Apps    []Fig10AppSeries
+	// Geomean speedup of ROCoCoTM over the baselines at 14 and 28
+	// threads (paper: 1.41×/4.04× and 1.55×/8.05×).
+	GeomeanVsTinySTM map[int]float64
+	GeomeanVsHTM     map[int]float64
+}
+
+// Fig10Config parameterizes the experiment.
+type Fig10Config struct {
+	Scale   stamp.Scale
+	Threads []int
+	Apps    []string
+}
+
+// DefaultFig10 returns the paper-shaped configuration.
+func DefaultFig10() Fig10Config {
+	return Fig10Config{
+		Scale:   stamp.Medium,
+		Threads: []int{1, 4, 8, 14, 28},
+		Apps:    AppNames(),
+	}
+}
+
+// runTimed executes one app instance under a wrapped runtime and returns
+// the modeled makespan plus the runtime stats.
+func runTimed(appName string, scale stamp.Scale, runtime string, threads int) (float64, tm.Stats, error) {
+	app, err := NewApp(appName, scale)
+	if err != nil {
+		return 0, tm.Stats{}, err
+	}
+	group := simclock.NewGroup(threads)
+	mk := func(h *mem.Heap) tm.TM {
+		return NewTimed(NewRuntime(runtime, h, threads+1),
+			CostModelFor(runtime).scaled(threads), group)
+	}
+	res, err := stamp.Execute(app, mk, threads)
+	if err != nil {
+		return 0, tm.Stats{}, err
+	}
+	return group.Makespan(), res.TM, nil
+}
+
+// RunFig10 produces the report.
+func RunFig10(cfg Fig10Config) (*Fig10Report, error) {
+	rep := &Fig10Report{
+		Scale:            cfg.Scale,
+		Threads:          cfg.Threads,
+		GeomeanVsTinySTM: map[int]float64{},
+		GeomeanVsHTM:     map[int]float64{},
+	}
+	type ratioAcc struct {
+		logSum float64
+		n      int
+	}
+	vsTiny := map[int]*ratioAcc{}
+	vsHTM := map[int]*ratioAcc{}
+
+	for _, appName := range cfg.Apps {
+		series := Fig10AppSeries{App: appName}
+		seq, _, err := runTimed(appName, cfg.Scale, "seq", 1)
+		if err != nil {
+			return nil, err
+		}
+		series.SeqNanos = seq
+		perThread := map[int]map[string]float64{}
+		for _, th := range cfg.Threads {
+			perThread[th] = map[string]float64{}
+			for _, rt := range Runtimes() {
+				makespan, st, err := runTimed(appName, cfg.Scale, rt, th)
+				if err != nil {
+					return nil, err
+				}
+				cell := Fig10Cell{
+					Runtime:    rt,
+					Threads:    th,
+					Speedup:    seq / makespan,
+					AbortRate:  st.AbortRate(),
+					ModelNanos: makespan,
+				}
+				if rt == "rococotm" && st.Starts > 0 {
+					fa := st.Reasons[tm.ReasonCycle] + st.Reasons[tm.ReasonWindow]
+					cell.FPGAAbortRate = float64(fa) / float64(st.Starts)
+				}
+				series.Cells = append(series.Cells, cell)
+				perThread[th][rt] = cell.Speedup
+			}
+		}
+		for _, th := range cfg.Threads {
+			if r, ok := perThread[th]["rococotm"]; ok {
+				if t, ok := perThread[th]["tinystm"]; ok && t > 0 {
+					acc := vsTiny[th]
+					if acc == nil {
+						acc = &ratioAcc{}
+						vsTiny[th] = acc
+					}
+					acc.logSum += math.Log(r / t)
+					acc.n++
+				}
+				if h, ok := perThread[th]["htm-tsx"]; ok && h > 0 {
+					acc := vsHTM[th]
+					if acc == nil {
+						acc = &ratioAcc{}
+						vsHTM[th] = acc
+					}
+					acc.logSum += math.Log(r / h)
+					acc.n++
+				}
+			}
+		}
+		rep.Apps = append(rep.Apps, series)
+	}
+	for th, acc := range vsTiny {
+		rep.GeomeanVsTinySTM[th] = math.Exp(acc.logSum / float64(acc.n))
+	}
+	for th, acc := range vsHTM {
+		rep.GeomeanVsHTM[th] = math.Exp(acc.logSum / float64(acc.n))
+	}
+	return rep, nil
+}
+
+// String renders the paper-style tables.
+func (r *Fig10Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 10: STAMP speedup vs sequential (modeled time) and abort rate, scale=%s\n", r.Scale)
+	for _, app := range r.Apps {
+		fmt.Fprintf(&sb, "\n%s (sequential: %.2f ms modeled)\n", app.App, app.SeqNanos/1e6)
+		fmt.Fprintf(&sb, "  %-9s", "threads")
+		for _, th := range r.Threads {
+			fmt.Fprintf(&sb, " %8d", th)
+		}
+		sb.WriteByte('\n')
+		for _, rt := range Runtimes() {
+			fmt.Fprintf(&sb, "  %-9s", rt)
+			for _, th := range r.Threads {
+				for _, c := range app.Cells {
+					if c.Runtime == rt && c.Threads == th {
+						fmt.Fprintf(&sb, " %7.2fx", c.Speedup)
+					}
+				}
+			}
+			fmt.Fprintf(&sb, "   abort%%:")
+			for _, th := range r.Threads {
+				for _, c := range app.Cells {
+					if c.Runtime == rt && c.Threads == th {
+						fmt.Fprintf(&sb, " %5.1f", 100*c.AbortRate)
+					}
+				}
+			}
+			if rt == "rococotm" {
+				fmt.Fprintf(&sb, "   fpga%%:")
+				for _, th := range r.Threads {
+					for _, c := range app.Cells {
+						if c.Runtime == rt && c.Threads == th {
+							fmt.Fprintf(&sb, " %5.1f", 100*c.FPGAAbortRate)
+						}
+					}
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("\nGeomean ROCoCoTM speedup over baselines:\n")
+	for _, th := range r.Threads {
+		if v, ok := r.GeomeanVsTinySTM[th]; ok {
+			fmt.Fprintf(&sb, "  %2d threads: %.2fx vs TinySTM, %.2fx vs TSX-HTM",
+				th, v, r.GeomeanVsHTM[th])
+			switch th {
+			case 14:
+				sb.WriteString("   (paper: 1.41x / 4.04x)")
+			case 28:
+				sb.WriteString("   (paper: 1.55x / 8.05x)")
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rococotm/internal/sig"
+)
+
+// Fig7Point is one curve sample: analytic and measured false positivity
+// for one geometry at one set size.
+type Fig7Point struct {
+	M, K, N           int
+	QueryModel        float64
+	QueryMeasured     float64
+	IntersectModel    float64
+	IntersectMeasured float64
+}
+
+// Fig7Report regenerates Figure 7: bloom-filter false positivity of query
+// (a) and set intersection (b) under different parameters.
+type Fig7Report struct {
+	Points []Fig7Point
+}
+
+// Fig7Config parameterizes the experiment.
+type Fig7Config struct {
+	Geometries []sig.Config
+	Sizes      []int // set sizes n
+	Probes     int   // Monte-Carlo probes per point
+	Seed       int64
+}
+
+// DefaultFig7 returns the paper-shaped configuration.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		Geometries: []sig.Config{{M: 256, K: 2}, {M: 512, K: 4}, {M: 1024, K: 4}},
+		Sizes:      []int{2, 4, 8, 16, 32, 64},
+		Probes:     2000,
+		Seed:       1,
+	}
+}
+
+// RunFig7 produces the report.
+func RunFig7(cfg Fig7Config) (*Fig7Report, error) {
+	rep := &Fig7Report{}
+	for _, g := range cfg.Geometries {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		h := sig.NewHasher(g, uint64(cfg.Seed))
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for _, n := range cfg.Sizes {
+			p := Fig7Point{
+				M: g.M, K: g.K, N: n,
+				QueryModel:     sig.QueryFPRate(g, n),
+				IntersectModel: sig.IntersectFPRate(g, n, n),
+			}
+			// Measure query FP: one filled signature, random probes.
+			s := sig.New(g)
+			members := map[uint64]bool{}
+			for len(members) < n {
+				x := rng.Uint64()
+				if !members[x] {
+					members[x] = true
+					s.Insert(h, x)
+				}
+			}
+			hits := 0
+			for i := 0; i < cfg.Probes; i++ {
+				x := rng.Uint64()
+				if !members[x] && s.Query(h, x) {
+					hits++
+				}
+			}
+			p.QueryMeasured = float64(hits) / float64(cfg.Probes)
+			// Measure intersection FP: disjoint random pairs.
+			overlaps := 0
+			trials := cfg.Probes / 4
+			if trials < 200 {
+				trials = 200
+			}
+			for i := 0; i < trials; i++ {
+				a, b := sig.New(g), sig.New(g)
+				seen := map[uint64]bool{}
+				for j := 0; j < n; j++ {
+					x := rng.Uint64()
+					seen[x] = true
+					a.Insert(h, x)
+				}
+				for j := 0; j < n; {
+					x := rng.Uint64()
+					if seen[x] {
+						continue
+					}
+					b.Insert(h, x)
+					j++
+				}
+				if a.Intersects(b) {
+					overlaps++
+				}
+			}
+			p.IntersectMeasured = float64(overlaps) / float64(trials)
+			rep.Points = append(rep.Points, p)
+		}
+	}
+	return rep, nil
+}
+
+// String renders the paper-style table.
+func (r *Fig7Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 7: bloom-filter false positivity (model | measured)\n")
+	sb.WriteString(fmt.Sprintf("%-12s %4s  %-21s  %-21s\n",
+		"geometry", "n", "query FP", "intersect FP"))
+	for _, p := range r.Points {
+		sb.WriteString(fmt.Sprintf("m=%4d k=%2d %4d  %9.6f | %9.6f  %9.6f | %9.6f\n",
+			p.M, p.K, p.N, p.QueryModel, p.QueryMeasured,
+			p.IntersectModel, p.IntersectMeasured))
+	}
+	return sb.String()
+}

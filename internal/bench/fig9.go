@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"rococotm/internal/occ"
+	"rococotm/internal/trace"
+)
+
+// Fig9Point is one sweep sample: abort rates of the CC algorithms at one
+// (T, N) point, averaged over seeds.
+type Fig9Point struct {
+	T             int
+	N             int
+	CollisionRate float64
+	TwoPL         float64
+	TOCC          float64
+	BOCC          float64
+	FOCC          float64
+	ROCoCo        float64
+}
+
+// Fig9Report regenerates Figure 9 and the paper's §4 abort-reduction
+// claims (−56.2 % vs 2PL, −20.2 % vs TOCC at T=16).
+type Fig9Report struct {
+	Points []Fig9Point
+	// MaxReductionVs2PL/TOCC are the largest relative abort reductions
+	// ROCoCo achieves in the T=16 sweep.
+	MaxReductionVs2PL  float64
+	MaxReductionVsTOCC float64
+	// ReductionAt22Vs2PL/TOCC are the reductions at the paper's quoted
+	// operating point: N=16, collision rate 22.3 %, T=16 (§6.1 reports
+	// 56.2 % and 20.2 % there).
+	ReductionAt22Vs2PL  float64
+	ReductionAt22VsTOCC float64
+}
+
+// Fig9Config parameterizes the experiment (paper defaults: 1024 locations,
+// N = 4..32 step 4, 50 traces, T ∈ {4,16}).
+type Fig9Config struct {
+	Locations  int
+	Ns         []int
+	Ts         []int
+	Traces     int // seeds per point
+	TxnsPerRun int
+	Window     int // ROCoCo window size
+	Seed       int64
+}
+
+// DefaultFig9 returns the paper-shaped configuration.
+func DefaultFig9() Fig9Config {
+	return Fig9Config{
+		Locations:  1024,
+		Ns:         []int{4, 8, 12, 16, 20, 24, 28, 32},
+		Ts:         []int{4, 16},
+		Traces:     50,
+		TxnsPerRun: 1000,
+		Window:     64,
+		Seed:       1,
+	}
+}
+
+// RunFig9 produces the report.
+func RunFig9(cfg Fig9Config) (*Fig9Report, error) {
+	rep := &Fig9Report{}
+	for _, T := range cfg.Ts {
+		for _, N := range cfg.Ns {
+			tc := trace.Config{
+				Locations: cfg.Locations, N: N, Count: cfg.TxnsPerRun,
+				ReadFrac: 0.5,
+			}
+			p := Fig9Point{T: T, N: N, CollisionRate: tc.CollisionRate()}
+			for s := 0; s < cfg.Traces; s++ {
+				tc.Seed = cfg.Seed + int64(s)
+				txns, err := trace.Generate(tc)
+				if err != nil {
+					return nil, err
+				}
+				r2, _ := occ.Replay(occ.TwoPL{}, txns, T)
+				rt, _ := occ.Replay(occ.TOCC{}, txns, T)
+				rb, _ := occ.Replay(occ.BOCC{}, txns, T)
+				rf, _ := occ.Replay(occ.FOCC{}, txns, T)
+				rr, _ := occ.Replay(occ.NewROCoCo(cfg.Window), txns, T)
+				p.TwoPL += r2.AbortRate()
+				p.TOCC += rt.AbortRate()
+				p.BOCC += rb.AbortRate()
+				p.FOCC += rf.AbortRate()
+				p.ROCoCo += rr.AbortRate()
+			}
+			f := float64(cfg.Traces)
+			p.TwoPL /= f
+			p.TOCC /= f
+			p.BOCC /= f
+			p.FOCC /= f
+			p.ROCoCo /= f
+			rep.Points = append(rep.Points, p)
+			if T == 16 {
+				if p.TwoPL > 0 {
+					if red := 1 - p.ROCoCo/p.TwoPL; red > rep.MaxReductionVs2PL {
+						rep.MaxReductionVs2PL = red
+					}
+				}
+				if p.TOCC > 0 {
+					if red := 1 - p.ROCoCo/p.TOCC; red > rep.MaxReductionVsTOCC {
+						rep.MaxReductionVsTOCC = red
+					}
+				}
+				if N == 16 {
+					if p.TwoPL > 0 {
+						rep.ReductionAt22Vs2PL = 1 - p.ROCoCo/p.TwoPL
+					}
+					if p.TOCC > 0 {
+						rep.ReductionAt22VsTOCC = 1 - p.ROCoCo/p.TOCC
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// String renders the paper-style table.
+func (r *Fig9Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: abort rate vs collision rate (2PL / TOCC / BOCC / FOCC / ROCoCo)\n")
+	sb.WriteString(fmt.Sprintf("%3s %3s %9s  %8s %8s %8s %8s %8s\n",
+		"T", "N", "collision", "2PL", "TOCC", "BOCC", "FOCC", "ROCoCo"))
+	for _, p := range r.Points {
+		sb.WriteString(fmt.Sprintf("%3d %3d %8.1f%%  %7.2f%% %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+			p.T, p.N, 100*p.CollisionRate,
+			100*p.TwoPL, 100*p.TOCC, 100*p.BOCC, 100*p.FOCC, 100*p.ROCoCo))
+	}
+	sb.WriteString(fmt.Sprintf(
+		"Abort reduction at 22.3%% collision, T=16: %.1f%% vs 2PL (paper: 56.2%%), %.1f%% vs TOCC (paper: 20.2%%)\n",
+		100*r.ReductionAt22Vs2PL, 100*r.ReductionAt22VsTOCC))
+	sb.WriteString(fmt.Sprintf(
+		"Max abort reduction across the T=16 sweep: %.1f%% vs 2PL, %.1f%% vs TOCC\n",
+		100*r.MaxReductionVs2PL, 100*r.MaxReductionVsTOCC))
+	return sb.String()
+}

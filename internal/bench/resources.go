@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"rococotm/internal/fpga"
+)
+
+// ResourceReport regenerates the §6.5 resource-consumption numbers from
+// the calibrated area model, for the shipped design point and the
+// 1024-bit signature ablation the paper discusses.
+type ResourceReport struct {
+	Rows []fpga.ResourceReport
+}
+
+// RunResources produces the report for the given (W, m) design points.
+func RunResources(points [][2]int) (*ResourceReport, error) {
+	if len(points) == 0 {
+		points = [][2]int{{64, 512}, {64, 1024}, {32, 512}, {64, 256}}
+	}
+	rep := &ResourceReport{}
+	for _, p := range points {
+		r, err := fpga.EstimateResources(p[0], p[1])
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, r)
+	}
+	return rep, nil
+}
+
+// String renders the paper-style table.
+func (r *ResourceReport) String() string {
+	var sb strings.Builder
+	sb.WriteString("§6.5: FPGA resource consumption (calibrated Arria 10 model)\n")
+	sb.WriteString(fmt.Sprintf("%-12s %16s %16s %12s %18s %8s\n",
+		"design", "registers", "ALMs", "DSPs", "BRAM bits", "Fmax"))
+	for _, row := range r.Rows {
+		sb.WriteString(fmt.Sprintf("W=%-3d m=%-4d %8d (%4.1f%%) %8d (%4.1f%%) %4d (%4.1f%%) %9d (%4.1f%%) %5.0fMHz\n",
+			row.W, row.M,
+			row.Registers, row.RegistersPct,
+			row.ALMs, row.ALMsPct,
+			row.DSPs, row.DSPsPct,
+			row.BRAMBits, row.BRAMBitsPct,
+			row.FmaxMHz))
+	}
+	sb.WriteString("(paper, W=64 m=512: 113485 regs 62.9%, 249442 ALMs 58.39%, 223 DSPs 14.7%, 2055802 BRAM bits 3.7%, 200 MHz)\n")
+	return sb.String()
+}

@@ -1,0 +1,411 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasics(t *testing.T) {
+	v := NewVec(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	if v.Any() {
+		t.Fatal("new vector should be empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if got := v.OnesCount(); got != 8 {
+		t.Fatalf("OnesCount = %d, want 8", got)
+	}
+	v.Set(64, false)
+	if v.Get(64) {
+		t.Fatal("bit 64 still set after clear")
+	}
+	if got := v.OnesCount(); got != 7 {
+		t.Fatalf("OnesCount = %d, want 7", got)
+	}
+}
+
+func TestVecOutOfRangePanics(t *testing.T) {
+	v := NewVec(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestVecBitwiseOps(t *testing.T) {
+	a := NewVec(70)
+	b := NewVec(70)
+	a.Set(3, true)
+	a.Set(65, true)
+	b.Set(65, true)
+	b.Set(69, true)
+
+	or := a.Clone()
+	or.Or(b)
+	for i, want := range map[int]bool{3: true, 65: true, 69: true, 0: false} {
+		if or.Get(i) != want {
+			t.Errorf("or bit %d = %v, want %v", i, or.Get(i), want)
+		}
+	}
+
+	and := a.Clone()
+	and.And(b)
+	if and.OnesCount() != 1 || !and.Get(65) {
+		t.Errorf("and = %s, want only bit 65", and)
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if diff.OnesCount() != 1 || !diff.Get(3) {
+		t.Errorf("andnot = %s, want only bit 3", diff)
+	}
+
+	if !a.Intersects(b) {
+		t.Error("a and b should intersect")
+	}
+	c := NewVec(70)
+	c.Set(7, true)
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	a, b := NewVec(10), NewVec(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched lengths did not panic")
+		}
+	}()
+	a.Or(b)
+}
+
+func TestVecForEachOrder(t *testing.T) {
+	v := NewVec(200)
+	want := []int{0, 5, 63, 64, 100, 199}
+	for _, i := range want {
+		v.Set(i, true)
+	}
+	var got []int
+	v.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVecCloneIndependence(t *testing.T) {
+	a := NewVec(64)
+	a.Set(1, true)
+	b := a.Clone()
+	b.Set(2, true)
+	if a.Get(2) {
+		t.Fatal("mutating clone changed original")
+	}
+	a.Clear()
+	if !b.Get(1) {
+		t.Fatal("clearing original changed clone")
+	}
+}
+
+func randMat(rng *rand.Rand, n int, density float64) *Mat {
+	m := NewMat(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// closureBFS computes the transitive closure by per-vertex BFS: the oracle
+// for Warshall.
+func closureBFS(m *Mat) *Mat {
+	n := m.Order()
+	out := NewMat(n)
+	for s := 0; s < n; s++ {
+		seen := make([]bool, n)
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			m.Row(v).ForEach(func(j int) {
+				if !out.Get(s, j) {
+					out.Set(s, j, true)
+				}
+				if !seen[j] {
+					seen[j] = true
+					queue = append(queue, j)
+				}
+			})
+		}
+	}
+	// Preserve any diagonal/self bits from the input.
+	for i := 0; i < n; i++ {
+		if m.Get(i, i) {
+			out.Set(i, i, true)
+		}
+	}
+	return out
+}
+
+func TestWarshallAgainstBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		m := randMat(rng, n, 0.15)
+		w := m.Clone()
+		w.Warshall()
+		want := closureBFS(m)
+		// BFS closure does not include reflexive reach via a cycle unless
+		// reachable; Warshall matches: both report i▷j iff a nonempty path
+		// exists. Compare off-diagonal plus diagonal-by-cycle.
+		if !w.Equal(want) {
+			t.Fatalf("trial %d (n=%d): warshall != bfs\nin:\n%s\nwarshall:\n%s\nbfs:\n%s",
+				trial, n, m, w, want)
+		}
+	}
+}
+
+func TestHasCycleSimple(t *testing.T) {
+	m := NewMat(3)
+	m.Set(0, 1, true)
+	m.Set(1, 2, true)
+	if m.HasCycle() {
+		t.Fatal("chain reported cyclic")
+	}
+	m.Set(2, 0, true)
+	if !m.HasCycle() {
+		t.Fatal("3-cycle not detected")
+	}
+}
+
+func TestHasCycleSelfLoopIgnored(t *testing.T) {
+	m := NewMat(2)
+	m.Set(0, 0, true) // diagonal is "reaches itself", not a cycle
+	if m.HasCycle() {
+		t.Fatal("diagonal bit treated as cycle")
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		// Build a random DAG: edges only from lower to higher index, then
+		// shuffle labels via a permutation.
+		perm := rng.Perm(n)
+		m := NewMat(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					m.Set(perm[i], perm[j], true)
+				}
+			}
+		}
+		order, ok := m.TopoOrder()
+		if !ok {
+			t.Fatalf("trial %d: DAG reported cyclic", trial)
+		}
+		pos := make([]int, n)
+		for idx, v := range order {
+			pos[v] = idx
+		}
+		for i := 0; i < n; i++ {
+			m.Row(i).ForEach(func(j int) {
+				if pos[i] >= pos[j] {
+					t.Fatalf("trial %d: edge %d->%d violates topo order", trial, i, j)
+				}
+			})
+		}
+	}
+}
+
+func TestTopoOrderCyclic(t *testing.T) {
+	m := NewMat(2)
+	m.Set(0, 1, true)
+	m.Set(1, 0, true)
+	if _, ok := m.TopoOrder(); ok {
+		t.Fatal("cycle not reported by TopoOrder")
+	}
+}
+
+func TestCycleAgreesWithTopo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(25)
+		m := randMat(rng, n, rng.Float64()*0.3)
+		_, acyclic := m.TopoOrder()
+		if m.HasCycle() == acyclic {
+			t.Fatalf("trial %d: HasCycle=%v but TopoOrder ok=%v\n%s",
+				trial, m.HasCycle(), acyclic, m)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randMat(rng, 67, 0.1)
+	tr := m.Transpose()
+	for i := 0; i < 67; i++ {
+		for j := 0; j < 67; j++ {
+			if m.Get(i, j) != tr.Get(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	back := tr.Transpose()
+	if !back.Equal(m) {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestMulVecAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(90)
+		m := randMat(rng, n, 0.1)
+		v := NewVec(n)
+		for j := 0; j < n; j++ {
+			v.Set(j, rng.Intn(2) == 0)
+		}
+		got := m.MulVec(v)
+		gotT := m.TransposeMulVec(v)
+		wantT := m.Transpose().MulVec(v)
+		for i := 0; i < n; i++ {
+			want := false
+			for j := 0; j < n; j++ {
+				if m.Get(i, j) && v.Get(j) {
+					want = true
+					break
+				}
+			}
+			if got.Get(i) != want {
+				t.Fatalf("trial %d: MulVec[%d] = %v, want %v", trial, i, got.Get(i), want)
+			}
+		}
+		if !gotT.Equal(wantT) {
+			t.Fatalf("trial %d: TransposeMulVec != Transpose().MulVec", trial)
+		}
+	}
+}
+
+func TestColSetCol(t *testing.T) {
+	m := NewMat(10)
+	v := NewVec(10)
+	v.Set(2, true)
+	v.Set(9, true)
+	m.SetCol(4, v)
+	got := m.Col(4)
+	if !got.Equal(v) {
+		t.Fatalf("Col(4) = %s, want %s", got, v)
+	}
+	if m.Get(2, 3) {
+		t.Fatal("SetCol touched another column")
+	}
+}
+
+func TestQuickOrCommutes(t *testing.T) {
+	f := func(xs, ys []bool) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		a, b := NewVec(n), NewVec(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, xs[i])
+			b.Set(i, ys[i])
+		}
+		ab := a.Clone()
+		ab.Or(b)
+		ba := b.Clone()
+		ba.Or(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// a &^ b == a & ^(b) restricted to length: check via membership.
+	f := func(xs, ys []bool) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		a, b := NewVec(n), NewVec(n)
+		for i := 0; i < n; i++ {
+			a.Set(i, xs[i])
+			b.Set(i, ys[i])
+		}
+		d := a.Clone()
+		d.AndNot(b)
+		for i := 0; i < n; i++ {
+			if d.Get(i) != (xs[i] && !ys[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarshallIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		m := randMat(rng, 30, 0.1)
+		m.Warshall()
+		again := m.Clone()
+		again.Warshall()
+		if !again.Equal(m) {
+			t.Fatalf("trial %d: Warshall not idempotent", trial)
+		}
+	}
+}
+
+func BenchmarkWarshall64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMat(rng, 64, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.Clone()
+		c.Warshall()
+	}
+}
+
+func BenchmarkTransposeMulVec64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMat(rng, 64, 0.05)
+	v := NewVec(64)
+	v.Set(3, true)
+	v.Set(40, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TransposeMulVec(v)
+	}
+}

@@ -1,0 +1,172 @@
+// Package compare holds cross-runtime behavioural tests: the same
+// schedules driven through TinySTM and ROCoCoTM side by side, pinning the
+// paper's central claims as executable facts.
+package compare
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/stm/tinystm"
+	"rococotm/internal/tm"
+)
+
+// fig2bSchedule drives the Figure 2(b) pattern through a runtime: t3 reads
+// x and y, a concurrent transaction t1 overwrites y and commits, then t3
+// writes z and tries to commit. The completed history is serializable
+// (t3 before t1), but commit-order timestamping cannot express it.
+// Returns whether t3 committed.
+func fig2bSchedule(t *testing.T, m tm.TM) bool {
+	t.Helper()
+	h := m.Heap()
+	x := h.MustAlloc(1)
+	y := h.MustAlloc(1)
+	z := h.MustAlloc(1)
+
+	// t2: write x, commit (the version t3 will read).
+	if err := tm.Run(m, 2, func(tx tm.Txn) error { return tx.Write(x, 22) }); err != nil {
+		t.Fatal(err)
+	}
+	// t3 begins, reads x (t2's version) and y (initial).
+	t3, err := m.Begin(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := t3.Read(x); err != nil || v != 22 {
+		t.Fatalf("t3 read x = %d, %v", v, err)
+	}
+	if v, err := t3.Read(y); err != nil || v != 0 {
+		t.Fatalf("t3 read y = %d, %v", v, err)
+	}
+	// t1: overwrite y and commit while t3 is live.
+	if err := tm.Run(m, 1, func(tx tm.Txn) error { return tx.Write(y, 11) }); err != nil {
+		t.Fatal(err)
+	}
+	// t3 writes a disjoint location and commits.
+	if err := t3.Write(z, 33); err != nil {
+		if _, ok := tm.IsAbort(err); ok {
+			return false
+		}
+		t.Fatal(err)
+	}
+	err = m.Commit(t3)
+	if err == nil {
+		return true
+	}
+	if _, ok := tm.IsAbort(err); !ok {
+		t.Fatal(err)
+	}
+	return false
+}
+
+// TestFig2bRuntimeContrast is the runtime counterpart of §3.1: the same
+// serializable schedule is rejected by TinySTM's commit-time timestamps
+// (the phantom ordering) and accepted by ROCoCoTM's reachability check.
+func TestFig2bRuntimeContrast(t *testing.T) {
+	tiny := tinystm.New(mem.NewHeap(1<<12), tinystm.Config{})
+	defer tiny.Close()
+	if fig2bSchedule(t, tiny) {
+		t.Fatal("TinySTM committed the Fig 2(b) schedule — its TOCC restriction should reject it")
+	}
+
+	roc := rococotm.New(mem.NewHeap(1<<12), rococotm.Config{})
+	defer roc.Close()
+	if !fig2bSchedule(t, roc) {
+		t.Fatal("ROCoCoTM aborted the Fig 2(b) schedule — reachability validation should commit it")
+	}
+}
+
+// TestCycleRejectedByBoth: when the schedule genuinely cycles (t3 also
+// overwrites what t1 wrote), both runtimes must abort t3 — ROCoCo's
+// permissiveness never extends to real cycles.
+func TestCycleRejectedByBoth(t *testing.T) {
+	drive := func(m tm.TM) bool {
+		h := m.Heap()
+		y := h.MustAlloc(1)
+		t3, err := m.Begin(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := t3.Read(y); err != nil {
+			t.Fatal(err)
+		}
+		if err := tm.Run(m, 1, func(tx tm.Txn) error { return tx.Write(y, 1) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := t3.Write(y, 2); err != nil {
+			if _, ok := tm.IsAbort(err); ok {
+				return false
+			}
+			t.Fatal(err)
+		}
+		return m.Commit(t3) == nil
+	}
+	tiny := tinystm.New(mem.NewHeap(1<<12), tinystm.Config{})
+	defer tiny.Close()
+	if drive(tiny) {
+		t.Fatal("TinySTM committed a stale read-modify-write")
+	}
+	roc := rococotm.New(mem.NewHeap(1<<12), rococotm.Config{})
+	defer roc.Close()
+	if drive(roc) {
+		t.Fatal("ROCoCoTM committed a dependency cycle")
+	}
+}
+
+// TestReorderDepthBeyondOne: ROCoCo can serialize a transaction before a
+// *chain* of later commits, not just one — the general reachability case
+// a single-version timestamp can never express.
+func TestReorderDepthBeyondOne(t *testing.T) {
+	m := rococotm.New(mem.NewHeap(1<<12), rococotm.Config{})
+	defer m.Close()
+	h := m.Heap()
+	a := h.MustAlloc(1)
+	b := h.MustAlloc(1)
+	c := h.MustAlloc(1)
+	out := h.MustAlloc(1)
+
+	t0, err := m.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t0 reads three locations that three later transactions overwrite in
+	// a dependent chain.
+	for _, addr := range []mem.Addr{a, b, c} {
+		if _, err := t0.Read(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tm.Run(m, 1, func(tx tm.Txn) error { return tx.Write(a, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Run(m, 2, func(tx tm.Txn) error {
+		v, err := tx.Read(a) // chain: depends on the first writer
+		if err != nil {
+			return err
+		}
+		return tx.Write(b, v+1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Run(m, 3, func(tx tm.Txn) error {
+		v, err := tx.Read(b)
+		if err != nil {
+			return err
+		}
+		return tx.Write(c, v+1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// t0 writes a disjoint output: serializable as t0 first, three commits
+	// after — ROCoCo orders t0 before the whole chain.
+	if err := t0.Write(out, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(t0); err != nil {
+		t.Fatalf("ROCoCoTM aborted a reorder of depth 3: %v", err)
+	}
+	if h.Load(out) != 7 || h.Load(c) != 3 {
+		t.Fatal("final state wrong")
+	}
+}

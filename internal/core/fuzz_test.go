@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"rococotm/internal/bitmat"
+)
+
+// FuzzWindowAgainstOracle drives the W≤64 fast path, the generic window
+// and an explicit-graph acyclicity oracle with the same fuzzer-chosen
+// stream of (f, b) adjacency masks; all three must agree on every
+// decision and the fast path's matrix must stay the exact transitive
+// closure. Run with `go test -fuzz FuzzWindowAgainstOracle ./internal/core`.
+func FuzzWindowAgainstOracle(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x01, 0x00, 0x00, 0x01, 0x03, 0x01})
+	f.Add([]byte{0xff, 0x00, 0x0f, 0xf0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const W = 8 // small window so fuzzed bytes cover slides and cycles
+		fast := NewWindow(W)
+		big := NewBigWindow(W)
+		o := &oracle{}
+		live := 0 // commits not yet evicted, tracked for the oracle
+
+		for i := 0; i+1 < len(data); i += 2 {
+			n := fast.Count()
+			mask := uint64(1)<<uint(n) - 1
+			if n == 0 {
+				mask = 0
+			}
+			fm := uint64(data[i]) & mask
+			bm := uint64(data[i+1]) & mask &^ fm // disjoint edges, like real detectors
+
+			var fs, bs []int
+			for j := 0; j < n; j++ {
+				if fm&(1<<uint(j)) != 0 {
+					fs = append(fs, o.n-live+j)
+				}
+				if bm&(1<<uint(j)) != 0 {
+					bs = append(bs, o.n-live+j)
+				}
+			}
+			// The oracle tracks the full graph; window decisions are only
+			// comparable while nothing relevant was evicted, so restrict
+			// the oracle check to the pre-slide regime.
+			var want, haveOracle bool
+			if o.n < W {
+				want = o.wouldBeAcyclicIdx(fs, bs)
+				haveOracle = true
+			}
+			s1, ok1 := fast.Insert(fm, bm)
+			s2, ok2 := insertBigMask(big, fm, bm)
+			if ok1 != ok2 || (ok1 && s1 != s2) {
+				t.Fatalf("fast (%d,%v) != big (%d,%v)", s1, ok1, s2, ok2)
+			}
+			if haveOracle && ok1 != want {
+				t.Fatalf("window=%v oracle=%v (f=%b b=%b)", ok1, want, fm, bm)
+			}
+			if ok1 {
+				o.commitIdx(fs, bs)
+				if live < W {
+					live++
+				}
+				if !fast.Matrix().Equal(big.Matrix()) {
+					t.Fatal("matrices diverged")
+				}
+			}
+		}
+	})
+}
+
+// wouldBeAcyclicIdx and commitIdx mirror the oracle helpers with explicit
+// vertex indices (the fuzz harness needs global numbering).
+func (o *oracle) wouldBeAcyclicIdx(f, b []int) bool {
+	n := o.n + 1
+	m := bitmat.NewMat(n)
+	for _, e := range o.edges {
+		m.Set(e[0], e[1], true)
+	}
+	v := n - 1
+	for _, i := range f {
+		m.Set(v, i, true)
+	}
+	for _, i := range b {
+		m.Set(i, v, true)
+	}
+	return !m.HasCycle()
+}
+
+func (o *oracle) commitIdx(f, b []int) {
+	v := o.n
+	o.n++
+	for _, i := range f {
+		o.edges = append(o.edges, [2]int{v, i})
+	}
+	for _, i := range b {
+		o.edges = append(o.edges, [2]int{i, v})
+	}
+}
+
+func insertBigMask(w *BigWindow, f, b uint64) (Seq, bool) {
+	fv := bitmat.NewVec(w.W())
+	bv := bitmat.NewVec(w.W())
+	for i := 0; i < w.W(); i++ {
+		if f&(1<<uint(i)) != 0 {
+			fv.Set(i, true)
+		}
+		if b&(1<<uint(i)) != 0 {
+			bv.Set(i, true)
+		}
+	}
+	return w.Insert(fv, bv)
+}

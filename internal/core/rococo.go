@@ -1,0 +1,212 @@
+// Package core implements the ROCoCo algorithm (Reachability-based
+// Optimistic Concurrency Control), the paper's primary contribution (§4).
+//
+// ROCoCo validates serializability without timestamps: it maintains the
+// transitive closure (reachability matrix R) of the R/W-dependency graph
+// over a sliding window of the last W committed transactions. An incoming
+// transaction t presents two adjacency vectors against the window,
+//
+//	f — forward edges:  bit i set means t →rw t_i (t must serialize
+//	    before committed transaction t_i; e.g. t read a version that t_i
+//	    later overwrote without t seeing it);
+//	b — backward edges: bit i set means t_i →rw t (t_i must serialize
+//	    before t; RAW / WAR / WAW against updates t already observed).
+//
+// Following Warshall's fact and its dual, the manager computes
+//
+//	p = f ∨ Rᵀ·f   (p[i]: t can reach t_i)
+//	s = b ∨ R·b    (s[i]: t_i can reach t)
+//
+// in boolean algebra, and t closes a dependency cycle iff p ∧ s ≠ 0. If t
+// is acyclic it commits as the newest window entry: p and s become the new
+// row and column of R, and r[i][j] |= s[i] ∧ p[j] restores transitivity.
+// Every step is a constant number of word-parallel bit operations per row —
+// the O(1)-per-transaction validation that the FPGA pipelines.
+//
+// Two implementations are provided: Window, the W ≤ 64 fast path where
+// every vector is a single machine word (mirroring the 64-entry 2-D
+// register file of the hardware), and BigWindow, a bitmat-backed variant
+// for arbitrary W used by the window-size ablation and as a cross-check.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rococotm/internal/bitmat"
+)
+
+// Seq is the commit sequence number of a transaction: the position of the
+// transaction in the global commit order the validator constructs. Seq 0 is
+// the first committed transaction.
+type Seq uint64
+
+// DefaultW is the window size the paper deploys on HARP2 (§4.2): 64
+// transactions for at most 28 concurrent threads.
+const DefaultW = 64
+
+// Window is the W ≤ 64 ROCoCo reachability window. Row i of the matrix is
+// one uint64 whose bit j is r[i][j] = "slot-i transaction reaches slot-j
+// transaction". Slot 0 holds the oldest tracked transaction; new commits
+// enter at slot Count()-1 (or shift the window when it is full, evicting
+// slot 0 — the paper's discarded bookkeeping h_{W-1}).
+//
+// Window is not safe for concurrent use; the manager that owns it
+// serializes validations, exactly like the hardware pipeline's one-verdict-
+// per-cycle broadcast.
+type Window struct {
+	w     int        // capacity (W)
+	n     int        // live entries
+	base  Seq        // seq of slot 0
+	next  Seq        // seq the next commit receives
+	rows  [64]uint64 // reachability matrix; rows[i] bit j = r[i][j]
+	stats Stats
+}
+
+// Stats counts validator events, for the experiment harness.
+type Stats struct {
+	Validated uint64 // total Validate/Insert decisions
+	Cycles    uint64 // aborts due to a detected dependency cycle
+	Commits   uint64 // successful inserts
+	Evictions uint64 // window slides (oldest entry discarded)
+}
+
+// NewWindow returns an empty window of capacity w, 1 ≤ w ≤ 64.
+func NewWindow(w int) *Window {
+	if w < 1 || w > 64 {
+		panic(fmt.Sprintf("core: window size %d out of range [1,64]", w))
+	}
+	return &Window{w: w}
+}
+
+// W returns the window capacity.
+func (w *Window) W() int { return w.w }
+
+// Count returns the number of committed transactions currently tracked.
+func (w *Window) Count() int { return w.n }
+
+// BaseSeq returns the sequence number of slot 0 (the oldest tracked
+// transaction). Meaningless when Count() == 0.
+func (w *Window) BaseSeq() Seq { return w.base }
+
+// NextSeq returns the sequence number the next committed transaction will
+// be assigned.
+func (w *Window) NextSeq() Seq { return w.next }
+
+// Covers reports whether seq is still tracked by the window. Transactions
+// whose dependencies reach transactions older than BaseSeq "neglect updates
+// of t_{k-W}" (§4.2) and must be aborted by the caller.
+func (w *Window) Covers(seq Seq) bool {
+	return w.n > 0 && seq >= w.base && seq < w.next
+}
+
+// Slot maps a sequence number to its current window slot.
+func (w *Window) Slot(seq Seq) (int, bool) {
+	if !w.Covers(seq) {
+		return 0, false
+	}
+	return int(seq - w.base), true
+}
+
+// Stats returns a copy of the event counters.
+func (w *Window) Stats() Stats { return w.stats }
+
+// Reset empties the window (sequence numbering continues).
+func (w *Window) Reset() {
+	w.n = 0
+	w.base = w.next
+	w.rows = [64]uint64{}
+}
+
+// liveMask returns a mask with one bit per occupied slot.
+func (w *Window) liveMask() uint64 {
+	if w.n == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w.n)) - 1
+}
+
+// Validate computes the proceeding and succeeding vectors for a transaction
+// with forward edges f and backward edges b (bit i ↔ slot i) and reports
+// whether committing it would keep the window acyclic. It does not modify
+// the window. Bits of f and b beyond Count() are ignored.
+func (w *Window) Validate(f, b uint64) (p, s uint64, ok bool) {
+	w.stats.Validated++
+	live := w.liveMask()
+	f &= live
+	b &= live
+
+	// p = f ∨ Rᵀ·f : OR together the rows selected by f.
+	p = f
+	for m := f; m != 0; m &= m - 1 {
+		p |= w.rows[bits.TrailingZeros64(m)]
+	}
+	// s = b ∨ R·b : slot i succeeds t iff row i intersects b.
+	s = b
+	for i := 0; i < w.n; i++ {
+		if w.rows[i]&b != 0 {
+			s |= 1 << uint(i)
+		}
+	}
+	if p&s != 0 {
+		w.stats.Cycles++
+		return p, s, false
+	}
+	return p, s, true
+}
+
+// Insert validates and, if acyclic, commits the transaction, returning its
+// sequence number. ok=false means the transaction must abort and the window
+// is unchanged.
+func (w *Window) Insert(f, b uint64) (seq Seq, ok bool) {
+	p, s, ok := w.Validate(f, b)
+	if !ok {
+		return 0, false
+	}
+	w.commit(p, s)
+	w.stats.Commits++
+	seq = w.next
+	w.next++
+	return seq, true
+}
+
+// commit installs the validated transaction with proceeding vector p and
+// succeeding vector s as the newest entry, sliding the window if full.
+func (w *Window) commit(p, s uint64) {
+	if w.n == w.w {
+		// Slide: discard slot 0 — shift rows up and columns right.
+		copy(w.rows[:w.w-1], w.rows[1:w.w])
+		w.rows[w.w-1] = 0
+		for i := 0; i < w.w-1; i++ {
+			w.rows[i] >>= 1
+		}
+		p >>= 1
+		s >>= 1
+		w.base++
+		w.n--
+		w.stats.Evictions++
+	}
+	slot := w.n
+	newBit := uint64(1) << uint(slot)
+	// Row slot = p plus the reflexive bit; for every predecessor i (s[i]),
+	// absorb p (transitivity) and gain the new column bit.
+	w.rows[slot] = p | newBit
+	for m := s; m != 0; m &= m - 1 {
+		w.rows[bits.TrailingZeros64(m)] |= p | newBit
+	}
+	w.n++
+}
+
+// Matrix materializes the current reachability matrix (Count()×Count()) for
+// inspection and testing.
+func (w *Window) Matrix() *bitmat.Mat {
+	m := bitmat.NewMat(w.n)
+	for i := 0; i < w.n; i++ {
+		for j := 0; j < w.n; j++ {
+			if w.rows[i]&(1<<uint(j)) != 0 {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}

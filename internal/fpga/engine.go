@@ -1,0 +1,400 @@
+// Package fpga is a software model of the paper's FPGA validation engine
+// (§4.2, §5.1): the Detector/Manager pipeline that ROCoCoTM reaches through
+// asynchronous pull/push queues over the HARP2 CCI link.
+//
+// The model executes the same dataflow as the RTL, stage by stage:
+//
+//   - the pull queue delivers a validation request — the transaction's
+//     read/write addresses (shipped as addresses, not signatures, so the
+//     detector can use exact membership queries and keep false positives
+//     down, §5.3) plus its validated snapshot timestamp;
+//   - the Detector holds the bookkeeping h₀..h_{W-1} of the last W
+//     committed transactions — a read signature, a write signature and the
+//     commit sequence each — and computes the transaction's forward and
+//     backward dependency vectors f and b against it;
+//   - the Manager holds the W×W reachability matrix in 2-D registers and
+//     runs the ROCoCo validation (p = f ∨ Rᵀf, s = b ∨ Rb, abort iff
+//     p∧s ≠ 0), then commits the transaction into the window;
+//   - the push queue returns the verdict.
+//
+// Verdicts are issued strictly in commit order by a single goroutine, which
+// is the software equivalent of the hardware's one-commit-broadcast-per-
+// cycle atomicity. A latency/occupancy model (see model.go) accounts the
+// cycles a real 200 MHz pipeline and the ~600 ns CCI round trip would cost,
+// so the timing harness can charge them without the host actually sleeping.
+package fpga
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rococotm/internal/core"
+	"rococotm/internal/sig"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// W is the sliding-window capacity; 1..64 (the fast-path matrix is one
+	// machine word per row). Default core.DefaultW = 64.
+	W int
+	// Sig is the signature geometry; default sig.Default512.
+	Sig sig.Config
+	// SigSeed seeds the multiply-shift hash constants. The CPU side must
+	// use the same seed for its eager-detection signatures.
+	SigSeed uint64
+	// QueueDepth is the pull-queue buffering; default 64 (one slot per
+	// window entry, like the hardware).
+	QueueDepth int
+	// CycleLevel selects the cycle-accurate RTL pipeline (rtl.go) as the
+	// engine backend instead of the serial behavioral validator. Verdicts
+	// are identical (rtl_test.go proves equivalence); the RTL backend
+	// additionally exposes pipeline cycle counts and genuinely overlaps
+	// concurrent validations.
+	CycleLevel bool
+	// Model configures the latency/occupancy accounting; zero value uses
+	// the HARP2 calibration.
+	Model LatencyModel
+}
+
+func (c *Config) fill() {
+	if c.W == 0 {
+		c.W = core.DefaultW
+	}
+	if c.Sig == (sig.Config{}) {
+		c.Sig = sig.Default512
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	c.Model.fill()
+}
+
+// Request asks the engine to validate one read-write transaction.
+type Request struct {
+	// Token is echoed in the verdict (callers use it to sanity-check
+	// pairing; the engine is agnostic to its meaning).
+	Token uint64
+	// ValidTS is the transaction's validated snapshot: commits with
+	// sequence < ValidTS were visible to its reads.
+	ValidTS uint64
+	// ReadAddrs and WriteAddrs are the transaction's footprint.
+	ReadAddrs  []uint64
+	WriteAddrs []uint64
+	// Reply receives exactly one verdict. Must have capacity ≥ 1.
+	Reply chan Verdict
+}
+
+// Verdict is the engine's decision for one request.
+type Verdict struct {
+	Token uint64
+	// OK means the transaction may commit as sequence Seq.
+	OK  bool
+	Seq core.Seq
+	// Reason is "cycle" or "window" when !OK.
+	Reason string
+	// ModelNanos is the modeled FPGA residency of this request (pipeline
+	// cycles at the configured clock), excluding the CCI round trip.
+	ModelNanos uint64
+}
+
+// Stats summarizes engine activity.
+type Stats struct {
+	Requests     uint64
+	Commits      uint64
+	CycleAborts  uint64
+	WindowAborts uint64
+	// ModelCycles is the total modeled pipeline occupancy.
+	ModelCycles uint64
+}
+
+// Engine is the running validation pipeline. Create with Start, shut down
+// with Close.
+type Engine struct {
+	cfg    Config
+	hasher *sig.Hasher
+	pull   chan Request
+	done   chan struct{}
+
+	mu      sync.Mutex // guards state below and serializes direct Process calls
+	win     *core.Window
+	history []entry // ring: history[i] describes window slot i
+	stats   Stats
+}
+
+// entry is the detector bookkeeping for one committed transaction: exactly
+// what the hardware stores — two signatures per transaction (§5.3), so the
+// resource bound is known a priori — plus set cardinalities for the
+// empty-set fast path.
+type entry struct {
+	readSig  sig.Sig
+	writeSig sig.Sig
+	reads    int
+	writes   int
+	seq      core.Seq
+}
+
+// Start launches the engine goroutine.
+func Start(cfg Config) *Engine {
+	cfg.fill()
+	e := &Engine{
+		cfg:    cfg,
+		hasher: sig.NewHasher(cfg.Sig, cfg.SigSeed),
+		pull:   make(chan Request, cfg.QueueDepth),
+		done:   make(chan struct{}),
+		win:    core.NewWindow(cfg.W),
+	}
+	go e.loop()
+	return e
+}
+
+// Config returns the engine's (filled) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Hasher returns the signature hasher, which the CPU side shares so both
+// sides compute identical signatures.
+func (e *Engine) Hasher() *sig.Hasher { return e.hasher }
+
+// Submit enqueues a validation request (the pull queue). It blocks only
+// when the queue is full, which models back pressure on the CCI channel.
+func (e *Engine) Submit(r Request) error {
+	if r.Reply == nil || cap(r.Reply) < 1 {
+		return fmt.Errorf("fpga: request needs a buffered reply channel")
+	}
+	select {
+	case <-e.done:
+		return fmt.Errorf("fpga: engine closed")
+	default:
+	}
+	select {
+	case <-e.done:
+		return fmt.Errorf("fpga: engine closed")
+	case e.pull <- r:
+		return nil
+	}
+}
+
+// Validate is the synchronous convenience wrapper: submit and wait.
+func (e *Engine) Validate(r Request) (Verdict, error) {
+	if r.Reply == nil {
+		r.Reply = make(chan Verdict, 1)
+	}
+	if err := e.Submit(r); err != nil {
+		return Verdict{}, err
+	}
+	return <-r.Reply, nil
+}
+
+// Close drains and stops the engine.
+func (e *Engine) Close() {
+	select {
+	case <-e.done:
+		return
+	default:
+	}
+	close(e.done)
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// BaseSeq returns the oldest tracked commit sequence (for tests).
+func (e *Engine) BaseSeq() core.Seq {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.win.BaseSeq()
+}
+
+// NextSeq returns the sequence the next commit will receive.
+func (e *Engine) NextSeq() core.Seq {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.win.NextSeq()
+}
+
+func (e *Engine) loop() {
+	if e.cfg.CycleLevel {
+		e.loopRTL()
+		return
+	}
+	for {
+		select {
+		case <-e.done:
+			return
+		case r := <-e.pull:
+			v := e.Process(r)
+			r.Reply <- v
+		}
+	}
+}
+
+// loopRTL drives the cycle-level pipeline: requests drain from the pull
+// queue into the pipeline as they arrive, overlapping in flight, and the
+// model ticks while anything is outstanding.
+func (e *Engine) loopRTL() {
+	rtl := NewRTL(e.cfg)
+	for {
+		if rtl.InFlight() == 0 {
+			select {
+			case <-e.done:
+				return
+			case r := <-e.pull:
+				e.admitRTL(rtl, r)
+			}
+		}
+		// Absorb any further queued requests without blocking, then
+		// advance the pipeline one cycle.
+		for {
+			select {
+			case r := <-e.pull:
+				e.admitRTL(rtl, r)
+				continue
+			default:
+			}
+			break
+		}
+		before := rtl.Retired()
+		rtl.Tick()
+		if d := rtl.Retired() - before; d > 0 {
+			e.mu.Lock()
+			e.stats.Requests += d
+			e.mu.Unlock()
+		}
+		// Let requesters and committers run between cycles (single-CPU
+		// hosts would otherwise starve them against this loop).
+		runtime.Gosched()
+		select {
+		case <-e.done:
+			return
+		default:
+		}
+	}
+}
+
+// admitRTL wraps the caller's reply so engine statistics stay consistent
+// with the behavioral backend.
+func (e *Engine) admitRTL(rtl *RTL, r Request) {
+	inner := r.Reply
+	proxy := make(chan Verdict, 1)
+	r.Reply = proxy
+	if err := rtl.Offer(r); err != nil {
+		inner <- Verdict{Token: r.Token, Reason: "cycle"}
+		return
+	}
+	go func() {
+		v := <-proxy
+		e.mu.Lock()
+		switch {
+		case v.OK:
+			e.stats.Commits++
+			e.stats.ModelCycles += e.cfg.Model.requestCycles(len(r.ReadAddrs), len(r.WriteAddrs))
+		case v.Reason == "window":
+			e.stats.WindowAborts++
+		default:
+			e.stats.CycleAborts++
+		}
+		e.mu.Unlock()
+		inner <- v
+	}()
+}
+
+// Process validates one request against the window synchronously. It is
+// exported for deterministic unit tests; the runtime path goes through
+// Submit and the engine goroutine.
+func (e *Engine) Process(r Request) Verdict {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Requests++
+
+	cycles := e.cfg.Model.requestCycles(len(r.ReadAddrs), len(r.WriteAddrs))
+	e.stats.ModelCycles += cycles
+	nanos := e.cfg.Model.cyclesToNanos(cycles)
+
+	// Window-overflow rule (§4.2): if unseen commits have already been
+	// evicted, the transaction neglects updates of t_{k-W} and must abort.
+	if e.win.Count() > 0 && core.Seq(r.ValidTS) < e.win.BaseSeq() {
+		e.stats.WindowAborts++
+		return Verdict{Token: r.Token, Reason: "window", ModelNanos: nanos}
+	}
+
+	// Detector: build the transaction's signatures once, then derive the
+	// f/b adjacency vectors against each history entry.
+	rs := sig.New(e.cfg.Sig)
+	ws := sig.New(e.cfg.Sig)
+	for _, a := range r.ReadAddrs {
+		rs.Insert(e.hasher, a)
+	}
+	for _, a := range r.WriteAddrs {
+		ws.Insert(e.hasher, a)
+	}
+
+	var f, b uint64
+	for i := 0; i < e.win.Count(); i++ {
+		h := &e.history[i]
+		seen := h.seq < core.Seq(r.ValidTS)
+		if seen {
+			// Any dependence with a visible commit points backward.
+			if e.overlap(r.ReadAddrs, rs, h.writeSig, h.writes) ||
+				e.overlap(r.WriteAddrs, ws, h.readSig, h.reads) ||
+				e.overlap(r.WriteAddrs, ws, h.writeSig, h.writes) {
+				b |= 1 << uint(i)
+			}
+			continue
+		}
+		// Unseen commit: a stale read orders the transaction before it
+		// (forward edge); WAR/WAW order it after (backward edge).
+		if e.overlap(r.ReadAddrs, rs, h.writeSig, h.writes) {
+			f |= 1 << uint(i)
+		}
+		if e.overlap(r.WriteAddrs, ws, h.readSig, h.reads) ||
+			e.overlap(r.WriteAddrs, ws, h.writeSig, h.writes) {
+			b |= 1 << uint(i)
+		}
+	}
+
+	// Manager: ROCoCo reachability validation and commit.
+	seq, ok := e.win.Insert(f, b)
+	if !ok {
+		e.stats.CycleAborts++
+		return Verdict{Token: r.Token, Reason: "cycle", ModelNanos: nanos}
+	}
+	// Bookkeep the new commit; slide the history ring with the window.
+	ent := entry{
+		readSig: rs, writeSig: ws,
+		reads: len(r.ReadAddrs), writes: len(r.WriteAddrs),
+		seq: seq,
+	}
+	if len(e.history) == e.cfg.W {
+		copy(e.history, e.history[1:])
+		e.history[len(e.history)-1] = ent
+	} else {
+		e.history = append(e.history, ent)
+	}
+	e.stats.Commits++
+	return Verdict{Token: r.Token, OK: true, Seq: seq, ModelNanos: nanos}
+}
+
+// overlap reports whether the transaction's address set (with its
+// signature) may intersect a history entry's set: a cheap signature
+// intersection first, refined by per-address membership queries against
+// the history signature on a hit — the paper's rationale for shipping
+// addresses (not signatures) to the FPGA (§5.3). Residual false positives
+// are those of the query operation, far below intersection's.
+func (e *Engine) overlap(addrs []uint64, s sig.Sig, hist sig.Sig, histCount int) bool {
+	if len(addrs) == 0 || histCount == 0 {
+		return false
+	}
+	if !s.Intersects(hist) {
+		return false
+	}
+	for _, a := range addrs {
+		if hist.Query(e.hasher, a) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,286 @@
+package fpga
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"rococotm/internal/core"
+)
+
+func startTest(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := Start(cfg)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func req(validTS uint64, reads, writes []uint64) Request {
+	return Request{ValidTS: validTS, ReadAddrs: reads, WriteAddrs: writes}
+}
+
+func TestDisjointTransactionsCommitInOrder(t *testing.T) {
+	e := startTest(t, Config{})
+	for i := 0; i < 10; i++ {
+		v, err := e.Validate(req(uint64(i), []uint64{uint64(1000 + i)}, []uint64{uint64(2000 + i)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.OK || v.Seq != core.Seq(i) {
+			t.Fatalf("txn %d: verdict %+v", i, v)
+		}
+	}
+	st := e.Stats()
+	if st.Commits != 10 || st.Requests != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReadOnlyRequestCommits(t *testing.T) {
+	e := startTest(t, Config{})
+	v, err := e.Validate(req(0, []uint64{1, 2, 3}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Fatalf("read-only verdict: %+v", v)
+	}
+}
+
+func TestStaleReadReorders(t *testing.T) {
+	// t0 writes addr 7 and commits (seq 0). t1 read addr 7 before seeing
+	// that commit (ValidTS 0): a pure forward edge, which ROCoCo commits
+	// by serializing t1 before t0 — TOCC would abort here.
+	e := startTest(t, Config{})
+	if v, _ := e.Validate(req(0, nil, []uint64{7})); !v.OK {
+		t.Fatal("t0 rejected")
+	}
+	v, _ := e.Validate(req(0, []uint64{7}, []uint64{99}))
+	if !v.OK {
+		t.Fatalf("stale read aborted: %+v", v)
+	}
+}
+
+func TestCycleAborts(t *testing.T) {
+	// t0 writes {7, 8}. t1 (ValidTS 0) reads 7 stale (t1 →rw t0) and
+	// writes 8 (WAW: t0 →rw t1): a 2-cycle.
+	e := startTest(t, Config{})
+	if v, _ := e.Validate(req(0, nil, []uint64{7, 8})); !v.OK {
+		t.Fatal("t0 rejected")
+	}
+	v, _ := e.Validate(req(0, []uint64{7}, []uint64{8}))
+	if v.OK || v.Reason != "cycle" {
+		t.Fatalf("cycle not detected: %+v", v)
+	}
+	if e.Stats().CycleAborts != 1 {
+		t.Fatal("cycle abort not counted")
+	}
+}
+
+func TestSeenCommitsOnlyBackwardEdges(t *testing.T) {
+	// Same footprint as the cycle test, but t1 saw t0's commit
+	// (ValidTS 1): RAW + WAW both point backward, no cycle.
+	e := startTest(t, Config{})
+	if v, _ := e.Validate(req(0, nil, []uint64{7, 8})); !v.OK {
+		t.Fatal("t0 rejected")
+	}
+	v, _ := e.Validate(req(1, []uint64{7}, []uint64{8}))
+	if !v.OK {
+		t.Fatalf("visible RAW/WAW aborted: %+v", v)
+	}
+}
+
+func TestTransitiveCycleThroughWindow(t *testing.T) {
+	// t0 writes A (seq 0). t1 saw t0, reads A, writes B (seq 1, edge
+	// t0→t1). t2 (ValidTS 0, saw neither): reads B stale (t2 →rw t1
+	// forward) and writes A (WAW t0 →rw t2 backward): path t0→t1 plus
+	// f-edge t2→t1?? — construct instead: t2 reads A stale (f: t2→t0) and
+	// overwrites B (WAW: t1 →rw t2 backward). Cycle t2→t0→t1→t2.
+	e := startTest(t, Config{})
+	if v, _ := e.Validate(req(0, nil, []uint64{100})); !v.OK { // t0: W{A}
+		t.Fatal("t0")
+	}
+	if v, _ := e.Validate(req(1, []uint64{100}, []uint64{200})); !v.OK { // t1: R{A} W{B}
+		t.Fatal("t1")
+	}
+	v, _ := e.Validate(req(0, []uint64{100}, []uint64{200})) // t2: R{A} stale, W{B}
+	if v.OK {
+		t.Fatal("transitive cycle committed")
+	}
+}
+
+func TestWindowOverflowAborts(t *testing.T) {
+	e := startTest(t, Config{W: 4})
+	for i := 0; i < 6; i++ {
+		if v, _ := e.Validate(req(uint64(i), nil, []uint64{uint64(10 * i)})); !v.OK {
+			t.Fatalf("filler %d rejected", i)
+		}
+	}
+	// BaseSeq is now 2; a transaction with ValidTS 1 depends on evicted
+	// history.
+	v, _ := e.Validate(req(1, []uint64{999}, []uint64{888}))
+	if v.OK || v.Reason != "window" {
+		t.Fatalf("overflow verdict: %+v", v)
+	}
+	if e.Stats().WindowAborts != 1 {
+		t.Fatal("window abort not counted")
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	e := startTest(t, Config{})
+	const n = 200
+	var wg sync.WaitGroup
+	commits := make([]int, 8)
+	for th := 0; th < 8; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				ts := e.NextSeq()
+				v, err := e.Validate(req(uint64(ts),
+					[]uint64{uint64(th*1000 + i)}, []uint64{uint64(th*1000 + 500 + i)}))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if v.OK {
+					commits[th]++
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Requests != 8*n {
+		t.Fatalf("requests = %d", st.Requests)
+	}
+	total := 0
+	for _, c := range commits {
+		total += c
+	}
+	if uint64(total) != st.Commits {
+		t.Fatalf("commit accounting mismatch: %d vs %d", total, st.Commits)
+	}
+	// Disjoint footprints: the only aborts possible are window overflows
+	// from racing ValidTS reads, never cycles.
+	if st.CycleAborts != 0 {
+		t.Fatalf("disjoint workload produced %d cycle aborts", st.CycleAborts)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	e := Start(Config{})
+	e.Close()
+	err := e.Submit(Request{Reply: make(chan Verdict, 1)})
+	if err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+}
+
+func TestSubmitRequiresBufferedReply(t *testing.T) {
+	e := startTest(t, Config{})
+	if err := e.Submit(Request{}); err == nil {
+		t.Fatal("nil reply channel accepted")
+	}
+	if err := e.Submit(Request{Reply: make(chan Verdict)}); err == nil {
+		t.Fatal("unbuffered reply channel accepted")
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	var m LatencyModel
+	m.fill()
+	if got := m.requestCycles(0, 0); got != uint64(m.PipelineDepth)+1 {
+		t.Fatalf("empty request cycles = %d", got)
+	}
+	// 8 reads + 8 writes = 2 beats.
+	if got := m.requestCycles(8, 8); got != uint64(m.PipelineDepth)+2 {
+		t.Fatalf("16-address cycles = %d", got)
+	}
+	// 200 MHz → 5 ns per cycle.
+	if got := m.cyclesToNanos(10); got != 50 {
+		t.Fatalf("10 cycles = %d ns", got)
+	}
+	// Full validation latency is dominated by the round trip and stays
+	// well under a microsecond for cache-line-sized sets (Figure 11).
+	lat := m.ValidationNanos(8, 8)
+	if lat < 600 || lat > 1000 {
+		t.Fatalf("validation latency %d ns out of expected band", lat)
+	}
+}
+
+func TestResourceModelMatchesPaperDesignPoint(t *testing.T) {
+	r, err := EstimateResources(64, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := func(got, want int, tolPct float64) bool {
+		return math.Abs(float64(got-want)) <= tolPct/100*float64(want)
+	}
+	if !within(r.Registers, 113485, 1) {
+		t.Errorf("registers = %d, want ≈113485", r.Registers)
+	}
+	if !within(r.ALMs, 249442, 1) {
+		t.Errorf("ALMs = %d, want ≈249442", r.ALMs)
+	}
+	if !within(r.DSPs, 223, 2) {
+		t.Errorf("DSPs = %d, want ≈223", r.DSPs)
+	}
+	if !within(r.BRAMBits, 2055802, 1) {
+		t.Errorf("BRAM bits = %d, want ≈2055802", r.BRAMBits)
+	}
+	if math.Abs(r.FmaxMHz-200) > 1 {
+		t.Errorf("Fmax = %.1f, want 200", r.FmaxMHz)
+	}
+	// The 1024-bit ablation must cost frequency (§6.5).
+	r2, _ := EstimateResources(64, 1024)
+	if r2.FmaxMHz >= r.FmaxMHz {
+		t.Errorf("1024-bit Fmax %.1f not lower than 512-bit %.1f", r2.FmaxMHz, r.FmaxMHz)
+	}
+	if r2.BRAMBits <= r.BRAMBits || r2.ALMs <= r.ALMs {
+		t.Error("1024-bit design not larger")
+	}
+	if _, err := EstimateResources(0, 512); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}
+
+func BenchmarkEngineValidate(b *testing.B) {
+	e := Start(Config{})
+	defer e.Close()
+	reads := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	writes := []uint64{11, 12, 13, 14}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = e.Validate(req(uint64(i), reads, writes))
+	}
+}
+
+func TestCycleLevelBackendMatchesBehavioral(t *testing.T) {
+	// The same request stream through both backends must produce identical
+	// verdicts (engine-level equivalence; rtl_test.go covers the model).
+	reqs := randRequests(200, 11)
+	behav := startTest(t, Config{W: 16, SigSeed: 3})
+	cycle := startTest(t, Config{W: 16, SigSeed: 3, CycleLevel: true})
+	for i, r := range reqs {
+		want, err := behav.Validate(Request{Token: r.Token, ValidTS: r.ValidTS,
+			ReadAddrs: r.ReadAddrs, WriteAddrs: r.WriteAddrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cycle.Validate(Request{Token: r.Token, ValidTS: r.ValidTS,
+			ReadAddrs: r.ReadAddrs, WriteAddrs: r.WriteAddrs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.OK != want.OK || got.Reason != want.Reason || (got.OK && got.Seq != want.Seq) {
+			t.Fatalf("req %d: cycle-level %+v, behavioral %+v", i, got, want)
+		}
+	}
+	st := cycle.Stats()
+	if st.Requests != 200 || st.Commits+st.CycleAborts+st.WindowAborts != 200 {
+		t.Fatalf("cycle-level stats inconsistent: %+v", st)
+	}
+}

@@ -1,0 +1,251 @@
+package htm
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+	"rococotm/internal/tm/tmtest"
+)
+
+func factory() tm.TM {
+	return New(mem.NewHeap(1<<16), Config{})
+}
+
+func TestReadYourWrites(t *testing.T) { tmtest.ReadYourWrites(t, factory) }
+func TestAbortRollsBack(t *testing.T) { tmtest.AbortRollsBack(t, factory) }
+func TestStatsSanity(t *testing.T)    { tmtest.StatsSanity(t, factory) }
+func TestWriteSkew(t *testing.T)      { tmtest.WriteSkew(t, factory, 200) }
+
+func TestCounterHammer(t *testing.T) {
+	tmtest.CounterHammer(t, factory, 8, 300)
+}
+
+func TestBankInvariant(t *testing.T) {
+	tmtest.BankInvariant(t, factory, 6, 32, 300)
+}
+
+func TestOpacityProbe(t *testing.T) {
+	tmtest.OpacityProbe(t, factory, 6, 300)
+}
+
+func TestDisjointParallelism(t *testing.T) {
+	tmtest.DisjointParallelism(t, factory, 8, 400)
+}
+
+func TestLineStateEncoding(t *testing.T) {
+	s := uint64(0)
+	if writerOf(s) != -1 {
+		t.Fatal("empty state has a writer")
+	}
+	s = withWriter(s, 7)
+	if writerOf(s) != 7 {
+		t.Fatalf("writer = %d, want 7", writerOf(s))
+	}
+	s |= readerBit(3)
+	if writerOf(s) != 7 {
+		t.Fatal("reader bit clobbered writer")
+	}
+	s = withWriter(s, 55)
+	if writerOf(s) != 55 || s&readerBit(3) == 0 {
+		t.Fatal("writer update lost reader bit")
+	}
+}
+
+func TestCapacityAbort(t *testing.T) {
+	h := mem.NewHeap(1 << 18)
+	m := New(h, Config{WriteCapacityLines: 4, RetryLimit: 2})
+	base := h.MustAlloc(1 << 10)
+	x, err := m.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 64; i++ {
+		// One word per line: 8-word stride.
+		if lastErr = x.Write(base+mem.Addr(i*8), 1); lastErr != nil {
+			break
+		}
+	}
+	reason, ok := tm.IsAbort(lastErr)
+	if !ok || reason != tm.ReasonCapacity {
+		t.Fatalf("expected capacity abort, got %v", lastErr)
+	}
+	// The eager writes must have been rolled back.
+	for i := 0; i < 64; i++ {
+		if h.Load(base+mem.Addr(i*8)) != 0 {
+			t.Fatalf("word %d not rolled back", i)
+		}
+	}
+}
+
+func TestCapacityFallbackEventuallyCommits(t *testing.T) {
+	// A transaction bigger than the cache must still complete via the
+	// global-lock fallback — the best-effort contract.
+	h := mem.NewHeap(1 << 18)
+	m := New(h, Config{WriteCapacityLines: 4, RetryLimit: 3})
+	base := h.MustAlloc(1 << 10)
+	err := tm.Run(m, 0, func(x tm.Txn) error {
+		for i := 0; i < 64; i++ {
+			if err := x.Write(base+mem.Addr(i*8), mem.Word(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if got := h.Load(base + mem.Addr(i*8)); got != mem.Word(i) {
+			t.Fatalf("word %d = %d after fallback commit", i, got)
+		}
+	}
+	st := m.Stats()
+	if st.Reasons[tm.ReasonCapacity] != 3 {
+		t.Fatalf("capacity aborts = %d, want 3 (RetryLimit)", st.Reasons[tm.ReasonCapacity])
+	}
+}
+
+func TestRequesterLosesOnWriteConflict(t *testing.T) {
+	h := mem.NewHeap(1 << 12)
+	m := New(h, Config{})
+	a := h.MustAlloc(1)
+
+	x, _ := m.Begin(0)
+	if err := x.Write(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Thread 1 touches the exclusively-owned line: it must lose.
+	y, _ := m.Begin(1)
+	_, err := y.Read(a)
+	if reason, ok := tm.IsAbort(err); !ok || reason != tm.ReasonConflict {
+		t.Fatalf("requester did not lose: %v", err)
+	}
+	// The owner can still commit.
+	if err := m.Commit(x); err != nil {
+		t.Fatal(err)
+	}
+	if h.Load(a) != 1 {
+		t.Fatal("owner's write lost")
+	}
+}
+
+func TestWriterAbortsOnExistingReaders(t *testing.T) {
+	h := mem.NewHeap(1 << 12)
+	m := New(h, Config{})
+	a := h.MustAlloc(1)
+
+	x, _ := m.Begin(0)
+	if _, err := x.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	y, _ := m.Begin(1)
+	err := y.Write(a, 9)
+	if reason, ok := tm.IsAbort(err); !ok || reason != tm.ReasonConflict {
+		t.Fatalf("writer did not lose against reader: %v", err)
+	}
+	if err := m.Commit(x); err != nil {
+		t.Fatal(err)
+	}
+	if h.Load(a) != 0 {
+		t.Fatal("aborted writer's store leaked")
+	}
+}
+
+func TestSharedReadersCoexist(t *testing.T) {
+	h := mem.NewHeap(1 << 12)
+	m := New(h, Config{})
+	a := h.MustAlloc(1)
+	x, _ := m.Begin(0)
+	y, _ := m.Begin(1)
+	if _, err := x.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := y.Read(a); err != nil {
+		t.Fatalf("second reader aborted: %v", err)
+	}
+	if err := m.Commit(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpuriousAbortsCounted(t *testing.T) {
+	h := mem.NewHeap(1 << 12)
+	m := New(h, Config{SpuriousProb: 1.0, RetryLimit: 2, Seed: 1})
+	a := h.MustAlloc(1)
+	// Every speculative attempt aborts spuriously; fallback commits.
+	if err := tm.Run(m, 0, func(x tm.Txn) error {
+		return x.Write(a, 5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Reasons[tm.ReasonSpurious] != 2 {
+		t.Fatalf("spurious aborts = %d, want 2", st.Reasons[tm.ReasonSpurious])
+	}
+	if h.Load(a) != 5 {
+		t.Fatal("fallback did not commit the value")
+	}
+}
+
+func TestAbortRateCeiling(t *testing.T) {
+	// With everything aborting speculatively, the abort rate approaches
+	// RetryLimit/(RetryLimit+1): 5/6 ≈ 83.3 % for the default policy —
+	// the ceiling the paper's footnote computes for ssca2.
+	h := mem.NewHeap(1 << 12)
+	m := New(h, Config{SpuriousProb: 1.0, Seed: 2})
+	a := h.MustAlloc(1)
+	for i := 0; i < 120; i++ {
+		if err := tm.Run(m, 0, func(x tm.Txn) error { return x.Write(a, 1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rate := m.Stats().AbortRate()
+	if rate < 0.82 || rate > 0.84 {
+		t.Fatalf("abort rate %.4f, want ≈0.833", rate)
+	}
+}
+
+func TestThreadRangeChecked(t *testing.T) {
+	m := New(mem.NewHeap(1<<10), Config{MaxThreads: 4})
+	if _, err := m.Begin(4); err == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+	if _, err := m.Begin(-1); err == nil {
+		t.Fatal("negative thread accepted")
+	}
+}
+
+func TestMaxThreadsBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxThreads > 56 accepted")
+		}
+	}()
+	New(mem.NewHeap(1<<10), Config{MaxThreads: 57})
+}
+
+func BenchmarkHTMCounter(b *testing.B) {
+	h := mem.NewHeap(1 << 12)
+	m := New(h, Config{})
+	a := h.MustAlloc(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tm.Run(m, 0, func(x tm.Txn) error {
+			v, err := x.Read(a)
+			if err != nil {
+				return err
+			}
+			return x.Write(a, v+1)
+		})
+	}
+}
+
+func TestHistorySerializable(t *testing.T) {
+	tmtest.HistorySerializable(t, factory, tmtest.HistoryOptions{Readers: true, Seed: 2})
+}

@@ -1,0 +1,339 @@
+// Package occ replays synthetic transaction traces through concurrency-
+// control algorithms to measure abort rates in isolation from the rest of a
+// TM system — the paper's micro-benchmark methodology (§6.1).
+//
+// The replay model follows the paper: transactions are processed in trace
+// order, and "the tentative updates of the last T transactions, no matter
+// they commit or not, are not visible to current transactions". So when
+// transaction k is validated, commits with trace index < k-T are part of
+// its snapshot, while commits in (k-T, k) happened after its snapshot — the
+// reads of k that those commits overwrote are stale. Each algorithm decides
+// commit or abort per transaction; aborted transactions leave no trace
+// (no retry), matching how the paper reports abort rate.
+package occ
+
+import (
+	"fmt"
+
+	"rococotm/internal/bitmat"
+	"rococotm/internal/core"
+	"rococotm/internal/trace"
+)
+
+// Decision is the outcome of validating one transaction.
+type Decision struct {
+	Commit bool
+	// Reason is a short tag for why the transaction aborted ("" on commit):
+	// "lock", "stale-read", "cycle", "window".
+	Reason string
+}
+
+// Algorithm validates transactions one at a time against the history it
+// has accumulated. Implementations are stateful and single-use per trace.
+type Algorithm interface {
+	Name() string
+	// Step processes the transaction with trace index k whose snapshot
+	// excludes the unseen committed transactions passed in (commits with
+	// trace index > k-T), and, if it commits, records it.
+	// seen holds older commits still relevant for dependency tracking.
+	Step(t trace.Txn, unseen, seen []trace.Txn) Decision
+}
+
+// ForwardAlgorithm is implemented by algorithms that additionally validate
+// against concurrently *active* transactions (forward validation, FOCC):
+// Replay passes the next T trace entries, which are in their execution
+// phase while t commits.
+type ForwardAlgorithm interface {
+	Algorithm
+	StepForward(t trace.Txn, unseen, seen, active []trace.Txn) Decision
+}
+
+// Result summarizes a replay.
+type Result struct {
+	Algorithm string
+	Total     int
+	Commits   int
+	Aborts    int
+	Reasons   map[string]int
+}
+
+// AbortRate returns Aborts/Total.
+func (r Result) AbortRate() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(r.Total)
+}
+
+// Replay runs txns through alg with visibility window T (the number of
+// most recent trace entries whose updates are invisible), returning the
+// summary and the commit decisions.
+func Replay(alg Algorithm, txns []trace.Txn, T int) (Result, []bool) {
+	if T < 0 {
+		panic(fmt.Sprintf("occ: negative visibility window %d", T))
+	}
+	res := Result{Algorithm: alg.Name(), Reasons: map[string]int{}}
+	committed := make([]bool, len(txns))
+	// histSeen: committed transactions visible to the current one; only a
+	// bounded suffix matters for every algorithm here, but we keep enough
+	// history for dependency edges (the core window bounds usage anyway).
+	const keep = 256
+	var hist []trace.Txn // committed transactions in trace order
+	histIdx := []int{}   // their trace indices
+
+	for k, t := range txns {
+		var unseen, seen []trace.Txn
+		cut := k - T
+		for i := len(hist) - 1; i >= 0; i-- {
+			if histIdx[i] >= cut {
+				unseen = append(unseen, hist[i])
+			} else {
+				seen = append(seen, hist[i])
+				if len(seen) >= keep {
+					break
+				}
+			}
+		}
+		// Restore trace order (oldest first) for deterministic algorithms.
+		reverse(unseen)
+		reverse(seen)
+		var d Decision
+		if fa, ok := alg.(ForwardAlgorithm); ok {
+			hi := k + 1 + T
+			if hi > len(txns) {
+				hi = len(txns)
+			}
+			d = fa.StepForward(t, unseen, seen, txns[k+1:hi])
+		} else {
+			d = alg.Step(t, unseen, seen)
+		}
+		res.Total++
+		if d.Commit {
+			res.Commits++
+			committed[k] = true
+			hist = append(hist, t)
+			histIdx = append(histIdx, k)
+			if len(hist) > 4*keep {
+				hist = append([]trace.Txn(nil), hist[len(hist)-keep:]...)
+				histIdx = append([]int(nil), histIdx[len(histIdx)-keep:]...)
+			}
+		} else {
+			res.Aborts++
+			res.Reasons[d.Reason]++
+		}
+	}
+	return res, committed
+}
+
+func reverse(ts []trace.Txn) {
+	for i, j := 0, len(ts)-1; i < j; i, j = i+1, j-1 {
+		ts[i], ts[j] = ts[j], ts[i]
+	}
+}
+
+// ---------------------------------------------------------------------------
+// 2PL
+
+// TwoPL models two-phase locking in the trace world: a transaction
+// conflicts (and, lacking a blocking model, aborts) if its footprint has any
+// non-read/read overlap with a concurrent transaction — the paper's point
+// that PCC forbids concurrent access to a locked object outright.
+type TwoPL struct{}
+
+// Name implements Algorithm.
+func (TwoPL) Name() string { return "2PL" }
+
+// Step implements Algorithm.
+func (TwoPL) Step(t trace.Txn, unseen, _ []trace.Txn) Decision {
+	for _, u := range unseen {
+		if t.Conflicts(u) {
+			return Decision{Reason: "lock"}
+		}
+	}
+	return Decision{Commit: true}
+}
+
+// ---------------------------------------------------------------------------
+// TOCC
+
+// TOCC models timestamped OCC with commit-time timestamps (the LSA flavor
+// TinySTM implements): a transaction aborts iff it read a location that a
+// transaction outside its snapshot has overwritten — its reads are stale
+// with respect to every achievable timestamp, the "phantom ordering"
+// restriction of §3.1.
+type TOCC struct{}
+
+// Name implements Algorithm.
+func (TOCC) Name() string { return "TOCC" }
+
+// Step implements Algorithm.
+func (TOCC) Step(t trace.Txn, unseen, _ []trace.Txn) Decision {
+	for _, u := range unseen {
+		if t.OverlapRW(u) { // t read something u overwrote after t's snapshot
+			return Decision{Reason: "stale-read"}
+		}
+	}
+	return Decision{Commit: true}
+}
+
+// ---------------------------------------------------------------------------
+// BOCC
+
+// BOCC is classic backward-validation OCC (Kung & Robinson / Härder): like
+// TOCC it aborts on stale reads, but it also aborts on write-write overlap
+// with unseen commits (serial validation, no reordering of writers).
+type BOCC struct{}
+
+// Name implements Algorithm.
+func (BOCC) Name() string { return "BOCC" }
+
+// Step implements Algorithm.
+func (BOCC) Step(t trace.Txn, unseen, _ []trace.Txn) Decision {
+	for _, u := range unseen {
+		if t.OverlapRW(u) {
+			return Decision{Reason: "stale-read"}
+		}
+		if t.OverlapWW(u) {
+			return Decision{Reason: "ww"}
+		}
+	}
+	return Decision{Commit: true}
+}
+
+// ---------------------------------------------------------------------------
+// FOCC
+
+// FOCC is forward-validation OCC (Härder): a committing transaction aborts
+// if its write set intersects the read set of any concurrently active
+// transaction (§2.3's broadcast-style centralization). Like the other
+// classical schemes it also cannot tolerate stale reads.
+type FOCC struct{}
+
+// Name implements Algorithm.
+func (FOCC) Name() string { return "FOCC" }
+
+// Step implements Algorithm (backward part only; Replay uses StepForward).
+func (f FOCC) Step(t trace.Txn, unseen, seen []trace.Txn) Decision {
+	return f.StepForward(t, unseen, seen, nil)
+}
+
+// StepForward implements ForwardAlgorithm.
+func (FOCC) StepForward(t trace.Txn, unseen, _, active []trace.Txn) Decision {
+	for _, u := range unseen {
+		if t.OverlapRW(u) {
+			return Decision{Reason: "stale-read"}
+		}
+	}
+	for _, u := range active {
+		if t.OverlapWR(u) { // t's writes invalidate an active reader
+			return Decision{Reason: "forward"}
+		}
+	}
+	return Decision{Commit: true}
+}
+
+// ---------------------------------------------------------------------------
+// ROCoCo
+
+// rococoWindow abstracts the two core implementations so the replayer can
+// use the word-packed fast path for W ≤ 64 and the generic window beyond.
+type rococoWindow interface {
+	W() int
+	Slot(core.Seq) (int, bool)
+}
+
+// ROCoCo wraps a core window: a transaction aborts only if its R/W
+// dependencies close a cycle with tracked commits (or if the window slid
+// past a transaction it depends on).
+type ROCoCo struct {
+	fast *core.Window    // W ≤ 64
+	big  *core.BigWindow // W > 64
+	// seqOf maps a committed transaction's trace ID to its window sequence.
+	seqOf map[int]core.Seq
+}
+
+// NewROCoCo returns a replayer with window capacity w ≥ 1 (the paper
+// deploys 64; larger windows use the generic matrix).
+func NewROCoCo(w int) *ROCoCo {
+	r := &ROCoCo{seqOf: map[int]core.Seq{}}
+	if w <= 64 {
+		r.fast = core.NewWindow(w)
+	} else {
+		r.big = core.NewBigWindow(w)
+	}
+	return r
+}
+
+// Name implements Algorithm.
+func (r *ROCoCo) Name() string { return "ROCoCo" }
+
+// Window exposes the fast-path validator when W ≤ 64 (for stats).
+func (r *ROCoCo) Window() *core.Window { return r.fast }
+
+func (r *ROCoCo) window() rococoWindow {
+	if r.fast != nil {
+		return r.fast
+	}
+	return r.big
+}
+
+// Step implements Algorithm.
+func (r *ROCoCo) Step(t trace.Txn, unseen, seen []trace.Txn) Decision {
+	win := r.window()
+	fv := bitmat.NewVec(win.W())
+	bv := bitmat.NewVec(win.W())
+	windowMiss := false
+	edge := func(u trace.Txn, fwd bool) {
+		seq, ok := r.seqOf[u.ID]
+		if !ok {
+			return
+		}
+		slot, live := win.Slot(seq)
+		if !live {
+			// Dependency on an evicted transaction: the paper's overflow
+			// rule aborts transactions that neglect updates of t_{k-W}.
+			if fwd {
+				windowMiss = true
+			}
+			return
+		}
+		if fwd {
+			fv.Set(slot, true)
+		} else {
+			bv.Set(slot, true)
+		}
+	}
+	for _, u := range unseen {
+		if t.OverlapRW(u) {
+			edge(u, true) // t read the version u overwrote: t →rw u
+		}
+		if t.OverlapWR(u) || t.OverlapWW(u) {
+			edge(u, false) // u must precede t
+		}
+	}
+	for _, u := range seen {
+		// Visible commits are all predecessors of t: RAW (t read u's
+		// update), WAR (u read what t overwrites), WAW.
+		if t.OverlapRW(u) || t.OverlapWR(u) || t.OverlapWW(u) {
+			edge(u, false)
+		}
+	}
+	if windowMiss {
+		return Decision{Reason: "window"}
+	}
+	var seq core.Seq
+	var ok bool
+	if r.fast != nil {
+		var f, b uint64
+		fv.ForEach(func(i int) { f |= 1 << uint(i) })
+		bv.ForEach(func(i int) { b |= 1 << uint(i) })
+		seq, ok = r.fast.Insert(f, b)
+	} else {
+		seq, ok = r.big.Insert(fv, bv)
+	}
+	if !ok {
+		return Decision{Reason: "cycle"}
+	}
+	r.seqOf[t.ID] = seq
+	return Decision{Commit: true}
+}

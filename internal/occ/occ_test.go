@@ -1,0 +1,311 @@
+package occ
+
+import (
+	"testing"
+
+	"rococotm/internal/bitmat"
+	"rococotm/internal/trace"
+)
+
+func mkTxn(id int, reads, writes []int) trace.Txn {
+	return trace.Txn{ID: id, Reads: reads, Writes: writes}
+}
+
+func TestReplayAllDisjointCommits(t *testing.T) {
+	var txns []trace.Txn
+	for i := 0; i < 20; i++ {
+		txns = append(txns, mkTxn(i, []int{i * 10}, []int{i*10 + 1}))
+	}
+	for _, alg := range []Algorithm{TwoPL{}, TOCC{}, BOCC{}, NewROCoCo(64)} {
+		res, _ := Replay(alg, txns, 4)
+		if res.Aborts != 0 {
+			t.Errorf("%s aborted %d disjoint transactions", alg.Name(), res.Aborts)
+		}
+	}
+}
+
+func TestTwoPLAbortsOnAnyConflict(t *testing.T) {
+	txns := []trace.Txn{
+		mkTxn(0, nil, []int{1}),
+		mkTxn(1, []int{1}, nil), // reads what txn 0 wrote, concurrent
+	}
+	res, _ := Replay(TwoPL{}, txns, 4)
+	if res.Aborts != 1 {
+		t.Fatalf("2PL aborts = %d, want 1", res.Aborts)
+	}
+	// With T=0 everything is visible: no concurrency, no conflict.
+	res0, _ := Replay(TwoPL{}, txns, 0)
+	if res0.Aborts != 0 {
+		t.Fatalf("2PL with T=0 aborts = %d, want 0", res0.Aborts)
+	}
+}
+
+func TestTOCCAllowsWARForbidsStaleRead(t *testing.T) {
+	// WAR with a concurrent commit: TOCC commits (commit-time stamp).
+	war := []trace.Txn{
+		mkTxn(0, []int{1}, nil),
+		mkTxn(1, nil, []int{1}),
+	}
+	res, _ := Replay(TOCC{}, war, 4)
+	if res.Aborts != 0 {
+		t.Fatalf("TOCC aborted WAR, aborts = %d", res.Aborts)
+	}
+	// Stale read: txn 1 reads what txn 0 wrote inside the invisible window.
+	stale := []trace.Txn{
+		mkTxn(0, nil, []int{1}),
+		mkTxn(1, []int{1}, nil),
+	}
+	res, _ = Replay(TOCC{}, stale, 4)
+	if res.Aborts != 1 {
+		t.Fatalf("TOCC stale read aborts = %d, want 1", res.Aborts)
+	}
+}
+
+func TestBOCCStricterThanTOCC(t *testing.T) {
+	ww := []trace.Txn{
+		mkTxn(0, nil, []int{5}),
+		mkTxn(1, nil, []int{5}),
+	}
+	resT, _ := Replay(TOCC{}, ww, 4)
+	resB, _ := Replay(BOCC{}, ww, 4)
+	if resT.Aborts != 0 || resB.Aborts != 1 {
+		t.Fatalf("WW overlap: TOCC=%d BOCC=%d, want 0/1", resT.Aborts, resB.Aborts)
+	}
+}
+
+func TestROCoCoCommitsWhatTOCCAborts(t *testing.T) {
+	// A single stale read with no path back: ROCoCo serializes the reader
+	// before the writer.
+	txns := []trace.Txn{
+		mkTxn(0, nil, []int{1}),
+		mkTxn(1, []int{1}, []int{2}),
+	}
+	resT, _ := Replay(TOCC{}, txns, 4)
+	resR, _ := Replay(NewROCoCo(64), txns, 4)
+	if resT.Aborts != 1 {
+		t.Fatalf("TOCC aborts = %d, want 1", resT.Aborts)
+	}
+	if resR.Aborts != 0 {
+		t.Fatalf("ROCoCo aborts = %d, want 0", resR.Aborts)
+	}
+}
+
+func TestROCoCoAbortsRealCycle(t *testing.T) {
+	// txn1 must both precede txn0 (stale read of loc 1) and succeed it
+	// (txn1 overwrites loc 2 that ... build a 2-cycle via txn0 and txn1:
+	// txn1 reads loc1 (written by txn0, unseen) → txn1 →rw txn0.
+	// txn1 writes loc2 that txn0 wrote → txn0 →rw txn1 (WAW). Cycle.
+	txns := []trace.Txn{
+		mkTxn(0, nil, []int{1, 2}),
+		mkTxn(1, []int{1}, []int{2}),
+	}
+	res, _ := Replay(NewROCoCo(64), txns, 4)
+	if res.Aborts != 1 {
+		t.Fatalf("ROCoCo aborts = %d, want 1 (cycle)", res.Aborts)
+	}
+	if res.Reasons["cycle"] != 1 {
+		t.Fatalf("reasons = %v", res.Reasons)
+	}
+}
+
+// committedHistoryAcyclic verifies that the committed transactions of a
+// replay form an acyclic R/W-dependency graph under the T-visibility
+// semantics — the serializability soundness check for every algorithm.
+func committedHistoryAcyclic(t *testing.T, txns []trace.Txn, committed []bool, T int) {
+	t.Helper()
+	var ids []int
+	for i, c := range committed {
+		if c {
+			ids = append(ids, i)
+		}
+	}
+	idx := map[int]int{}
+	for v, i := range ids {
+		idx[i] = v
+	}
+	m := bitmat.NewMat(len(ids))
+	for vi, i := range ids {
+		for _, j := range ids {
+			if j >= i {
+				break
+			}
+			vj := idx[j]
+			ti, tj := txns[i], txns[j]
+			if j < i-T {
+				// tj visible to ti: any dependence orders tj before ti.
+				if ti.OverlapRW(tj) || ti.OverlapWR(tj) || ti.OverlapWW(tj) {
+					m.Set(vj, vi, true)
+				}
+			} else {
+				// tj concurrent-unseen: stale read orders ti before tj;
+				// WAR/WAW order tj before ti.
+				if ti.OverlapRW(tj) {
+					m.Set(vi, vj, true)
+				}
+				if ti.OverlapWR(tj) || ti.OverlapWW(tj) {
+					m.Set(vj, vi, true)
+				}
+			}
+		}
+	}
+	if m.HasCycle() {
+		t.Fatal("committed history contains a dependency cycle")
+	}
+}
+
+func TestSerializabilitySoundness(t *testing.T) {
+	cfg := trace.Config{Locations: 128, N: 8, Count: 400, ReadFrac: 0.5}
+	for seed := int64(0); seed < 5; seed++ {
+		cfg.Seed = seed
+		txns, err := trace.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mk := range []func() Algorithm{
+			func() Algorithm { return TwoPL{} },
+			func() Algorithm { return TOCC{} },
+			func() Algorithm { return BOCC{} },
+			func() Algorithm { return NewROCoCo(64) },
+		} {
+			alg := mk()
+			for _, T := range []int{4, 16} {
+				alg = mk()
+				_, committed := Replay(alg, txns, T)
+				committedHistoryAcyclic(t, txns, committed, T)
+			}
+		}
+	}
+}
+
+func TestAbortRateOrdering(t *testing.T) {
+	// The paper's Figure 9 claim: abort(2PL) ≥ abort(TOCC) ≥ abort(ROCoCo)
+	// across the sweep. Check with a medium-contention workload where the
+	// gaps are visible.
+	cfg := trace.Config{Locations: 1024, N: 16, Count: 3000, ReadFrac: 0.5}
+	for _, T := range []int{4, 16} {
+		var rates [3]float64
+		for seed := int64(0); seed < 10; seed++ {
+			cfg.Seed = seed
+			txns, err := trace.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, _ := Replay(TwoPL{}, txns, T)
+			rt, _ := Replay(TOCC{}, txns, T)
+			rr, _ := Replay(NewROCoCo(64), txns, T)
+			rates[0] += r2.AbortRate()
+			rates[1] += rt.AbortRate()
+			rates[2] += rr.AbortRate()
+		}
+		if !(rates[0] > rates[1] && rates[1] > rates[2]) {
+			t.Fatalf("T=%d: expected 2PL > TOCC > ROCoCo, got %.4f %.4f %.4f",
+				T, rates[0]/10, rates[1]/10, rates[2]/10)
+		}
+	}
+}
+
+func TestROCoCoGapGrowsWithConcurrency(t *testing.T) {
+	// §6.1: ROCoCo's edge over TOCC is larger at T=16 than at T=4.
+	cfg := trace.Config{Locations: 1024, N: 16, Count: 3000, ReadFrac: 0.5}
+	gap := func(T int) float64 {
+		var tocc, roc float64
+		for seed := int64(0); seed < 10; seed++ {
+			cfg.Seed = seed
+			txns, _ := trace.Generate(cfg)
+			rt, _ := Replay(TOCC{}, txns, T)
+			rr, _ := Replay(NewROCoCo(64), txns, T)
+			tocc += rt.AbortRate()
+			roc += rr.AbortRate()
+		}
+		return tocc - roc
+	}
+	if g4, g16 := gap(4), gap(16); g16 <= g4 {
+		t.Fatalf("gap(T=16)=%.4f not larger than gap(T=4)=%.4f", g16, g4)
+	}
+}
+
+func TestWindowOverflowAbort(t *testing.T) {
+	// With a tiny ROCoCo window and a long-range forward dependence, the
+	// replay must abort with reason "window" rather than miss the edge.
+	var txns []trace.Txn
+	txns = append(txns, mkTxn(0, nil, []int{1})) // writer
+	for i := 1; i <= 5; i++ {                    // filler commits to slide the window
+		txns = append(txns, mkTxn(i, []int{100 + i}, []int{200 + i}))
+	}
+	// Reader of loc 1 with the writer unseen (T larger than distance).
+	txns = append(txns, mkTxn(6, []int{1}, []int{300}))
+	res, _ := Replay(NewROCoCo(2), txns, 10)
+	if res.Reasons["window"] != 1 {
+		t.Fatalf("expected a window-overflow abort, got %v", res.Reasons)
+	}
+}
+
+func TestReplayNegativeTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Replay with negative T did not panic")
+		}
+	}()
+	Replay(TOCC{}, nil, -1)
+}
+
+func TestROCoCoBigWindowAgrees(t *testing.T) {
+	// W=64 fast path and W=65 generic window agree when no eviction
+	// difference matters (traces short enough that nothing depends on the
+	// evicted entry).
+	cfg := trace.Config{Locations: 256, N: 8, Count: 600, ReadFrac: 0.5, Seed: 21}
+	txns, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, c64 := Replay(NewROCoCo(64), txns, 8)
+	r128, c128 := Replay(NewROCoCo(128), txns, 8)
+	// With T=8 ≪ 64 the window size should not change decisions.
+	if r64.Aborts != r128.Aborts {
+		t.Fatalf("W=64 aborts %d, W=128 aborts %d", r64.Aborts, r128.Aborts)
+	}
+	for i := range c64 {
+		if c64[i] != c128[i] {
+			t.Fatalf("decision %d diverged between window sizes", i)
+		}
+	}
+}
+
+func TestROCoCoWindowAccessor(t *testing.T) {
+	if NewROCoCo(64).Window() == nil {
+		t.Fatal("fast-path window not exposed")
+	}
+	if NewROCoCo(128).Window() != nil {
+		t.Fatal("big-window replayer should not expose a fast-path window")
+	}
+}
+
+func TestFOCCForwardValidation(t *testing.T) {
+	// txn 0 writes loc 1 that the concurrently active txn 1 reads: forward
+	// validation aborts the committer.
+	txns := []trace.Txn{
+		mkTxn(0, nil, []int{1}),
+		mkTxn(1, []int{1}, nil),
+	}
+	res, _ := Replay(FOCC{}, txns, 4)
+	if res.Reasons["forward"] != 1 {
+		t.Fatalf("expected a forward abort, got %v", res.Reasons)
+	}
+	// Without concurrency (T=0) both commit.
+	res0, _ := Replay(FOCC{}, txns, 0)
+	if res0.Aborts != 0 {
+		t.Fatalf("T=0 aborts = %d", res0.Aborts)
+	}
+}
+
+func TestFOCCSoundness(t *testing.T) {
+	cfg := trace.Config{Locations: 128, N: 8, Count: 400, ReadFrac: 0.5, Seed: 3}
+	txns, err := trace.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, T := range []int{4, 16} {
+		_, committed := Replay(FOCC{}, txns, T)
+		committedHistoryAcyclic(t, txns, committed, T)
+	}
+}

@@ -1,0 +1,573 @@
+// Package rococotm implements the paper's hybrid TM (§5): transactions
+// execute and commit on the CPU, while read-write transactions are
+// validated by the (simulated) FPGA pipeline of internal/fpga.
+//
+// The CPU side is Algorithm 1 — the LSA variant that replaces TinySTM's
+// per-location metadata with global bloom-filter signatures:
+//
+//   - a global timestamp (GlobalTS) counts committed write transactions;
+//   - the commit queue holds one write-set signature per committed
+//     transaction, indexed by timestamp;
+//   - an executing transaction starts with LocalTS = ValidTS = GlobalTS;
+//     each read folds the write signatures published since LocalTS into a
+//     TempSet and either extends ValidTS (no overlap with its read set) or
+//     starts accumulating a MissSet of locations updated since ValidTS.
+//     Reading a location in the MissSet would tear the snapshot, so the
+//     transaction aborts eagerly on the CPU — the fast abort path that
+//     never pays the out-of-core latency;
+//   - the update set holds the write signatures of transactions currently
+//     writing back; reads spin past them (commit-time locking, line 5);
+//   - a read-only transaction commits immediately; a write transaction
+//     ships its read/write addresses and ValidTS to the FPGA and, on an
+//     OK verdict with commit sequence s, publishes its update-set entry,
+//     waits for GlobalTS = s, appends its write signature to the commit
+//     queue, writes back its redo log, and releases GlobalTS = s+1.
+//
+// Unlike TinySTM, a transaction whose snapshot extension failed is not
+// doomed: as long as it never reads a missed location it runs to the end,
+// and the FPGA serializes it *before* the writers that invalidated it
+// (a forward edge in the ROCoCo dependency window) unless that closes a
+// cycle. That reordering is exactly the abort-rate advantage the paper
+// measures.
+package rococotm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rococotm/internal/fpga"
+	"rococotm/internal/mem"
+	"rococotm/internal/sig"
+	"rococotm/internal/tm"
+)
+
+// Config parameterizes the runtime.
+type Config struct {
+	// MaxThreads bounds thread ids (per-thread update-set slots);
+	// default 32.
+	MaxThreads int
+	// Engine configures the FPGA validation pipeline; zero value uses the
+	// paper's deployment (W=64, 512-bit signatures).
+	Engine fpga.Config
+	// CommitQueueSlots is the size of the commit-queue ring; a transaction
+	// whose snapshot falls more than this many commits behind aborts.
+	// Must be a power of two; default 4096.
+	CommitQueueSlots int
+	// SubSigAddrs is the number of addresses per read-set sub-signature
+	// (paper: 8, matching the 512-bit cache line).
+	SubSigAddrs int
+	// ReadSpinLimit bounds how long a read waits on in-flight committers
+	// before aborting; default 64 rounds.
+	ReadSpinLimit int
+	// MeasureValidation enables the wall-clock validation timer (Fig. 11).
+	MeasureValidation bool
+	// IrrevocableAfter, when > 0, re-executes a transaction irrevocably
+	// after that many consecutive conflict aborts on a thread: the
+	// transaction takes a global commit gate, so nothing commits during
+	// its execution and its validation can never find a cycle — the
+	// forward-progress mechanism §4.2 and §5.1 call for ("to ensure long
+	// transactions can eventually commit, irrevocability may be
+	// required"). 0 disables it.
+	IrrevocableAfter int
+}
+
+func (c *Config) fill() {
+	if c.MaxThreads == 0 {
+		c.MaxThreads = 32
+	}
+	if c.CommitQueueSlots == 0 {
+		c.CommitQueueSlots = 4096
+	}
+	if c.CommitQueueSlots&(c.CommitQueueSlots-1) != 0 {
+		panic(fmt.Sprintf("rococotm: CommitQueueSlots %d not a power of two", c.CommitQueueSlots))
+	}
+	if c.SubSigAddrs == 0 {
+		c.SubSigAddrs = 8
+	}
+	if c.ReadSpinLimit == 0 {
+		c.ReadSpinLimit = 64
+	}
+}
+
+// commitSlot is one seqlock-protected ring entry of the commit queue.
+// ver = 2*ts+1 while the slot is being written for commit ts, 2*ts+2 once
+// it holds that commit's write signature. The words themselves are atomic
+// so racing readers observe word-consistent values; the version check makes
+// the whole-signature copy consistent.
+type commitSlot struct {
+	ver   atomic.Uint64
+	words []atomic.Uint64
+}
+
+// updateSlot is one per-thread entry of the update set: the write
+// signature of a transaction between its FPGA verdict and the release of
+// GlobalTS. Readers probe individual bits with atomic loads, so a slot
+// being reinstalled can only yield a spurious hit (a retry), never a torn
+// miss: the owner stores the new words before flipping active to 1.
+type updateSlot struct {
+	active atomic.Uint32
+	words  []atomic.Uint64
+	_      [6]uint64 // pad to keep hot slots off each other's cache line
+}
+
+// TM is the ROCoCoTM runtime.
+type TM struct {
+	heap   *mem.Heap
+	cfg    Config
+	eng    *fpga.Engine
+	hasher *sig.Hasher
+
+	globalTS atomic.Uint64
+	commitQ  []commitSlot
+	updates  []updateSlot
+
+	// gate serializes commits against irrevocable execution: regular
+	// commits hold it shared for their validate/write-back span; an
+	// irrevocable transaction holds it exclusively from Begin to Commit.
+	gate   sync.RWMutex
+	consec []int32 // consecutive conflict aborts per thread (owner-only)
+
+	cnt tm.Counters
+}
+
+// New starts a ROCoCoTM runtime (including its FPGA engine) over heap.
+func New(heap *mem.Heap, cfg Config) *TM {
+	cfg.fill()
+	eng := fpga.Start(cfg.Engine)
+	r := &TM{
+		heap:    heap,
+		cfg:     cfg,
+		eng:     eng,
+		hasher:  eng.Hasher(),
+		commitQ: make([]commitSlot, cfg.CommitQueueSlots),
+		updates: make([]updateSlot, cfg.MaxThreads),
+	}
+	sigWords := eng.Config().Sig.Words()
+	for i := range r.commitQ {
+		r.commitQ[i].words = make([]atomic.Uint64, sigWords)
+	}
+	for i := range r.updates {
+		r.updates[i].words = make([]atomic.Uint64, sigWords)
+	}
+	r.consec = make([]int32, cfg.MaxThreads)
+	return r
+}
+
+// Name implements tm.TM.
+func (r *TM) Name() string { return "rococotm" }
+
+// Heap implements tm.TM.
+func (r *TM) Heap() *mem.Heap { return r.heap }
+
+// Stats implements tm.TM.
+func (r *TM) Stats() tm.Stats { return r.cnt.Snapshot() }
+
+// Engine exposes the FPGA pipeline (stats, tests).
+func (r *TM) Engine() *fpga.Engine { return r.eng }
+
+// GlobalTS returns the current global timestamp (count of committed write
+// transactions).
+func (r *TM) GlobalTS() uint64 { return r.globalTS.Load() }
+
+// Close shuts down the FPGA engine.
+func (r *TM) Close() { r.eng.Close() }
+
+type txn struct {
+	r           *TM
+	thread      int
+	dead        bool
+	irrevocable bool
+
+	localTS uint64 // commit-queue scan position
+	validTS uint64 // snapshot at which all reads are known consistent
+
+	readSig   sig.Sig   // whole-read-set signature
+	subSigs   []sig.Sig // one per SubSigAddrs reads, for precise re-checks
+	subCount  int       // addresses in the newest sub-signature
+	readAddrs []uint64
+	readSeen  map[mem.Addr]bool
+
+	writeSig   sig.Sig
+	redo       map[mem.Addr]mem.Word
+	writeOrder []mem.Addr
+
+	missSig sig.Sig // MissSet
+	missAny bool
+	tempSig sig.Sig // scratch TempSet
+	oneSig  sig.Sig // scratch for one commit-queue entry
+	sigCfg  sig.Config
+}
+
+// Begin implements tm.TM.
+func (r *TM) Begin(thread int) (tm.Txn, error) {
+	if thread < 0 || thread >= r.cfg.MaxThreads {
+		return nil, fmt.Errorf("rococotm: thread %d out of range [0,%d)", thread, r.cfg.MaxThreads)
+	}
+	r.cnt.OnStart()
+	irrevocable := r.cfg.IrrevocableAfter > 0 &&
+		int(r.consec[thread]) >= r.cfg.IrrevocableAfter
+	if irrevocable {
+		// Exclusive gate: in-flight commits drain, nothing new commits
+		// until this transaction finishes, so its snapshot stays valid
+		// and its validation is trivially acyclic.
+		r.gate.Lock()
+	}
+	scfg := r.eng.Config().Sig
+	ts := r.globalTS.Load()
+	return &txn{
+		r:           r,
+		irrevocable: irrevocable,
+		thread:      thread,
+		localTS:     ts,
+		validTS:     ts,
+		readSig:     sig.New(scfg),
+		writeSig:    sig.New(scfg),
+		missSig:     sig.New(scfg),
+		tempSig:     sig.New(scfg),
+		oneSig:      sig.New(scfg),
+		redo:        map[mem.Addr]mem.Word{},
+		readSeen:    map[mem.Addr]bool{},
+		sigCfg:      scfg,
+	}, nil
+}
+
+func (x *txn) abort(reason string) error {
+	x.dead = true
+	if x.irrevocable {
+		// Only reachable through pathological paths (e.g. commit-queue
+		// overflow with a tiny ring); release the gate.
+		x.r.gate.Unlock()
+	} else if reason != tm.ReasonExplicit {
+		x.r.consec[x.thread]++
+	}
+	x.r.cnt.OnAbort(reason)
+	return tm.Abort(reason)
+}
+
+// updateSetHits reports whether any in-flight committer's write signature
+// may contain addr (Algorithm 1 line 5).
+func (r *TM) updateSetHits(addr uint64, self int) bool {
+	var buf [16]int
+	idx := r.hasher.Indices(addr, buf[:])
+	for i := range r.updates {
+		if i == self {
+			continue
+		}
+		u := &r.updates[i]
+		if u.active.Load() != 1 {
+			continue
+		}
+		hit := true
+		for _, bit := range idx {
+			if u.words[bit>>6].Load()&(1<<uint(bit&63)) == 0 {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return true
+		}
+	}
+	return false
+}
+
+// loadCommitSig copies the write signature of commit ts into dst.
+// ok=false means the ring has been lapped: the snapshot is too old.
+func (r *TM) loadCommitSig(ts uint64, dst sig.Sig) bool {
+	slot := &r.commitQ[ts&uint64(r.cfg.CommitQueueSlots-1)]
+	want := 2*ts + 2
+	for {
+		v1 := slot.ver.Load()
+		if v1 != want {
+			if v1 == 2*ts+1 {
+				// Mid-publication; it completes promptly.
+				runtime.Gosched()
+				continue
+			}
+			return false
+		}
+		d := dst.Words()
+		for i := range slot.words {
+			d[i] = slot.words[i].Load()
+		}
+		if slot.ver.Load() == v1 {
+			return true
+		}
+	}
+}
+
+// Read implements tm.Txn — Algorithm 1, TM_READ.
+func (x *txn) Read(a mem.Addr) (mem.Word, error) {
+	if x.dead {
+		return 0, tm.Abort(tm.ReasonConflict)
+	}
+	// Lines 1-4: read-your-writes from the redo log.
+	if v, ok := x.redo[a]; ok {
+		return v, nil
+	}
+	r := x.r
+	addr := uint64(a)
+
+	var v mem.Word
+	spins := 0
+	for {
+		if spins++; spins > r.cfg.ReadSpinLimit {
+			return 0, x.abort(tm.ReasonConflict)
+		}
+		g1 := r.globalTS.Load()
+		// Line 5-7: commit-time locking — wait out committers that may be
+		// writing this address back. If we are already inconsistent
+		// (MissSet non-empty), waiting cannot help: abort (line 6).
+		if r.updateSetHits(addr, x.thread) {
+			if x.missAny {
+				return 0, x.abort(tm.ReasonConflict)
+			}
+			runtime.Gosched()
+			continue
+		}
+		v = r.heap.Load(a) // line 8
+		// Re-check: if a committer published or a commit completed while
+		// we read, the value may be torn or from an ambiguous snapshot.
+		if r.updateSetHits(addr, x.thread) || r.globalTS.Load() != g1 {
+			continue
+		}
+		break
+	}
+
+	// Lines 9-13: fold the write signatures published since LocalTS into
+	// the TempSet. The overlap test runs against each commit's signature
+	// individually (the precise end of the paper's two-level intersection)
+	// — intersecting against the union of many commits would saturate the
+	// filter and manufacture false conflicts.
+	x.tempSig.Reset()
+	tempAny := false
+	overlap := false
+	for g := x.r.globalTS.Load(); x.localTS < g; g = x.r.globalTS.Load() {
+		if !x.r.loadCommitSig(x.localTS, x.oneSig) {
+			// Snapshot fell out of the commit-queue ring.
+			return 0, x.abort(tm.ReasonWindow)
+		}
+		if !overlap && x.readSetOverlaps(x.oneSig) {
+			overlap = true
+		}
+		x.tempSig.Union(x.oneSig)
+		tempAny = true
+		x.localTS++
+	}
+
+	// Lines 14-19: snapshot extension or miss-set accumulation.
+	if x.missAny || overlap {
+		if tempAny {
+			x.missSig.Union(x.tempSig)
+			x.missAny = true
+		}
+		if x.missAny && x.missSig.Query(x.r.hasher, addr) {
+			return 0, x.abort(tm.ReasonConflict) // line 17: torn snapshot
+		}
+	} else if tempAny {
+		// All reads so far remain consistent at the new snapshot.
+		x.validTS = x.localTS
+	}
+
+	// Line 20: record the read.
+	if !x.readSeen[a] {
+		x.readSeen[a] = true
+		x.readAddrs = append(x.readAddrs, addr)
+		x.readSig.Insert(x.r.hasher, addr)
+		if x.subCount == 0 || x.subCount == x.r.cfg.SubSigAddrs {
+			x.subSigs = append(x.subSigs, sig.New(x.sigCfg))
+			x.subCount = 0
+		}
+		x.subSigs[len(x.subSigs)-1].Insert(x.r.hasher, addr)
+		x.subCount++
+	}
+	return v, nil
+}
+
+// readSetOverlaps implements the layered intersection of §5.3 against one
+// committed write signature: the whole-read-set signature first (usually
+// disjoint → O(1)), the 8-address sub-signatures next, and finally — the
+// paper's "small chance of an O(r) overhead" — a per-address membership
+// query of the flagged sub-set against the commit signature, which reduces
+// the false-conflict rate to the query operation's (negligible for
+// cache-line-sized write sets) instead of the intersection's.
+func (x *txn) readSetOverlaps(commit sig.Sig) bool {
+	if len(x.readAddrs) == 0 {
+		return false
+	}
+	if !x.readSig.Intersects(commit) {
+		return false
+	}
+	n := x.r.cfg.SubSigAddrs
+	for i, s := range x.subSigs {
+		if !s.Intersects(commit) {
+			continue
+		}
+		lo := i * n
+		hi := lo + n
+		if hi > len(x.readAddrs) {
+			hi = len(x.readAddrs)
+		}
+		for _, a := range x.readAddrs[lo:hi] {
+			if commit.Query(x.r.hasher, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Write implements tm.Txn — Algorithm 1, TM_WRITE.
+func (x *txn) Write(a mem.Addr, v mem.Word) error {
+	if x.dead {
+		return tm.Abort(tm.ReasonConflict)
+	}
+	if _, seen := x.redo[a]; !seen {
+		x.writeOrder = append(x.writeOrder, a)
+		x.writeSig.Insert(x.r.hasher, uint64(a))
+	}
+	x.redo[a] = v
+	return nil
+}
+
+// Commit implements tm.TM (§5.3 commit protocol).
+func (r *TM) Commit(t tm.Txn) error {
+	x := t.(*txn)
+	if x.dead {
+		return tm.Abort(tm.ReasonConflict)
+	}
+	if len(x.redo) == 0 {
+		// Read-only fast path: consistent at validTS, commits on CPU.
+		x.dead = true
+		if x.irrevocable {
+			r.gate.Unlock()
+		}
+		r.consec[x.thread] = 0
+		r.cnt.OnCommit(true)
+		return nil
+	}
+	if !x.irrevocable {
+		// Shared gate for the validate/write-back span, so an escalating
+		// irrevocable transaction can drain commits and freeze the world.
+		r.gate.RLock()
+		defer r.gate.RUnlock()
+	}
+
+	// Final snapshot extension before shipping: fold any commits since the
+	// last read into the TempSet and, if the read set is untouched,
+	// advance ValidTS to the present. Without this a transaction that
+	// merely sat descheduled behind many unrelated commits would carry a
+	// stale ValidTS into the engine and risk a spurious window abort.
+	x.tempSig.Reset()
+	tempAny := false
+	overlap := false
+	for g := r.globalTS.Load(); x.localTS < g; g = r.globalTS.Load() {
+		if !r.loadCommitSig(x.localTS, x.oneSig) {
+			return x.abort(tm.ReasonWindow)
+		}
+		if !overlap && x.readSetOverlaps(x.oneSig) {
+			overlap = true
+		}
+		x.tempSig.Union(x.oneSig)
+		tempAny = true
+		x.localTS++
+	}
+	if tempAny {
+		if x.missAny || overlap {
+			x.missSig.Union(x.tempSig)
+			x.missAny = true
+		} else {
+			x.validTS = x.localTS
+		}
+	} else if !x.missAny {
+		x.validTS = x.localTS
+	}
+
+	// Ship the footprint and snapshot to the FPGA and wait for a verdict.
+	writeAddrs := make([]uint64, len(x.writeOrder))
+	for i, a := range x.writeOrder {
+		writeAddrs[i] = uint64(a)
+	}
+	var t0 time.Time
+	if r.cfg.MeasureValidation {
+		t0 = time.Now()
+	}
+	verdict, err := r.eng.Validate(fpga.Request{
+		Token:      uint64(x.thread),
+		ValidTS:    x.validTS,
+		ReadAddrs:  x.readAddrs,
+		WriteAddrs: writeAddrs,
+	})
+	if r.cfg.MeasureValidation {
+		r.cnt.AddValidation(time.Since(t0))
+	}
+	// Modeled latency as the CPU would see it: CCI round trip + pipeline
+	// residency.
+	r.cnt.AddModelValidation(r.eng.Config().Model.RoundTripNanos + verdict.ModelNanos)
+	if err != nil {
+		x.dead = true
+		return fmt.Errorf("rococotm: engine: %w", err)
+	}
+	if !verdict.OK {
+		switch verdict.Reason {
+		case "window":
+			return x.abort(tm.ReasonWindow)
+		default:
+			return x.abort(tm.ReasonCycle)
+		}
+	}
+	seq := uint64(verdict.Seq)
+
+	// Publish the update-set entry (commit-time lock on our write set).
+	u := &r.updates[x.thread]
+	for i, w := range x.writeSig.Words() {
+		u.words[i].Store(w)
+	}
+	u.active.Store(1)
+
+	// Wait for our turn in the global commit order.
+	for r.globalTS.Load() != seq {
+		runtime.Gosched()
+	}
+
+	// Publish the write signature in the commit queue.
+	slot := &r.commitQ[seq&uint64(r.cfg.CommitQueueSlots-1)]
+	slot.ver.Store(2*seq + 1)
+	for i, w := range x.writeSig.Words() {
+		slot.words[i].Store(w)
+	}
+	slot.ver.Store(2*seq + 2)
+
+	// Write back the redo log, then release the timestamp and the lock.
+	for _, a := range x.writeOrder {
+		r.heap.Store(a, x.redo[a])
+	}
+	r.globalTS.Store(seq + 1)
+	u.active.Store(0)
+
+	x.dead = true
+	if x.irrevocable {
+		r.gate.Unlock()
+	}
+	r.consec[x.thread] = 0
+	r.cnt.OnCommit(false)
+	return nil
+}
+
+// Abort implements tm.TM: execution is fully buffered, so rollback drops
+// the private logs.
+func (r *TM) Abort(t tm.Txn) {
+	x := t.(*txn)
+	if !x.dead {
+		x.dead = true
+		if x.irrevocable {
+			r.gate.Unlock()
+		}
+		r.cnt.OnAbort(tm.ReasonExplicit)
+	}
+}
+
+var _ tm.TM = (*TM)(nil)

@@ -1,0 +1,209 @@
+package semantics
+
+import "sort"
+
+// Fig1WriteSkew is the paper's Figure 1: two transactions each read both
+// objects and write the one the other read. Snapshot isolation admits the
+// history (disjoint write sets, consistent snapshots); serializability
+// rejects it (the WAR edges form a cycle) — the write-skew anomaly.
+func Fig1WriteSkew() History {
+	return History{
+		Txns: []Txn{
+			{
+				ID: "t1", Start: 0, End: 10,
+				Reads:  map[string]string{"x": InitialVersion, "y": InitialVersion},
+				Writes: []string{"y"},
+			},
+			{
+				ID: "t2", Start: 1, End: 9,
+				Reads:  map[string]string{"x": InitialVersion, "y": InitialVersion},
+				Writes: []string{"x"},
+			},
+		},
+	}
+}
+
+// Fig2a is the paper's Figure 2(a): t2 writes x and commits while t1 is
+// live; t1 then reads the new version. The history is perfectly strict
+// serializable (t2 before t1), but a scheduler that stamped t1 at its
+// *start* has already ordered t1 before t2 and must abort it — the
+// start-timestamp phantom ordering.
+func Fig2a() History {
+	return History{
+		Txns: []Txn{
+			{ID: "t1", Start: 0, End: 10,
+				Reads: map[string]string{"x": "t2"}, Writes: []string{"y"}},
+			{ID: "t2", Start: 1, End: 2, Writes: []string{"x"}},
+		},
+	}
+}
+
+// Fig2b is the paper's Figure 2(b): the trace serializes as
+// t2 →rw t3 →rw t1, but commit-time timestamps (LSA) order transactions by
+// commit instant — t2(1) < t1(2) < t3(3) — which contradicts the WAR edge
+// t3 →rw t1, so TOCC aborts t3 even though the completed history is
+// serializable. ROCoCo validates the acyclic graph directly and commits
+// all three.
+func Fig2b() History {
+	return History{
+		Txns: []Txn{
+			{ID: "t2", Start: 0, End: 1, Writes: []string{"x"}},
+			{ID: "t1", Start: 0.5, End: 2, Writes: []string{"y"}},
+			{ID: "t3", Start: 1.5, End: 3,
+				Reads: map[string]string{"x": "t2", "y": InitialVersion}},
+		},
+	}
+}
+
+// CommitOrderConsistent reports whether the TOCC/LSA criterion holds: the
+// commit-instant (End) total order extends →rw. Histories that are
+// serializable but fail this check are exactly the aborts ROCoCo saves
+// over TOCC; Fig2b is the canonical instance.
+func (h History) CommitOrderConsistent() (bool, error) {
+	idx, err := h.validate()
+	if err != nil {
+		return false, err
+	}
+	g, err := h.DependencyGraph()
+	if err != nil {
+		return false, err
+	}
+	ok := true
+	for i := range h.Txns {
+		g.Row(i).ForEach(func(j int) {
+			if h.Txns[i].End >= h.Txns[j].End {
+				ok = false
+			}
+		})
+	}
+	_ = idx
+	return ok, nil
+}
+
+// TimestampAssignment decides whether *any* timestamping discipline could
+// have admitted the history: does an assignment of instants
+// TS(t) ∈ (Start(t), End(t)) exist whose total order extends →rw? This is
+// single-machine scheduling with release times, deadlines and precedence
+// constraints (zero processing time); the earliest-deadline-first greedy
+// over ready transactions is exact for it. The returned map is a witness.
+func (h History) TimestampAssignment() (map[string]float64, bool, error) {
+	idx, err := h.validate()
+	if err != nil {
+		return nil, false, err
+	}
+	g, err := h.DependencyGraph()
+	if err != nil {
+		return nil, false, err
+	}
+	n := len(h.Txns)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		g.Row(i).ForEach(func(j int) {
+			if j != i {
+				indeg[j]++
+			}
+		})
+	}
+	const eps = 1e-9
+	ts := make([]float64, n)
+	assigned := make([]bool, n)
+	var last float64
+	for done := 0; done < n; done++ {
+		// Ready transactions, earliest deadline first.
+		pick := -1
+		for v := 0; v < n; v++ {
+			if assigned[v] || indeg[v] != 0 {
+				continue
+			}
+			if pick < 0 || h.Txns[v].End < h.Txns[pick].End {
+				pick = v
+			}
+		}
+		if pick < 0 {
+			return nil, false, nil // →rw is cyclic
+		}
+		t := h.Txns[pick].Start + eps
+		if last+eps > t {
+			t = last + eps
+		}
+		if t >= h.Txns[pick].End {
+			return nil, false, nil // no feasible instant: phantom ordering
+		}
+		ts[pick] = t
+		last = t
+		assigned[pick] = true
+		g.Row(pick).ForEach(func(j int) {
+			if j != pick {
+				indeg[j]--
+			}
+		})
+	}
+	out := map[string]float64{}
+	for id, i := range idx {
+		out[id] = ts[i]
+	}
+	return out, true, nil
+}
+
+// SerialOrders enumerates every serial order consistent with →rw (for
+// small histories; the count is exponential in general). Useful for
+// exploring the semantics lattice in tests and tools.
+func (h History) SerialOrders() ([][]string, error) {
+	g, err := h.DependencyGraph()
+	if err != nil {
+		return nil, err
+	}
+	n := len(h.Txns)
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		g.Row(i).ForEach(func(j int) {
+			if j != i {
+				indeg[j]++
+			}
+		})
+	}
+	var out [][]string
+	var cur []int
+	used := make([]bool, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			ids := make([]string, n)
+			for i, v := range cur {
+				ids[i] = h.Txns[v].ID
+			}
+			out = append(out, ids)
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] || indeg[v] != 0 {
+				continue
+			}
+			used[v] = true
+			cur = append(cur, v)
+			g.Row(v).ForEach(func(j int) {
+				if j != v {
+					indeg[j]--
+				}
+			})
+			rec()
+			g.Row(v).ForEach(func(j int) {
+				if j != v {
+					indeg[j]++
+				}
+			})
+			cur = cur[:len(cur)-1]
+			used[v] = false
+		}
+	}
+	rec()
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}

@@ -1,0 +1,405 @@
+// Package semantics implements the paper's axiom-based transactional
+// semantics (§3) as executable history checkers. A history is a finite set
+// of committed transactions with real-time intervals, the versions each
+// read, and the objects each wrote; the package derives the R/W-dependency
+// relation →rw and decides which semantics of Figure 3(a) the history
+// satisfies:
+//
+//   - snapshot isolation — every transaction read a consistent committed
+//     snapshot and concurrent writers do not collide (write skew remains
+//     admissible, Figure 1);
+//   - serializability — →rw is acyclic, the paper's if-and-only-if axiom
+//     (§3.2, footnote 3);
+//   - strict serializability — →rw ∪ →rt is acyclic, i.e. a serial order
+//     exists that also respects real time; the gap between this and plain
+//     serializability is exactly the "phantom ordering" TOCC pays for;
+//   - linearizability — strict serializability of single-object,
+//     single-operation transactions.
+//
+// It also checks the order-theoretic facts the paper leans on: that →rt is
+// always an interval order (2+2-free, Figure 3(b)) and that interval
+// orders force phantom edges between unrelated transactions.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+
+	"rococotm/internal/bitmat"
+)
+
+// InitialVersion names the version of an object before any write.
+const InitialVersion = ""
+
+// Txn is one committed transaction of a history.
+type Txn struct {
+	// ID must be unique within the history.
+	ID string
+	// Start and End bound the transaction in real time (Start < End).
+	Start, End float64
+	// Reads maps each object read to the ID of the transaction whose
+	// write was observed (InitialVersion for the pristine value).
+	Reads map[string]string
+	// Writes lists the objects written.
+	Writes []string
+}
+
+// History is a finite set of committed transactions plus the per-object
+// version order (the order in which writes took effect).
+type History struct {
+	Txns []Txn
+	// WriteOrder maps each object to the sequence of transaction IDs that
+	// wrote it, in version order. Objects written by exactly one
+	// transaction may be omitted; ambiguity for multi-writer objects is an
+	// error.
+	WriteOrder map[string][]string
+}
+
+// validate checks structural well-formedness and returns an index.
+func (h History) validate() (map[string]int, error) {
+	idx := map[string]int{}
+	for i, t := range h.Txns {
+		if t.ID == "" {
+			return nil, fmt.Errorf("semantics: transaction %d has empty ID", i)
+		}
+		if _, dup := idx[t.ID]; dup {
+			return nil, fmt.Errorf("semantics: duplicate transaction ID %q", t.ID)
+		}
+		if !(t.Start < t.End) {
+			return nil, fmt.Errorf("semantics: %s has empty real-time interval", t.ID)
+		}
+		idx[t.ID] = i
+	}
+	// Build/validate write orders.
+	for obj, order := range h.WriteOrder {
+		seen := map[string]bool{}
+		for _, id := range order {
+			i, ok := idx[id]
+			if !ok {
+				return nil, fmt.Errorf("semantics: write order of %q names unknown %q", obj, id)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("semantics: %q appears twice in write order of %q", id, obj)
+			}
+			seen[id] = true
+			if !contains(h.Txns[i].Writes, obj) {
+				return nil, fmt.Errorf("semantics: %q does not write %q", id, obj)
+			}
+		}
+	}
+	// Reads must observe real writers.
+	for _, t := range h.Txns {
+		for obj, ver := range t.Reads {
+			if ver == InitialVersion {
+				continue
+			}
+			i, ok := idx[ver]
+			if !ok {
+				return nil, fmt.Errorf("semantics: %s reads %q from unknown %q", t.ID, obj, ver)
+			}
+			if !contains(h.Txns[i].Writes, obj) {
+				return nil, fmt.Errorf("semantics: %s reads %q from %q, which never wrote it",
+					t.ID, obj, ver)
+			}
+		}
+	}
+	return idx, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// writeOrderOf resolves the version order of obj, synthesizing the trivial
+// order for single-writer objects.
+func (h History) writeOrderOf(obj string) ([]string, error) {
+	if order, ok := h.WriteOrder[obj]; ok {
+		// Ensure completeness.
+		n := 0
+		for _, t := range h.Txns {
+			if contains(t.Writes, obj) {
+				n++
+			}
+		}
+		if len(order) != n {
+			return nil, fmt.Errorf("semantics: write order of %q lists %d of %d writers",
+				obj, len(order), n)
+		}
+		return order, nil
+	}
+	var writers []string
+	for _, t := range h.Txns {
+		if contains(t.Writes, obj) {
+			writers = append(writers, t.ID)
+		}
+	}
+	if len(writers) > 1 {
+		return nil, fmt.Errorf("semantics: object %q has %d writers but no WriteOrder",
+			obj, len(writers))
+	}
+	return writers, nil
+}
+
+// objects returns every object referenced by the history.
+func (h History) objects() []string {
+	set := map[string]bool{}
+	for _, t := range h.Txns {
+		for obj := range t.Reads {
+			set[obj] = true
+		}
+		for _, obj := range t.Writes {
+			set[obj] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for obj := range set {
+		out = append(out, obj)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DependencyGraph materializes →rw as a matrix (bit (i,j) means
+// Txns[i] →rw Txns[j]) from the three rules of §3.1: read-after-write,
+// write-after-read and write-after-write.
+func (h History) DependencyGraph() (*bitmat.Mat, error) {
+	idx, err := h.validate()
+	if err != nil {
+		return nil, err
+	}
+	m := bitmat.NewMat(len(h.Txns))
+	pos := func(order []string, id string) int {
+		for i, v := range order {
+			if v == id {
+				return i
+			}
+		}
+		return -1
+	}
+	for _, obj := range h.objects() {
+		order, err := h.writeOrderOf(obj)
+		if err != nil {
+			return nil, err
+		}
+		// WAW: each writer precedes the next.
+		for i := 0; i+1 < len(order); i++ {
+			m.Set(idx[order[i]], idx[order[i+1]], true)
+		}
+		for _, t := range h.Txns {
+			ver, reads := t.Reads[obj]
+			if !reads {
+				continue
+			}
+			verPos := -1
+			if ver != InitialVersion {
+				verPos = pos(order, ver)
+				if verPos < 0 {
+					return nil, fmt.Errorf("semantics: version %q of %q missing from write order", ver, obj)
+				}
+				// RAW: the writer read from happens before the reader.
+				if ver != t.ID {
+					m.Set(idx[ver], idx[t.ID], true)
+				}
+			}
+			// WAR: the reader happens before the writer of the *next*
+			// version it did not observe.
+			if verPos+1 < len(order) {
+				next := order[verPos+1]
+				if next != t.ID {
+					m.Set(idx[t.ID], idx[next], true)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// realTimeGraph materializes →rt: t1 →rt t2 iff End(t1) < Start(t2).
+func (h History) realTimeGraph() *bitmat.Mat {
+	m := bitmat.NewMat(len(h.Txns))
+	for i, a := range h.Txns {
+		for j, b := range h.Txns {
+			if i != j && a.End < b.Start {
+				m.Set(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+// Serializable reports whether →rw is acyclic and, if so, returns a
+// witness serial order of transaction IDs.
+func (h History) Serializable() (bool, []string, error) {
+	g, err := h.DependencyGraph()
+	if err != nil {
+		return false, nil, err
+	}
+	order, ok := g.TopoOrder()
+	if !ok {
+		return false, nil, nil
+	}
+	ids := make([]string, len(order))
+	for i, v := range order {
+		ids[i] = h.Txns[v].ID
+	}
+	return true, ids, nil
+}
+
+// StrictSerializable reports whether some serial order respects both →rw
+// and real time: acyclicity of →rw ∪ →rt.
+func (h History) StrictSerializable() (bool, []string, error) {
+	g, err := h.DependencyGraph()
+	if err != nil {
+		return false, nil, err
+	}
+	rt := h.realTimeGraph()
+	for i := 0; i < g.Order(); i++ {
+		g.Row(i).Or(rt.Row(i))
+	}
+	order, ok := g.TopoOrder()
+	if !ok {
+		return false, nil, nil
+	}
+	ids := make([]string, len(order))
+	for i, v := range order {
+		ids[i] = h.Txns[v].ID
+	}
+	return true, ids, nil
+}
+
+// Linearizable reports whether the history is strict serializable and
+// every transaction touches a single object with a single operation — the
+// Herlihy & Wing special case the paper places at the top of Figure 3(a).
+func (h History) Linearizable() (bool, error) {
+	for _, t := range h.Txns {
+		ops := len(t.Reads) + len(t.Writes)
+		if ops != 1 {
+			return false, fmt.Errorf("semantics: %s is not a single-operation transaction", t.ID)
+		}
+	}
+	ok, _, err := h.StrictSerializable()
+	return ok, err
+}
+
+// SnapshotIsolation reports whether the history satisfies SI: every
+// transaction's reads are the latest committed versions at some snapshot
+// instant within (or before) its lifetime, and no two concurrent
+// transactions (overlapping [snapshot, End] windows) write a common object
+// (first-committer-wins).
+func (h History) SnapshotIsolation() (bool, error) {
+	idx, err := h.validate()
+	if err != nil {
+		return false, err
+	}
+	// Commit instant of each version = End of its writer.
+	commit := func(id string) float64 { return h.Txns[idx[id]].End }
+
+	snapshots := make([]float64, len(h.Txns))
+	for i, t := range h.Txns {
+		// The snapshot must be ≥ commit of every version read and < commit
+		// of every next version not observed — intersect the constraints.
+		lo, hi := 0.0, t.End
+		for obj, ver := range t.Reads {
+			order, err := h.writeOrderOf(obj)
+			if err != nil {
+				return false, err
+			}
+			verPos := -1
+			if ver != InitialVersion {
+				for p, id := range order {
+					if id == ver {
+						verPos = p
+					}
+				}
+				if c := commit(ver); c > lo {
+					lo = c
+				}
+			}
+			if verPos+1 < len(order) {
+				next := order[verPos+1]
+				if next != t.ID {
+					if c := commit(next); c < hi {
+						hi = c
+					}
+				}
+			}
+		}
+		if lo >= hi {
+			return false, nil // no consistent snapshot instant exists
+		}
+		snapshots[i] = lo
+	}
+	// First-committer-wins: two writers of the same object must not have
+	// overlapping [snapshot, End] windows.
+	for _, obj := range h.objects() {
+		order, err := h.writeOrderOf(obj)
+		if err != nil {
+			return false, err
+		}
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				a, b := idx[order[i]], idx[order[j]]
+				if snapshots[a] < h.Txns[b].End && snapshots[b] < h.Txns[a].End {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// IsIntervalOrder reports whether →rt is 2+2-free: no a→b and c→d with
+// a↛d and c↛b (Figure 3(b)). By Fishburn's theorem the precedence order of
+// intervals on the real line always is; the check both documents and tests
+// that fact, and exposes the mechanism behind phantom orderings.
+func (h History) IsIntervalOrder() bool {
+	rt := h.realTimeGraph()
+	n := rt.Order()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if !rt.Get(a, b) {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				for d := 0; d < n; d++ {
+					if rt.Get(c, d) && !rt.Get(a, d) && !rt.Get(c, b) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// PhantomOrderings returns the pairs (a, d) that any timestamp-based
+// (strict-serializable) scheduler must order even though they have no
+// R/W dependency in either direction: a →rt d with a and d unrelated in
+// the transitive closure of →rw. These are exactly the orderings that can
+// force TOCC to abort where ROCoCo commits (§3.1).
+func (h History) PhantomOrderings() ([][2]string, error) {
+	g, err := h.DependencyGraph()
+	if err != nil {
+		return nil, err
+	}
+	closure := g.Clone()
+	closure.Warshall()
+	rt := h.realTimeGraph()
+	var out [][2]string
+	for i := range h.Txns {
+		for j := range h.Txns {
+			if i == j || !rt.Get(i, j) {
+				continue
+			}
+			if !closure.Get(i, j) && !closure.Get(j, i) {
+				out = append(out, [2]string{h.Txns[i].ID, h.Txns[j].ID})
+			}
+		}
+	}
+	return out, nil
+}

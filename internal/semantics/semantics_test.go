@@ -1,0 +1,326 @@
+package semantics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFig1WriteSkew(t *testing.T) {
+	h := Fig1WriteSkew()
+	si, err := h.SnapshotIsolation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !si {
+		t.Fatal("write skew should be admitted by SI")
+	}
+	ser, _, err := h.Serializable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser {
+		t.Fatal("write skew should not be serializable")
+	}
+	// SI does not imply serializability: the whole point of Figure 1.
+}
+
+func TestFig2aStrictSerializable(t *testing.T) {
+	h := Fig2a()
+	ok, order, err := h.StrictSerializable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Fig 2(a) should be strict serializable")
+	}
+	if order[0] != "t2" || order[1] != "t1" {
+		t.Fatalf("serial order %v, want [t2 t1]", order)
+	}
+	// A free timestamp assignment exists (commit-time stamps fix 2(a)).
+	_, feasible, err := h.TimestampAssignment()
+	if err != nil || !feasible {
+		t.Fatalf("timestamp assignment should exist: %v", err)
+	}
+}
+
+func TestFig2bPhantomOrdering(t *testing.T) {
+	h := Fig2b()
+	ser, order, err := h.Serializable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ser {
+		t.Fatal("Fig 2(b) should be serializable")
+	}
+	want := []string{"t2", "t3", "t1"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("serial order %v, want %v", order, want)
+		}
+	}
+	// Strict serializability also holds (the intervals overlap).
+	if ok, _, _ := h.StrictSerializable(); !ok {
+		t.Fatal("Fig 2(b) should be strict serializable as a history")
+	}
+	// But the LSA/TOCC commit-order criterion fails: t3 →rw t1 while t1
+	// committed first. This is the abort ROCoCo saves.
+	ok, err := h.CommitOrderConsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Fig 2(b) should violate the commit-order (TOCC) criterion")
+	}
+}
+
+func TestSnapshotIsolationRejectsInconsistentReads(t *testing.T) {
+	// t3 reads x from t1 but y from the initial state although t2
+	// committed writes to both between t1 and t3: no snapshot instant
+	// yields that mix.
+	h := History{
+		Txns: []Txn{
+			{ID: "t1", Start: 0, End: 1, Writes: []string{"x"}},
+			{ID: "t2", Start: 1.5, End: 2, Writes: []string{"x", "y"}},
+			{ID: "t3", Start: 3, End: 4,
+				Reads: map[string]string{"x": "t1", "y": InitialVersion}},
+		},
+		WriteOrder: map[string][]string{"x": {"t1", "t2"}},
+	}
+	si, err := h.SnapshotIsolation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si {
+		t.Fatal("inconsistent snapshot admitted by SI checker")
+	}
+}
+
+func TestSnapshotIsolationFirstCommitterWins(t *testing.T) {
+	// Two fully-overlapping transactions blind-writing the same object.
+	h := History{
+		Txns: []Txn{
+			{ID: "a", Start: 0, End: 10, Writes: []string{"x"},
+				Reads: map[string]string{"x": InitialVersion}},
+			{ID: "b", Start: 1, End: 9, Writes: []string{"x"},
+				Reads: map[string]string{"x": InitialVersion}},
+		},
+		WriteOrder: map[string][]string{"x": {"a", "b"}},
+	}
+	si, err := h.SnapshotIsolation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si {
+		t.Fatal("concurrent writers of one object admitted by SI (first-committer-wins violated)")
+	}
+}
+
+func TestLinearizability(t *testing.T) {
+	// Single-op transactions on one register with real-time order.
+	h := History{
+		Txns: []Txn{
+			{ID: "w", Start: 0, End: 1, Writes: []string{"r"}},
+			{ID: "rd", Start: 2, End: 3, Reads: map[string]string{"r": "w"}},
+		},
+	}
+	ok, err := h.Linearizable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("write-then-read should linearize")
+	}
+	// A stale read after the write completes is not linearizable.
+	h2 := History{
+		Txns: []Txn{
+			{ID: "w", Start: 0, End: 1, Writes: []string{"r"}},
+			{ID: "rd", Start: 2, End: 3, Reads: map[string]string{"r": InitialVersion}},
+		},
+	}
+	ok, err = h2.Linearizable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale read after completed write linearized")
+	}
+	// Multi-op transactions are out of scope for linearizability.
+	if _, err := Fig1WriteSkew().Linearizable(); err == nil {
+		t.Fatal("multi-op transaction accepted by Linearizable")
+	}
+}
+
+func TestRealTimeIsAlwaysIntervalOrder(t *testing.T) {
+	// Fishburn: interval precedence is 2+2-free, for any random intervals.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		var h History
+		for i := 0; i < 12; i++ {
+			s := rng.Float64() * 100
+			h.Txns = append(h.Txns, Txn{
+				ID: string(rune('a' + i)), Start: s, End: s + 0.1 + rng.Float64()*30,
+			})
+		}
+		if !h.IsIntervalOrder() {
+			t.Fatalf("trial %d: real-time order not an interval order", trial)
+		}
+	}
+}
+
+func TestPhantomOrderings(t *testing.T) {
+	// Two dependent pairs separated in real time: t1→t2 and t3→t4 with
+	// t1 finishing before t4 starts gives the 2+2 pattern's forced pair.
+	h := History{
+		Txns: []Txn{
+			{ID: "t1", Start: 0, End: 1, Writes: []string{"x"}},
+			{ID: "t2", Start: 2, End: 8, Reads: map[string]string{"x": "t1"}},
+			{ID: "t3", Start: 0.5, End: 3, Writes: []string{"y"}},
+			{ID: "t4", Start: 4, End: 5, Reads: map[string]string{"y": "t3"}},
+		},
+	}
+	ph, err := h.PhantomOrderings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range ph {
+		if p[0] == "t1" && p[1] == "t4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected phantom ordering (t1, t4), got %v", ph)
+	}
+}
+
+func TestTimestampAssignmentInfeasible(t *testing.T) {
+	// t_b →rw t_a but t_a's interval ends before t_b's begins: no points
+	// can respect the dependency.
+	h := History{
+		Txns: []Txn{
+			{ID: "a", Start: 0, End: 1, Reads: map[string]string{"x": InitialVersion}},
+			{ID: "b", Start: 2, End: 3, Writes: []string{"x"}},
+		},
+	}
+	// a →rw b (WAR): feasible, a before b.
+	if _, ok, err := h.TimestampAssignment(); err != nil || !ok {
+		t.Fatalf("WAR with disjoint intervals should be feasible: %v", err)
+	}
+	// Reverse: b writes x first in version order, a reads b's version but
+	// a's interval precedes b's: b →rw a infeasible.
+	h2 := History{
+		Txns: []Txn{
+			{ID: "a", Start: 0, End: 1, Reads: map[string]string{"x": "b"}},
+			{ID: "b", Start: 2, End: 3, Writes: []string{"x"}},
+		},
+	}
+	if _, ok, err := h2.TimestampAssignment(); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("reading from the future should be timestamp-infeasible")
+	}
+}
+
+func TestSerialOrdersEnumeration(t *testing.T) {
+	h := Fig2b()
+	orders, err := h.SerialOrders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t2 < t3 and t3 < t1 fully determine the order.
+	if len(orders) != 1 {
+		t.Fatalf("orders = %v, want exactly one", orders)
+	}
+	// An independent pair doubles the count.
+	h2 := History{
+		Txns: []Txn{
+			{ID: "a", Start: 0, End: 1, Writes: []string{"x"}},
+			{ID: "b", Start: 0, End: 1, Writes: []string{"y"}},
+		},
+	}
+	orders, err = h2.SerialOrders()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orders) != 2 {
+		t.Fatalf("independent pair should have 2 serial orders, got %d", len(orders))
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []History{
+		{Txns: []Txn{{ID: "", Start: 0, End: 1}}},
+		{Txns: []Txn{{ID: "a", Start: 0, End: 1}, {ID: "a", Start: 0, End: 1}}},
+		{Txns: []Txn{{ID: "a", Start: 2, End: 1}}},
+		{Txns: []Txn{{ID: "a", Start: 0, End: 1,
+			Reads: map[string]string{"x": "ghost"}}}},
+		{Txns: []Txn{
+			{ID: "a", Start: 0, End: 1, Writes: []string{"x"}},
+			{ID: "b", Start: 0, End: 1, Writes: []string{"x"}},
+		}}, // two writers, no WriteOrder
+	}
+	for i, h := range cases {
+		if _, _, err := h.Serializable(); err == nil {
+			t.Errorf("case %d: invalid history accepted", i)
+		}
+	}
+}
+
+func TestSemanticsLattice(t *testing.T) {
+	// Figure 3(a)'s strengthening arrows on concrete histories:
+	// strict serializable ⇒ serializable; the write-skew history is SI
+	// but not serializable; Fig2b separates serializability from the
+	// commit-order mechanism.
+	h := Fig2a()
+	if ok, _, _ := h.StrictSerializable(); ok {
+		if ser, _, _ := h.Serializable(); !ser {
+			t.Fatal("strict serializable history not serializable")
+		}
+	}
+}
+
+// TestSerializabilityNotCompositional demonstrates §2.2/§3.2: in the write
+// skew of Figure 1, the dependency graph restricted to either object alone
+// is acyclic — each object, checked in isolation, is perfectly
+// serializable — yet their composition is cyclic. Acyclicity (and hence
+// serializability) is not a compositional property, which is exactly why
+// the paper needs a centralized validator.
+func TestSerializabilityNotCompositional(t *testing.T) {
+	full := Fig1WriteSkew()
+
+	// Project the history onto a single object.
+	project := func(h History, obj string) History {
+		var out History
+		for _, txn := range h.Txns {
+			p := Txn{ID: txn.ID, Start: txn.Start, End: txn.End,
+				Reads: map[string]string{}}
+			if v, ok := txn.Reads[obj]; ok {
+				p.Reads[obj] = v
+			}
+			for _, w := range txn.Writes {
+				if w == obj {
+					p.Writes = append(p.Writes, w)
+				}
+			}
+			out.Txns = append(out.Txns, p)
+		}
+		return out
+	}
+
+	for _, obj := range []string{"x", "y"} {
+		ok, _, err := project(full, obj).Serializable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("object %s alone should be serializable", obj)
+		}
+	}
+	ok, _, err := full.Serializable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("composition should not be serializable")
+	}
+}

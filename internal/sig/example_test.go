@@ -1,0 +1,31 @@
+package sig_test
+
+import (
+	"fmt"
+
+	"rococotm/internal/sig"
+)
+
+// Example demonstrates the signature operations ROCoCoTM builds on: exact
+// rejection of disjoint sets and sound (never-false-negative) membership.
+func Example() {
+	h := sig.NewHasher(sig.Default512, 1)
+	readSet := sig.New(sig.Default512)
+	writeSet := sig.New(sig.Default512)
+
+	for _, a := range []uint64{100, 200, 300} {
+		readSet.Insert(h, a)
+	}
+	writeSet.Insert(h, 999)
+
+	fmt.Println("member(200):", readSet.Query(h, 200))
+	fmt.Println("overlap with disjoint write set:", readSet.Intersects(writeSet))
+
+	writeSet.Insert(h, 300) // now they truly overlap
+	fmt.Println("overlap after shared insert:", readSet.Intersects(writeSet))
+
+	// Output:
+	// member(200): true
+	// overlap with disjoint write set: false
+	// overlap after shared insert: true
+}

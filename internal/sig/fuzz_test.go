@@ -1,0 +1,52 @@
+package sig
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSignatureSoundness checks the two properties ROCoCoTM's correctness
+// rests on, for arbitrary address sets: membership queries never produce
+// false negatives, and Intersects never reports disjoint for sets that
+// truly overlap.
+func FuzzSignatureSoundness(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := NewHasher(Default512, 42)
+		a, b := New(Default512), New(Default512)
+		var addrsA, addrsB []uint64
+		for i := 0; i+8 <= len(data) && i < 64*8; i += 8 {
+			x := binary.LittleEndian.Uint64(data[i : i+8])
+			if (i/8)%2 == 0 {
+				addrsA = append(addrsA, x)
+				a.Insert(h, x)
+			} else {
+				addrsB = append(addrsB, x)
+				b.Insert(h, x)
+			}
+		}
+		for _, x := range addrsA {
+			if !a.Query(h, x) {
+				t.Fatalf("false negative for %#x", x)
+			}
+		}
+		// If the raw sets overlap, Intersects must say so.
+		inA := map[uint64]bool{}
+		for _, x := range addrsA {
+			inA[x] = true
+		}
+		overlap := false
+		for _, x := range addrsB {
+			if inA[x] {
+				overlap = true
+			}
+		}
+		if overlap && !a.Intersects(b) {
+			t.Fatal("overlapping sets reported disjoint")
+		}
+		if overlap && !a.AnyCommonBit(b) {
+			t.Fatal("overlapping sets share no bit")
+		}
+	})
+}

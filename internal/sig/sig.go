@@ -1,0 +1,283 @@
+// Package sig implements the parallel (partitioned) bloom-filter signatures
+// ROCoCoTM uses for address-set disambiguation (paper §5.2).
+//
+// A signature summarizes an unbounded set of 64-bit addresses in m bits
+// split into k equal partitions; inserting an address sets one bit per
+// partition, chosen by k independent multiply-shift hash functions
+// (Dietzfelbinger et al.), the scheme the paper picks because it maps to a
+// few AVX instructions on the CPU and to shift-and-mask logic on the FPGA.
+// Membership query, set union and set intersection are plain bit operations,
+// so the FPGA detector can evaluate them in a single pipeline stage.
+//
+// The package also carries the analytic false-positivity model (after
+// Jeffrey & Steffan, SPAA'11) used to pick m = 512 and the 8-address
+// sub-signature rule; it regenerates the curves of Figure 7.
+package sig
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Config selects the geometry of a signature: m total bits in k partitions.
+type Config struct {
+	M int // total bits; must be a multiple of 64 and of K
+	K int // number of partitions (hash functions); must be a power of two ≤ M/64... not required, see Validate
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.M <= 0 || c.K <= 0:
+		return fmt.Errorf("sig: non-positive geometry m=%d k=%d", c.M, c.K)
+	case c.M%64 != 0:
+		return fmt.Errorf("sig: m=%d not a multiple of 64", c.M)
+	case c.M%c.K != 0:
+		return fmt.Errorf("sig: m=%d not divisible by k=%d", c.M, c.K)
+	case (c.M/c.K)&(c.M/c.K-1) != 0:
+		return fmt.Errorf("sig: partition size %d not a power of two", c.M/c.K)
+	case (c.M/c.K)%64 != 0:
+		return fmt.Errorf("sig: partition size %d not a multiple of 64", c.M/c.K)
+	}
+	return nil
+}
+
+// Words returns the number of 64-bit words backing a signature.
+func (c Config) Words() int { return c.M / 64 }
+
+// PartitionBits returns the number of bits per partition.
+func (c Config) PartitionBits() int { return c.M / c.K }
+
+// Default512 is the geometry ROCoCoTM ships with: one 512-bit cacheline,
+// four partitions of 128 bits (paper §5.2).
+var Default512 = Config{M: 512, K: 4}
+
+// Hasher computes the k partition indices of an address with the
+// multiply-shift scheme: ((a*x + b) >> (64-log2(m/k))). One (a, b) pair per
+// partition; a must be odd for 2-universality.
+type Hasher struct {
+	cfg   Config
+	shift uint
+	a     []uint64
+	b     []uint64
+}
+
+// NewHasher returns a Hasher for cfg with multipliers derived
+// deterministically from seed (so CPU and simulated-FPGA sides agree).
+func NewHasher(cfg Config, seed uint64) *Hasher {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hasher{
+		cfg:   cfg,
+		shift: uint(64 - bits.TrailingZeros(uint(cfg.PartitionBits()))),
+		a:     make([]uint64, cfg.K),
+		b:     make([]uint64, cfg.K),
+	}
+	s := seed
+	next := func() uint64 {
+		// splitmix64: deterministic, well-mixed stream.
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := 0; i < cfg.K; i++ {
+		h.a[i] = next() | 1 // odd multiplier
+		h.b[i] = next()
+	}
+	return h
+}
+
+// Config returns the geometry the hasher was built for.
+func (h *Hasher) Config() Config { return h.cfg }
+
+// Indices writes the k bit positions (relative to the whole m-bit
+// signature) for addr into out, which must have length ≥ k, and returns
+// out[:k].
+func (h *Hasher) Indices(addr uint64, out []int) []int {
+	pb := h.cfg.PartitionBits()
+	for i := 0; i < h.cfg.K; i++ {
+		idx := int((h.a[i]*addr + h.b[i]) >> h.shift)
+		out[i] = i*pb + idx
+	}
+	return out[:h.cfg.K]
+}
+
+// Sig is one bloom-filter signature. The zero value is not usable;
+// construct with New or Hasher-compatible geometry.
+type Sig struct {
+	pw int // 64-bit words per partition
+	w  []uint64
+}
+
+// New returns an empty signature for cfg.
+func New(cfg Config) Sig {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return Sig{pw: cfg.PartitionBits() / 64, w: make([]uint64, cfg.Words())}
+}
+
+// Clone returns a deep copy.
+func (s Sig) Clone() Sig {
+	c := Sig{pw: s.pw, w: make([]uint64, len(s.w))}
+	copy(c.w, s.w)
+	return c
+}
+
+// Reset clears every bit.
+func (s Sig) Reset() {
+	for i := range s.w {
+		s.w[i] = 0
+	}
+}
+
+// IsZero reports whether no bit is set.
+func (s Sig) IsZero() bool {
+	for _, w := range s.w {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (s Sig) OnesCount() int {
+	n := 0
+	for _, w := range s.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Insert adds addr to the signature.
+func (s Sig) Insert(h *Hasher, addr uint64) {
+	var buf [16]int
+	for _, bit := range h.Indices(addr, buf[:]) {
+		s.w[bit>>6] |= 1 << uint(bit&63)
+	}
+}
+
+// Query reports whether addr may be in the set (false positives possible,
+// false negatives impossible).
+func (s Sig) Query(h *Hasher, addr uint64) bool {
+	var buf [16]int
+	for _, bit := range h.Indices(addr, buf[:]) {
+		if s.w[bit>>6]&(1<<uint(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union sets s = s ∪ o.
+func (s Sig) Union(o Sig) {
+	s.sameLen(o)
+	for i := range s.w {
+		s.w[i] |= o.w[i]
+	}
+}
+
+// Intersects reports whether the signatures may represent overlapping sets:
+// the bitwise AND restricted to every partition must be non-zero, because
+// any element of a true intersection sets one bit of each partition in both
+// signatures. A false result is exact (the sets are disjoint); a true
+// result may be a false set-overlap. This is the per-partition AND test of
+// Jeffrey & Steffan that ROCoCoTM's detector implements.
+func (s Sig) Intersects(o Sig) bool {
+	s.sameLen(o)
+	for p := 0; p < len(s.w); p += s.pw {
+		hit := false
+		for i := p; i < p+s.pw; i++ {
+			if s.w[i]&o.w[i] != 0 {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	return true
+}
+
+// AnyCommonBit reports whether s and o share any set bit anywhere (the raw
+// AND-non-zero test, more conservative than Intersects).
+func (s Sig) AnyCommonBit(o Sig) bool {
+	s.sameLen(o)
+	for i := range s.w {
+		if s.w[i]&o.w[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports bit equality.
+func (s Sig) Equal(o Sig) bool {
+	if len(s.w) != len(o.w) {
+		return false
+	}
+	for i := range s.w {
+		if s.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Words exposes the backing words (aliased, not copied) so queues can ship
+// signatures without reallocation.
+func (s Sig) Words() []uint64 { return s.w }
+
+// FromWords wraps an existing word slice as a signature for cfg (aliased,
+// not copied). len(w) must equal cfg.Words().
+func FromWords(cfg Config, w []uint64) Sig {
+	if len(w) != cfg.Words() {
+		panic(fmt.Sprintf("sig: FromWords got %d words, want %d", len(w), cfg.Words()))
+	}
+	return Sig{pw: cfg.PartitionBits() / 64, w: w}
+}
+
+func (s Sig) sameLen(o Sig) {
+	if len(s.w) != len(o.w) {
+		panic(fmt.Sprintf("sig: geometry mismatch %d != %d words", len(s.w), len(o.w)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Analytic false-positivity model (Figure 7).
+
+// BitSetProb returns the probability that a particular bit of a partition
+// is set after n distinct insertions: 1 - (1 - k/m)^n for the partitioned
+// filter (each insertion sets exactly one of m/k bits per partition).
+func BitSetProb(cfg Config, n int) float64 {
+	pb := float64(cfg.PartitionBits())
+	return 1 - math.Pow(1-1/pb, float64(n))
+}
+
+// QueryFPRate returns the probability that a membership query for an
+// address outside the set answers true after n insertions: p^k with
+// p = BitSetProb.
+func QueryFPRate(cfg Config, n int) float64 {
+	return math.Pow(BitSetProb(cfg, n), float64(cfg.K))
+}
+
+// IntersectFPRate returns the probability of a false set-overlap between
+// the signatures of two disjoint sets with na and nb elements, under the
+// per-partition AND test: every one of the k partitions must contain a
+// common bit. With each bit commonly set with probability pa*pb
+// (independence approximation), a partition of m/k bits has a common bit
+// with probability 1-(1-pa*pb)^(m/k), and all k must:
+//
+//	FP = (1 - (1 - pa*pb)^(m/k))^k
+func IntersectFPRate(cfg Config, na, nb int) float64 {
+	pa := BitSetProb(cfg, na)
+	pb := BitSetProb(cfg, nb)
+	perPartition := 1 - math.Pow(1-pa*pb, float64(cfg.PartitionBits()))
+	return math.Pow(perPartition, float64(cfg.K))
+}

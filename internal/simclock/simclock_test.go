@@ -1,0 +1,124 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Advance(5.5)
+	c.Advance(-3) // negative ignored
+	if c.Now() != 15.5 {
+		t.Fatalf("Now = %g, want 15.5", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestGroupMakespanAndTotal(t *testing.T) {
+	g := NewGroup(3)
+	g.Clock(0).Advance(100)
+	g.Clock(1).Advance(250)
+	g.Clock(2).Advance(50)
+	if g.Makespan() != 250 {
+		t.Fatalf("Makespan = %g", g.Makespan())
+	}
+	if g.Total() != 400 {
+		t.Fatalf("Total = %g", g.Total())
+	}
+}
+
+func TestPipeNoContention(t *testing.T) {
+	var p Pipe
+	done := p.Serve(1000, 10, 600)
+	if done != 1600 {
+		t.Fatalf("uncontended completion = %g, want 1600", done)
+	}
+}
+
+func TestPipeQueueing(t *testing.T) {
+	var p Pipe
+	// Two requests at the same instant: the second queues behind the
+	// first's occupancy.
+	d1 := p.Serve(0, 10, 600)
+	d2 := p.Serve(0, 10, 600)
+	if d1 != 600 {
+		t.Fatalf("first = %g", d1)
+	}
+	if d2 != 610 {
+		t.Fatalf("second = %g, want 610 (10 ns queueing)", d2)
+	}
+	// A request arriving after the pipe drained sees no queueing.
+	d3 := p.Serve(1e6, 10, 600)
+	if d3 != 1e6+600 {
+		t.Fatalf("late request = %g", d3)
+	}
+	served, busy := p.Stats()
+	if served != 3 || busy != 30 {
+		t.Fatalf("stats = %d, %g", served, busy)
+	}
+}
+
+func TestPipeConcurrentSafety(t *testing.T) {
+	var p Pipe
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				p.Serve(float64(j), 1, 10)
+			}
+		}()
+	}
+	wg.Wait()
+	served, busy := p.Stats()
+	if served != 8000 || busy != 8000 {
+		t.Fatalf("stats = %d, %g", served, busy)
+	}
+}
+
+func TestPipelinedBeatsExclusive(t *testing.T) {
+	// The paper's Figure 6(c)/(d) contrast: with occupancy ≪ latency
+	// (deep pipeline), N overlapped validations take ≈ latency + N·occ,
+	// not N·latency as an exclusive validator would.
+	var pipelined Pipe
+	const n = 28
+	var last float64
+	for i := 0; i < n; i++ {
+		last = pipelined.Serve(0, 5, 600)
+	}
+	exclusive := float64(n * 600)
+	if last >= exclusive/4 {
+		t.Fatalf("pipelined %g ns not ≪ exclusive %g ns", last, exclusive)
+	}
+}
+
+func TestRecordDoesNotQueue(t *testing.T) {
+	var p Pipe
+	d1 := p.Record(0, 10, 600)
+	d2 := p.Record(0, 10, 600)
+	if d1 != 600 || d2 != 600 {
+		t.Fatalf("Record queued: %g, %g", d1, d2)
+	}
+	served, busy := p.Stats()
+	if served != 2 || busy != 20 {
+		t.Fatalf("stats = %d, %g", served, busy)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var p Pipe
+	p.Record(0, 25, 600)
+	p.Record(0, 25, 600)
+	if got := p.Utilization(1000); got != 0.05 {
+		t.Fatalf("utilization = %g", got)
+	}
+	if p.Utilization(0) != 0 {
+		t.Fatal("zero makespan should report zero utilization")
+	}
+}

@@ -1,0 +1,275 @@
+// Package genome ports STAMP's genome: gene sequencing by segment
+// de-duplication and overlap matching. A gene string is shredded into
+// overlapping S-base segments (with duplicates, like sequencer reads);
+// phase 1 de-duplicates the segment pool into a hashtable, and phase 2
+// links each unique segment to its unique successor by (S-1)-base overlap.
+// Verification reconstructs the original gene by walking the links.
+//
+// Transactions are hashtable operations; a large fraction are read-only
+// (duplicate inserts, lookups), which is why genome benefits from
+// ROCoCoTM's read-only CPU-commit fast path (§6.3).
+package genome
+
+import (
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/tm"
+	"rococotm/internal/tmds"
+)
+
+// Config sizes the workload.
+type Config struct {
+	GeneLength int // bases in the gene
+	SegLength  int // bases per segment (≤ 31 to fit a word)
+	Dup        int // copies of each segment in the input pool
+	Seed       uint64
+}
+
+// ConfigFor returns the paper-shaped configuration at a given scale.
+func ConfigFor(s stamp.Scale) Config {
+	switch s {
+	case stamp.Small:
+		return Config{GeneLength: 256, SegLength: 16, Dup: 3, Seed: 3}
+	case stamp.Medium:
+		return Config{GeneLength: 4096, SegLength: 16, Dup: 4, Seed: 3}
+	default:
+		return Config{GeneLength: 16384, SegLength: 16, Dup: 4, Seed: 3}
+	}
+}
+
+// App is one genome instance.
+type App struct {
+	cfg  Config
+	gene []byte   // bases 0..3
+	pool []uint64 // shuffled segment k-mers, with duplicates
+
+	unique mem.Addr // Hashtable: kmer → 1 (the dedup set)
+	prefix mem.Addr // Hashtable: (S-1)-prefix → kmer
+	links  mem.Addr // Hashtable: kmer → successor kmer (or noSucc)
+	claim  mem.Addr // Hashtable: kmer → 1 (phase-2 work claiming)
+
+	bar *stamp.Barrier
+}
+
+// noSucc marks the final segment's "successor".
+const noSucc = ^mem.Word(0)
+
+// New returns a genome app for cfg.
+func New(cfg Config) *App { return &App{cfg: cfg} }
+
+// NewAt returns a genome app at the given scale.
+func NewAt(s stamp.Scale) *App { return New(ConfigFor(s)) }
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "genome" }
+
+// HeapWords implements stamp.App.
+func (a *App) HeapWords() int {
+	u := a.cfg.GeneLength - a.cfg.SegLength + 1
+	// Four hashtables: buckets + up to u 3-word list nodes each, tripled
+	// for the nodes leaked by aborted allocating transactions, plus slack.
+	return 40*4*(u+8+u*3) + 8192
+}
+
+// kmer encodes s bases starting at gene[i], base j in bits [2j, 2j+2).
+func (a *App) kmer(i int) uint64 {
+	var k uint64
+	for j := 0; j < a.cfg.SegLength; j++ {
+		k |= uint64(a.gene[i+j]) << uint(2*j)
+	}
+	return k
+}
+
+func (a *App) prefixOf(k uint64) uint64 {
+	return k & (1<<uint(2*(a.cfg.SegLength-1)) - 1)
+}
+
+func (a *App) suffixOf(k uint64) uint64 { return k >> 2 }
+
+// Setup implements stamp.App.
+func (a *App) Setup(h *mem.Heap) error {
+	c := a.cfg
+	if c.SegLength < 2 || c.SegLength > 31 || c.GeneLength <= c.SegLength || c.Dup < 1 {
+		return fmt.Errorf("genome: bad config %+v", c)
+	}
+	rng := stamp.NewRNG(c.Seed)
+	// Generate a gene whose (S-1)-grams are all distinct so overlap
+	// chaining is unambiguous (retry on the rare collision).
+	nseg := c.GeneLength - c.SegLength + 1
+	for attempt := 0; ; attempt++ {
+		if attempt > 100 {
+			return fmt.Errorf("genome: could not generate a collision-free gene")
+		}
+		a.gene = make([]byte, c.GeneLength)
+		for i := range a.gene {
+			a.gene[i] = byte(rng.Intn(4))
+		}
+		seen := make(map[uint64]bool, c.GeneLength)
+		ok := true
+		for i := 0; i+c.SegLength-1 <= c.GeneLength-1; i++ {
+			// (S-1)-gram at i.
+			var g uint64
+			for j := 0; j < c.SegLength-1; j++ {
+				g |= uint64(a.gene[i+j]) << uint(2*j)
+			}
+			if seen[g] {
+				ok = false
+				break
+			}
+			seen[g] = true
+		}
+		if ok {
+			break
+		}
+	}
+	// Shuffled duplicate pool.
+	a.pool = make([]uint64, 0, nseg*c.Dup)
+	for d := 0; d < c.Dup; d++ {
+		for i := 0; i < nseg; i++ {
+			a.pool = append(a.pool, a.kmer(i))
+		}
+	}
+	for i := len(a.pool) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		a.pool[i], a.pool[j] = a.pool[j], a.pool[i]
+	}
+
+	buckets := nseg/2 + 1
+	mk := func() (mem.Addr, error) {
+		t, err := tmds.NewHashtable(h, buckets)
+		if err != nil {
+			return 0, err
+		}
+		return t.Handle(), nil
+	}
+	var err error
+	if a.unique, err = mk(); err != nil {
+		return err
+	}
+	if a.prefix, err = mk(); err != nil {
+		return err
+	}
+	if a.links, err = mk(); err != nil {
+		return err
+	}
+	a.claim, err = mk()
+	return err
+}
+
+// SetThreads implements stamp.ThreadAware.
+func (a *App) SetThreads(n int) { a.bar = stamp.NewBarrier(n) }
+
+// Run implements stamp.App.
+func (a *App) Run(m tm.TM, id, threads int) error {
+	if a.bar == nil {
+		return fmt.Errorf("genome: SetThreads not called before Run")
+	}
+	h := m.Heap()
+	unique := tmds.HashtableAt(h, a.unique)
+	prefix := tmds.HashtableAt(h, a.prefix)
+	links := tmds.HashtableAt(h, a.links)
+	claim := tmds.HashtableAt(h, a.claim)
+
+	// Phase 1: de-duplicate segments; first inserter also registers the
+	// segment's (S-1)-prefix.
+	lo, hi := stamp.Chunk(len(a.pool), threads, id)
+	for i := lo; i < hi; i++ {
+		k := a.pool[i]
+		err := tm.Run(m, id, func(x tm.Txn) error {
+			ins, err := unique.Insert(x, mem.Word(k), 1)
+			if err != nil || !ins {
+				return err // duplicate: read-only transaction
+			}
+			_, err = prefix.Insert(x, mem.Word(a.prefixOf(k)), mem.Word(k))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	a.bar.Wait()
+
+	// Phase 2: each unique segment is claimed once and linked to its
+	// successor via the prefix table.
+	for i := lo; i < hi; i++ {
+		k := a.pool[i]
+		err := tm.Run(m, id, func(x tm.Txn) error {
+			claimed, err := claim.Insert(x, mem.Word(k), 1)
+			if err != nil || !claimed {
+				return err // another thread already linked this segment
+			}
+			succ, ok, err := prefix.Find(x, mem.Word(a.suffixOf(k)))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				succ = noSucc // final segment of the gene
+			}
+			_, err = links.Insert(x, mem.Word(k), succ)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify implements stamp.App: walk the links from the gene's first
+// segment and reconstruct the full gene.
+func (a *App) Verify(h *mem.Heap) error {
+	c := a.cfg
+	// Verification runs after all transactions; use a throwaway
+	// sequential view of the heap through direct loads via a trivial txn.
+	links := tmds.HashtableAt(h, a.links)
+	read := stamp.Direct{H: h}
+
+	nseg := c.GeneLength - c.SegLength + 1
+	n, err := tmds.HashtableAt(h, a.unique).Len(read)
+	if err != nil {
+		return err
+	}
+	if n != nseg {
+		return fmt.Errorf("genome: %d unique segments, want %d", n, nseg)
+	}
+	k := a.kmer(0)
+	rebuilt := make([]byte, 0, c.GeneLength)
+	for j := 0; j < c.SegLength; j++ {
+		rebuilt = append(rebuilt, byte(k>>uint(2*j))&3)
+	}
+	for step := 0; step < nseg-1; step++ {
+		succ, ok, err := links.Find(read, mem.Word(k))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("genome: segment %d has no link", step)
+		}
+		if succ == noSucc {
+			return fmt.Errorf("genome: premature end at step %d", step)
+		}
+		k = uint64(succ)
+		rebuilt = append(rebuilt, byte(k>>uint(2*(c.SegLength-1)))&3)
+	}
+	if len(rebuilt) != c.GeneLength {
+		return fmt.Errorf("genome: rebuilt %d bases, want %d", len(rebuilt), c.GeneLength)
+	}
+	for i := range rebuilt {
+		if rebuilt[i] != a.gene[i] {
+			return fmt.Errorf("genome: rebuilt gene differs at base %d", i)
+		}
+	}
+	// The final segment must link to the sentinel.
+	last, ok, err := links.Find(read, mem.Word(a.kmer(nseg-1)))
+	if err != nil || !ok {
+		return fmt.Errorf("genome: last segment unlinked (%v)", err)
+	}
+	if last != noSucc {
+		return fmt.Errorf("genome: last segment links to %#x", last)
+	}
+	return nil
+}
+
+var _ stamp.App = (*App)(nil)

@@ -1,0 +1,59 @@
+package genome
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stm/seqtm"
+	"rococotm/internal/tm"
+)
+
+func TestBadConfigRejected(t *testing.T) {
+	for _, cfg := range []Config{
+		{GeneLength: 8, SegLength: 16, Dup: 2},
+		{GeneLength: 100, SegLength: 1, Dup: 2},
+		{GeneLength: 100, SegLength: 40, Dup: 0},
+	} {
+		a := New(cfg)
+		if err := a.Setup(mem.NewHeap(1 << 12)); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestKmerRoundTrip(t *testing.T) {
+	a := New(Config{GeneLength: 64, SegLength: 8, Dup: 1, Seed: 1})
+	if err := a.Setup(mem.NewHeap(a.HeapWords())); err != nil {
+		t.Fatal(err)
+	}
+	// suffix(kmer(i)) must equal prefix(kmer(i+1)).
+	for i := 0; i+a.cfg.SegLength < a.cfg.GeneLength; i++ {
+		if a.suffixOf(a.kmer(i)) != a.prefixOf(a.kmer(i+1)) {
+			t.Fatalf("overlap broken at %d", i)
+		}
+	}
+}
+
+func TestReconstructionSequential(t *testing.T) {
+	a := NewAt(stamp.Small)
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM { return seqtm.New(h) }, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructionConcurrent(t *testing.T) {
+	a := NewAt(stamp.Small)
+	res, err := stamp.Execute(a, func(h *mem.Heap) tm.TM {
+		return rococotm.New(h, rococotm.Config{})
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate inserts and claim misses are read-only commits; with
+	// Dup=3 a majority of phase-1/2 transactions must be read-only.
+	if res.TM.ReadOnly == 0 {
+		t.Fatal("no read-only fast-path commits in genome (suspicious)")
+	}
+}

@@ -1,0 +1,297 @@
+// Package intruder ports STAMP's intruder: network intrusion detection by
+// signature matching. Packet fragments of many flows arrive interleaved on
+// a shared queue; threads pop fragments (a highly contended dequeue),
+// reassemble flows in a shared map (the decoder), and scan completed
+// payloads for an attack signature. The queue head is the contention
+// hotspot the paper attributes intruder's conflicts to (§6.3).
+package intruder
+
+import (
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/tm"
+	"rococotm/internal/tmds"
+)
+
+// maxFrags bounds fragments per flow (record layout is fixed-size).
+const maxFrags = 4
+
+// attackWord is the signature scanned for in reassembled payloads.
+const attackWord = mem.Word(0xDEADBEEFCAFEF00D)
+
+// Config sizes the workload.
+type Config struct {
+	Flows        int
+	PayloadWords int // words per flow payload
+	AttackPct    int // percentage of flows carrying the signature
+	Seed         uint64
+}
+
+// ConfigFor returns the paper-shaped configuration at a given scale.
+func ConfigFor(s stamp.Scale) Config {
+	switch s {
+	case stamp.Small:
+		return Config{Flows: 64, PayloadWords: 8, AttackPct: 20, Seed: 5}
+	case stamp.Medium:
+		return Config{Flows: 1024, PayloadWords: 12, AttackPct: 10, Seed: 5}
+	default:
+		return Config{Flows: 4096, PayloadWords: 16, AttackPct: 10, Seed: 5}
+	}
+}
+
+// Fragment record layout: [flowID, fragIdx, nFrags, dataLen, data...].
+const (
+	frFlow = iota
+	frIdx
+	frNFrags
+	frLen
+	frData
+)
+
+// Flow-state record layout: [nReceived, nFrags, fragPtr0..fragPtr3].
+const (
+	fsReceived = iota
+	fsNFrags
+	fsFrag0
+	fsWords = fsFrag0 + maxFrags
+)
+
+// App is one intruder instance.
+type App struct {
+	cfg Config
+
+	queue    mem.Addr // tmds.Queue handle: pending fragment records
+	flows    mem.Addr // tmds.Hashtable handle: flowID → flow-state record
+	done     mem.Addr // processed-flow counter
+	attacks  mem.Addr // detected-attack counter
+	injected int      // attacks generated (ground truth)
+}
+
+// New returns an intruder app for cfg.
+func New(cfg Config) *App { return &App{cfg: cfg} }
+
+// NewAt returns an intruder app at the given scale.
+func NewAt(s stamp.Scale) *App { return New(ConfigFor(s)) }
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "intruder" }
+
+// HeapWords implements stamp.App.
+func (a *App) HeapWords() int {
+	c := a.cfg
+	perFlow := maxFrags*(frData+c.PayloadWords) + fsWords + 16
+	return 24*c.Flows*perFlow + 16384
+}
+
+// Setup implements stamp.App.
+func (a *App) Setup(h *mem.Heap) error {
+	c := a.cfg
+	if c.Flows < 1 || c.PayloadWords < 2 || c.AttackPct < 0 || c.AttackPct > 100 {
+		return fmt.Errorf("intruder: bad config %+v", c)
+	}
+	rng := stamp.NewRNG(c.Seed)
+	q, err := tmds.NewQueue(h, 2*c.Flows)
+	if err != nil {
+		return err
+	}
+	a.queue = q.Handle()
+	flows, err := tmds.NewHashtable(h, c.Flows/2+1)
+	if err != nil {
+		return err
+	}
+	a.flows = flows.Handle()
+	if a.done, err = h.Alloc(1); err != nil {
+		return err
+	}
+	if a.attacks, err = h.Alloc(1); err != nil {
+		return err
+	}
+
+	// Build fragments for every flow and scatter them into the queue.
+	var frags []mem.Addr
+	a.injected = 0
+	for f := 0; f < c.Flows; f++ {
+		payload := make([]mem.Word, c.PayloadWords)
+		for i := range payload {
+			w := mem.Word(rng.Next())
+			if w == attackWord {
+				w++ // avoid accidental signatures
+			}
+			payload[i] = w
+		}
+		if rng.Intn(100) < c.AttackPct {
+			payload[rng.Intn(c.PayloadWords)] = attackWord
+			a.injected++
+		}
+		n := 1 + rng.Intn(maxFrags)
+		for i := 0; i < n; i++ {
+			lo := len(payload) * i / n
+			hi := len(payload) * (i + 1) / n
+			rec, err := h.Alloc(frData + (hi - lo))
+			if err != nil {
+				return err
+			}
+			h.Store(rec+frFlow, mem.Word(f))
+			h.Store(rec+frIdx, mem.Word(i))
+			h.Store(rec+frNFrags, mem.Word(n))
+			h.Store(rec+frLen, mem.Word(hi-lo))
+			for j := lo; j < hi; j++ {
+				h.Store(rec+frData+mem.Addr(j-lo), payload[j])
+			}
+			frags = append(frags, rec)
+		}
+	}
+	// Shuffle so fragments of a flow interleave with other flows.
+	for i := len(frags) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		frags[i], frags[j] = frags[j], frags[i]
+	}
+	d := stamp.Direct{H: h}
+	for _, rec := range frags {
+		if err := q.Push(d, mem.Word(rec)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run implements stamp.App.
+func (a *App) Run(m tm.TM, id, threads int) error {
+	h := m.Heap()
+	q := tmds.QueueAt(h, a.queue)
+	flows := tmds.HashtableAt(h, a.flows)
+
+	for {
+		// Transaction 1: grab a fragment (the contended hot spot).
+		var rec mem.Addr
+		var have bool
+		err := tm.Run(m, id, func(x tm.Txn) error {
+			w, ok, err := q.Pop(x)
+			rec, have = mem.Addr(w), ok
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if !have {
+			return nil // queue drained
+		}
+
+		// Fragment fields are immutable after Setup: read directly.
+		flowID := h.Load(rec + frFlow)
+		nFrags := int(h.Load(rec + frNFrags))
+
+		// Transaction 2: decoder — fold the fragment into the flow state.
+		var complete bool
+		var state mem.Addr
+		err = tm.Run(m, id, func(x tm.Txn) error {
+			complete = false
+			w, ok, err := flows.Find(x, flowID)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				ns, aerr := h.Alloc(fsWords)
+				if aerr != nil {
+					return aerr
+				}
+				if err := x.Write(ns+fsReceived, 0); err != nil {
+					return err
+				}
+				if err := x.Write(ns+fsNFrags, mem.Word(nFrags)); err != nil {
+					return err
+				}
+				ins, err := flows.Insert(x, flowID, mem.Word(ns))
+				if err != nil {
+					return err
+				}
+				if !ins {
+					// Raced with another fragment of the same flow in the
+					// same snapshot: re-find.
+					w, _, err = flows.Find(x, flowID)
+					if err != nil {
+						return err
+					}
+				} else {
+					w = mem.Word(ns)
+				}
+			}
+			state = mem.Addr(w)
+			idx := h.Load(rec + frIdx)
+			if err := x.Write(state+fsFrag0+mem.Addr(idx), mem.Word(rec)); err != nil {
+				return err
+			}
+			got, err := x.Read(state + fsReceived)
+			if err != nil {
+				return err
+			}
+			got++
+			if err := x.Write(state+fsReceived, got); err != nil {
+				return err
+			}
+			complete = int(got) == nFrags
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if !complete {
+			continue
+		}
+
+		// Detector: scan the reassembled payload (fragment data is
+		// immutable; the fragment pointers were fixed when the flow
+		// completed, so direct reads are safe).
+		attack := false
+		for i := 0; i < nFrags; i++ {
+			fr := mem.Addr(h.Load(state + fsFrag0 + mem.Addr(i)))
+			ln := int(h.Load(fr + frLen))
+			for j := 0; j < ln; j++ {
+				if h.Load(fr+frData+mem.Addr(j)) == attackWord {
+					attack = true
+				}
+			}
+		}
+
+		// Transaction 3: record the verdict.
+		err = tm.Run(m, id, func(x tm.Txn) error {
+			dn, err := x.Read(a.done)
+			if err != nil {
+				return err
+			}
+			if err := x.Write(a.done, dn+1); err != nil {
+				return err
+			}
+			if attack {
+				at, err := x.Read(a.attacks)
+				if err != nil {
+					return err
+				}
+				return x.Write(a.attacks, at+1)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Verify implements stamp.App.
+func (a *App) Verify(h *mem.Heap) error {
+	if got := int(h.Load(a.done)); got != a.cfg.Flows {
+		return fmt.Errorf("intruder: processed %d flows, want %d", got, a.cfg.Flows)
+	}
+	if got := int(h.Load(a.attacks)); got != a.injected {
+		return fmt.Errorf("intruder: detected %d attacks, want %d", got, a.injected)
+	}
+	d := stamp.Direct{H: h}
+	if empty, _ := tmds.QueueAt(h, a.queue).IsEmpty(d); !empty {
+		return fmt.Errorf("intruder: fragments left in the queue")
+	}
+	return nil
+}
+
+var _ stamp.App = (*App)(nil)

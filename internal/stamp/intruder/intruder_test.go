@@ -1,0 +1,47 @@
+package intruder
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stm/seqtm"
+	"rococotm/internal/tm"
+)
+
+func TestBadConfigRejected(t *testing.T) {
+	a := New(Config{Flows: 0, PayloadWords: 4})
+	if err := a.Setup(mem.NewHeap(1 << 12)); err == nil {
+		t.Fatal("zero flows accepted")
+	}
+}
+
+func TestAllAttacksSequential(t *testing.T) {
+	a := New(Config{Flows: 32, PayloadWords: 6, AttackPct: 100, Seed: 11})
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM { return seqtm.New(h) }, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.injected != 32 {
+		t.Fatalf("injected = %d, want 32", a.injected)
+	}
+}
+
+func TestNoAttacks(t *testing.T) {
+	a := New(Config{Flows: 32, PayloadWords: 6, AttackPct: 0, Seed: 12})
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM { return seqtm.New(h) }, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.injected != 0 {
+		t.Fatalf("injected = %d, want 0", a.injected)
+	}
+}
+
+func TestConcurrentROCoCoTM(t *testing.T) {
+	a := NewAt(stamp.Small)
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM {
+		return rococotm.New(h, rococotm.Config{})
+	}, 6); err != nil {
+		t.Fatal(err)
+	}
+}

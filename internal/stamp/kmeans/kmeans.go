@@ -1,0 +1,215 @@
+// Package kmeans ports STAMP's kmeans: iterative K-means clustering where
+// threads assign points to the nearest center and accumulate the new
+// centers transactionally. Transactions are small (one point's
+// contribution: D dimension words plus a count), and contention
+// concentrates on popular clusters — the "conflicts resolvable by other
+// constructs" workload class the paper discusses (§6.3).
+//
+// Coordinates are 16.16 fixed-point so the whole computation stays in the
+// word heap.
+package kmeans
+
+import (
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/tm"
+)
+
+// FixShift is the fixed-point scale (16.16).
+const FixShift = 16
+
+// Config sizes the workload.
+type Config struct {
+	Points     int
+	Dims       int
+	Clusters   int
+	Iterations int
+	Seed       uint64
+}
+
+// ConfigFor returns the paper-shaped configuration at a given scale.
+func ConfigFor(s stamp.Scale) Config {
+	switch s {
+	case stamp.Small:
+		return Config{Points: 256, Dims: 4, Clusters: 8, Iterations: 3, Seed: 1}
+	case stamp.Medium:
+		return Config{Points: 4096, Dims: 8, Clusters: 16, Iterations: 4, Seed: 1}
+	default:
+		return Config{Points: 16384, Dims: 16, Clusters: 24, Iterations: 5, Seed: 1}
+	}
+}
+
+// App is one kmeans instance.
+type App struct {
+	cfg Config
+	// points are read-only inputs (fixed-point), kept outside the heap
+	// like STAMP's mmap'd input file.
+	points [][]int64
+
+	// Heap layout.
+	oldCenters mem.Addr // K*D words, read non-transactionally between barriers
+	newCenters mem.Addr // K*D words, accumulated transactionally
+	newCounts  mem.Addr // K words
+	membership mem.Addr // Points words
+	errs       mem.Addr // verification failure counter
+
+	bar *stamp.Barrier
+}
+
+// New returns a kmeans app for cfg.
+func New(cfg Config) *App { return &App{cfg: cfg} }
+
+// NewAt returns a kmeans app at the given scale.
+func NewAt(s stamp.Scale) *App { return New(ConfigFor(s)) }
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "kmeans" }
+
+// HeapWords implements stamp.App.
+func (a *App) HeapWords() int {
+	return 2*a.cfg.Clusters*a.cfg.Dims + a.cfg.Clusters + a.cfg.Points + 64
+}
+
+// Setup implements stamp.App.
+func (a *App) Setup(h *mem.Heap) error {
+	c := a.cfg
+	if c.Points < c.Clusters || c.Clusters < 1 || c.Dims < 1 {
+		return fmt.Errorf("kmeans: bad config %+v", c)
+	}
+	rng := stamp.NewRNG(c.Seed)
+	a.points = make([][]int64, c.Points)
+	for i := range a.points {
+		p := make([]int64, c.Dims)
+		for d := range p {
+			p[d] = int64(rng.Intn(1000)) << FixShift
+		}
+		a.points[i] = p
+	}
+	var err error
+	if a.oldCenters, err = h.Alloc(c.Clusters * c.Dims); err != nil {
+		return err
+	}
+	if a.newCenters, err = h.Alloc(c.Clusters * c.Dims); err != nil {
+		return err
+	}
+	if a.newCounts, err = h.Alloc(c.Clusters); err != nil {
+		return err
+	}
+	if a.membership, err = h.Alloc(c.Points); err != nil {
+		return err
+	}
+	if a.errs, err = h.Alloc(1); err != nil {
+		return err
+	}
+	// Initial centers: the first K points.
+	for k := 0; k < c.Clusters; k++ {
+		for d := 0; d < c.Dims; d++ {
+			h.Store(a.oldCenters+mem.Addr(k*c.Dims+d), mem.Word(a.points[k][d]))
+		}
+	}
+	a.bar = nil
+	return nil
+}
+
+func dist2(p []int64, center []int64) int64 {
+	var s int64
+	for d := range p {
+		diff := (p[d] - center[d]) >> (FixShift / 2)
+		s += diff * diff
+	}
+	return s
+}
+
+// SetThreads implements stamp.ThreadAware.
+func (a *App) SetThreads(n int) { a.bar = stamp.NewBarrier(n) }
+
+// Run implements stamp.App.
+func (a *App) Run(m tm.TM, id, threads int) error {
+	c := a.cfg
+	h := m.Heap()
+	bar := a.bar
+	if bar == nil {
+		return fmt.Errorf("kmeans: SetThreads not called before Run")
+	}
+
+	lo, hi := stamp.Chunk(c.Points, threads, id)
+	centers := make([]int64, c.Clusters*c.Dims)
+
+	for iter := 0; iter < c.Iterations; iter++ {
+		// Snapshot the (stable) centers non-transactionally.
+		for i := range centers {
+			centers[i] = int64(h.Load(a.oldCenters + mem.Addr(i)))
+		}
+		for i := lo; i < hi; i++ {
+			p := a.points[i]
+			best, bestD := 0, int64(1)<<62
+			for k := 0; k < c.Clusters; k++ {
+				if d := dist2(p, centers[k*c.Dims:(k+1)*c.Dims]); d < bestD {
+					best, bestD = k, d
+				}
+			}
+			err := tm.Run(m, id, func(x tm.Txn) error {
+				for d := 0; d < c.Dims; d++ {
+					addr := a.newCenters + mem.Addr(best*c.Dims+d)
+					v, err := x.Read(addr)
+					if err != nil {
+						return err
+					}
+					if err := x.Write(addr, mem.Word(int64(v)+p[d])); err != nil {
+						return err
+					}
+				}
+				cnt, err := x.Read(a.newCounts + mem.Addr(best))
+				if err != nil {
+					return err
+				}
+				if err := x.Write(a.newCounts+mem.Addr(best), cnt+1); err != nil {
+					return err
+				}
+				return x.Write(a.membership+mem.Addr(i), mem.Word(best))
+			})
+			if err != nil {
+				return err
+			}
+		}
+		leader := bar.Wait()
+		if leader {
+			// Swap: new centers become the old ones; check conservation.
+			var total mem.Word
+			for k := 0; k < c.Clusters; k++ {
+				cnt := h.Load(a.newCounts + mem.Addr(k))
+				total += cnt
+				for d := 0; d < c.Dims; d++ {
+					sum := int64(h.Load(a.newCenters + mem.Addr(k*c.Dims+d)))
+					if cnt > 0 {
+						h.Store(a.oldCenters+mem.Addr(k*c.Dims+d), mem.Word(sum/int64(cnt)))
+					}
+					h.Store(a.newCenters+mem.Addr(k*c.Dims+d), 0)
+				}
+				h.Store(a.newCounts+mem.Addr(k), 0)
+			}
+			if total != mem.Word(c.Points) {
+				h.Store(a.errs, h.Load(a.errs)+1)
+			}
+		}
+		bar.Wait()
+	}
+	return nil
+}
+
+// Verify implements stamp.App.
+func (a *App) Verify(h *mem.Heap) error {
+	if n := h.Load(a.errs); n != 0 {
+		return fmt.Errorf("kmeans: %d iterations lost point contributions", n)
+	}
+	for i := 0; i < a.cfg.Points; i++ {
+		if c := h.Load(a.membership + mem.Addr(i)); int(c) >= a.cfg.Clusters {
+			return fmt.Errorf("kmeans: point %d assigned to bogus cluster %d", i, c)
+		}
+	}
+	return nil
+}
+
+var _ stamp.App = (*App)(nil)

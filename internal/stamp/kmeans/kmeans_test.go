@@ -1,0 +1,54 @@
+package kmeans
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stm/seqtm"
+	"rococotm/internal/stm/tinystm"
+	"rococotm/internal/tm"
+)
+
+func TestBadConfigRejected(t *testing.T) {
+	a := New(Config{Points: 4, Clusters: 8, Dims: 2, Iterations: 1})
+	if err := a.Setup(mem.NewHeap(a.HeapWords())); err == nil {
+		t.Fatal("points < clusters accepted")
+	}
+}
+
+func TestSequentialRun(t *testing.T) {
+	a := NewAt(stamp.Small)
+	res, err := stamp.Execute(a, func(h *mem.Heap) tm.TM { return seqtm.New(h) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ConfigFor(stamp.Small)
+	// One transaction per point per iteration.
+	want := uint64(c.Points * c.Iterations)
+	if res.TM.Commits != want {
+		t.Fatalf("commits = %d, want %d", res.TM.Commits, want)
+	}
+}
+
+func TestRunWithoutSetThreadsFails(t *testing.T) {
+	a := NewAt(stamp.Small)
+	h := mem.NewHeap(a.HeapWords())
+	if err := a.Setup(h); err != nil {
+		t.Fatal(err)
+	}
+	m := seqtm.New(h)
+	defer m.Close()
+	if err := a.Run(m, 0, 1); err == nil {
+		t.Fatal("Run without SetThreads succeeded")
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	a := NewAt(stamp.Small)
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM {
+		return tinystm.New(h, tinystm.Config{})
+	}, 6); err != nil {
+		t.Fatal(err)
+	}
+}

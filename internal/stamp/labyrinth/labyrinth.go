@@ -1,0 +1,347 @@
+// Package labyrinth ports STAMP's labyrinth: Lee-style maze routing on a
+// shared grid. Threads pop (source, destination) work items from a shared
+// queue, route over a privatized snapshot of the grid (STAMP's grid_copy
+// optimization), and claim the chosen path transactionally — re-routing
+// when another thread claimed a cell first.
+//
+// Transactions are long and their footprints (the whole path) are large,
+// making labyrinth the paper's showcase for transaction-friendly
+// workloads: capacity-abort-prone on the HTM, heavy read-set validation
+// on TinySTM, and the biggest abort-rate win for ROCoCoTM (§6.3, §6.4).
+package labyrinth
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/tm"
+	"rococotm/internal/tmds"
+)
+
+// Config sizes the workload.
+type Config struct {
+	Width, Height int
+	Depth         int // layers, as in STAMP's 3-D grids
+	Routes        int
+	// MaxSpan bounds the Manhattan distance between a route's endpoints
+	// (0 = unbounded). Routed nets in place-and-route inputs are mostly
+	// local; bounding the span also keeps claimed paths within the
+	// 512-bit signature design envelope (§5.2: intersections degrade
+	// sharply past a few dozen elements).
+	MaxSpan int
+	Seed    uint64
+}
+
+// ConfigFor returns the paper-shaped configuration at a given scale.
+func ConfigFor(s stamp.Scale) Config {
+	switch s {
+	case stamp.Small:
+		return Config{Width: 16, Height: 16, Depth: 2, Routes: 16, MaxSpan: 10, Seed: 6}
+	case stamp.Medium:
+		return Config{Width: 96, Height: 96, Depth: 3, Routes: 128, MaxSpan: 14, Seed: 6}
+	default:
+		return Config{Width: 192, Height: 192, Depth: 5, Routes: 512, MaxSpan: 18, Seed: 6}
+	}
+}
+
+// App is one labyrinth instance.
+type App struct {
+	cfg Config
+
+	grid  mem.Addr // W*H*D words: 0 = free, else 1+path id
+	work  mem.Addr // tmds.Queue handle of route ids
+	pairs [][2]int // route id → (src, dst) cell indexes
+
+	mu     sync.Mutex
+	routed map[int][]int // route id → claimed path (cells), for Verify
+	failed int
+}
+
+// New returns a labyrinth app for cfg.
+func New(cfg Config) *App { return &App{cfg: cfg} }
+
+// NewAt returns a labyrinth app at the given scale.
+func NewAt(s stamp.Scale) *App { return New(ConfigFor(s)) }
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "labyrinth" }
+
+// GridBase returns the heap address of the grid (for rendering).
+func (a *App) GridBase() mem.Addr { return a.grid }
+
+// Routed returns how many routes were successfully claimed.
+func (a *App) Routed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.routed)
+}
+
+// Failed returns how many routes could not be placed.
+func (a *App) Failed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.failed
+}
+
+func (a *App) cells() int { return a.cfg.Width * a.cfg.Height * a.cfg.Depth }
+
+// HeapWords implements stamp.App.
+func (a *App) HeapWords() int { return a.cells() + 8*a.cfg.Routes + 4096 }
+
+// Setup implements stamp.App.
+func (a *App) Setup(h *mem.Heap) error {
+	c := a.cfg
+	if c.Width < 2 || c.Height < 2 || c.Depth < 1 || c.Routes < 1 {
+		return fmt.Errorf("labyrinth: bad config %+v", c)
+	}
+	rng := stamp.NewRNG(c.Seed)
+	var err error
+	if a.grid, err = h.Alloc(a.cells()); err != nil {
+		return err
+	}
+	q, err := tmds.NewQueue(h, c.Routes+2)
+	if err != nil {
+		return err
+	}
+	a.work = q.Handle()
+	d := stamp.Direct{H: h}
+	a.pairs = make([][2]int, c.Routes)
+	used := map[int]bool{}
+	pick := func() int {
+		for {
+			cell := rng.Intn(a.cells())
+			if !used[cell] {
+				used[cell] = true
+				return cell
+			}
+		}
+	}
+	manhattan := func(u, v int) int {
+		ux, uy, uz := u%c.Width, (u/c.Width)%c.Height, u/(c.Width*c.Height)
+		vx, vy, vz := v%c.Width, (v/c.Width)%c.Height, v/(c.Width*c.Height)
+		return abs(ux-vx) + abs(uy-vy) + abs(uz-vz)
+	}
+	for i := range a.pairs {
+		src := pick()
+		dst := pick()
+		for c.MaxSpan > 0 && manhattan(src, dst) > c.MaxSpan {
+			delete(used, dst)
+			dst = pick()
+		}
+		a.pairs[i] = [2]int{src, dst}
+		if err := q.Push(d, mem.Word(i)); err != nil {
+			return err
+		}
+	}
+	a.routed = map[int][]int{}
+	a.failed = 0
+	return nil
+}
+
+// neighbors yields the orthogonal neighbors of cell (6-connected in 3-D).
+func (a *App) neighbors(cell int, out []int) []int {
+	c := a.cfg
+	x := cell % c.Width
+	y := (cell / c.Width) % c.Height
+	z := cell / (c.Width * c.Height)
+	out = out[:0]
+	if x > 0 {
+		out = append(out, cell-1)
+	}
+	if x < c.Width-1 {
+		out = append(out, cell+1)
+	}
+	if y > 0 {
+		out = append(out, cell-c.Width)
+	}
+	if y < c.Height-1 {
+		out = append(out, cell+c.Width)
+	}
+	if z > 0 {
+		out = append(out, cell-c.Width*c.Height)
+	}
+	if z < c.Depth-1 {
+		out = append(out, cell+c.Width*c.Height)
+	}
+	return out
+}
+
+// route runs a BFS over the snapshot and returns the path (src..dst), or
+// nil if unreachable.
+func (a *App) route(snapshot []mem.Word, src, dst int) []int {
+	if snapshot[dst] != 0 || snapshot[src] != 0 {
+		return nil
+	}
+	prev := make([]int32, len(snapshot))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = int32(src)
+	queue := []int{src}
+	var nb [6]int
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			var path []int
+			for c := dst; ; c = int(prev[c]) {
+				path = append(path, c)
+				if c == src {
+					break
+				}
+			}
+			// Reverse to src..dst.
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path
+		}
+		for _, n := range a.neighbors(cur, nb[:]) {
+			if prev[n] < 0 && snapshot[n] == 0 {
+				prev[n] = int32(cur)
+				queue = append(queue, n)
+			}
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// errCellTaken aborts a claim attempt whose snapshot went stale.
+var errCellTaken = errors.New("labyrinth: path cell claimed concurrently")
+
+// Run implements stamp.App.
+func (a *App) Run(m tm.TM, id, threads int) error {
+	h := m.Heap()
+	q := tmds.QueueAt(h, a.work)
+	snapshot := make([]mem.Word, a.cells())
+
+	for {
+		var routeID int
+		var have bool
+		err := tm.Run(m, id, func(x tm.Txn) error {
+			w, ok, err := q.Pop(x)
+			routeID, have = int(w), ok
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if !have {
+			return nil
+		}
+		src, dst := a.pairs[routeID][0], a.pairs[routeID][1]
+
+		for attempt := 0; ; attempt++ {
+			// Privatize: snapshot the grid non-transactionally (word
+			// reads are atomic; staleness is revalidated at claim time).
+			for i := range snapshot {
+				snapshot[i] = h.Load(a.grid + mem.Addr(i))
+			}
+			path := a.route(snapshot, src, dst)
+			if path == nil {
+				a.mu.Lock()
+				a.failed++
+				a.mu.Unlock()
+				break
+			}
+			// Claim the path transactionally: every cell must still be
+			// free; otherwise abort and re-route from a fresh snapshot.
+			err := tm.Run(m, id, func(x tm.Txn) error {
+				for _, cell := range path {
+					v, err := x.Read(a.grid + mem.Addr(cell))
+					if err != nil {
+						return err
+					}
+					if v != 0 {
+						return errCellTaken
+					}
+				}
+				for _, cell := range path {
+					if err := x.Write(a.grid+mem.Addr(cell), mem.Word(routeID+1)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err == errCellTaken {
+				continue // somebody claimed a cell; re-route
+			}
+			if err != nil {
+				return err
+			}
+			a.mu.Lock()
+			a.routed[routeID] = path
+			a.mu.Unlock()
+			break
+		}
+	}
+}
+
+// Verify implements stamp.App.
+func (a *App) Verify(h *mem.Heap) error {
+	c := a.cfg
+	// Every routed path must be marked with its id, connected, and
+	// endpoints correct; every marked cell must belong to the path that
+	// claims it.
+	owner := map[int]int{}
+	for id, path := range a.routed {
+		if len(path) == 0 {
+			return fmt.Errorf("labyrinth: route %d recorded empty", id)
+		}
+		if path[0] != a.pairs[id][0] || path[len(path)-1] != a.pairs[id][1] {
+			return fmt.Errorf("labyrinth: route %d endpoints wrong", id)
+		}
+		var nb [6]int
+		for i, cell := range path {
+			if got := h.Load(a.grid + mem.Addr(cell)); got != mem.Word(id+1) {
+				return fmt.Errorf("labyrinth: route %d cell %d holds %d", id, cell, got)
+			}
+			if prev, dup := owner[cell]; dup {
+				return fmt.Errorf("labyrinth: cell %d claimed by routes %d and %d", cell, prev, id)
+			}
+			owner[cell] = id
+			if i > 0 {
+				adjacent := false
+				for _, n := range a.neighbors(path[i-1], nb[:]) {
+					if n == cell {
+						adjacent = true
+					}
+				}
+				if !adjacent {
+					return fmt.Errorf("labyrinth: route %d not contiguous at step %d", id, i)
+				}
+			}
+		}
+	}
+	// No stray markings.
+	marked := 0
+	for i := 0; i < a.cells(); i++ {
+		if h.Load(a.grid+mem.Addr(i)) != 0 {
+			marked++
+		}
+	}
+	total := 0
+	for _, p := range a.routed {
+		total += len(p)
+	}
+	if marked != total {
+		return fmt.Errorf("labyrinth: %d cells marked, %d accounted by paths", marked, total)
+	}
+	if len(a.routed)+a.failed != c.Routes {
+		return fmt.Errorf("labyrinth: %d routed + %d failed != %d routes",
+			len(a.routed), a.failed, c.Routes)
+	}
+	return nil
+}
+
+var _ stamp.App = (*App)(nil)

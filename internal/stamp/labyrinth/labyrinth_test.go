@@ -1,0 +1,69 @@
+package labyrinth
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stm/seqtm"
+	"rococotm/internal/stm/tinystm"
+	"rococotm/internal/tm"
+)
+
+func TestNeighbors(t *testing.T) {
+	a := New(Config{Width: 4, Height: 4, Depth: 2, Routes: 1})
+	var nb [6]int
+	// Corner (0,0,0): 3 neighbors.
+	if got := len(a.neighbors(0, nb[:])); got != 3 {
+		t.Fatalf("corner neighbors = %d", got)
+	}
+	// Interior of layer 0 at (1,1,0): 5 neighbors (z+1 only).
+	if got := len(a.neighbors(5, nb[:])); got != 5 {
+		t.Fatalf("face-interior neighbors = %d", got)
+	}
+}
+
+func TestRouteOnEmptyGrid(t *testing.T) {
+	a := New(Config{Width: 8, Height: 8, Depth: 1, Routes: 1, Seed: 3})
+	snap := make([]mem.Word, 64)
+	path := a.route(snap, 0, 63)
+	if path == nil {
+		t.Fatal("no path across empty grid")
+	}
+	if path[0] != 0 || path[len(path)-1] != 63 {
+		t.Fatal("endpoints wrong")
+	}
+	// Manhattan-optimal length on an empty grid: 15 steps = 15 cells + 1.
+	if len(path) != 15 {
+		t.Fatalf("BFS path length %d, want 15", len(path))
+	}
+}
+
+func TestRouteBlocked(t *testing.T) {
+	a := New(Config{Width: 3, Height: 3, Depth: 1, Routes: 1})
+	snap := make([]mem.Word, 9)
+	// Wall across the middle row.
+	snap[3], snap[4], snap[5] = 1, 1, 1
+	if a.route(snap, 0, 8) != nil {
+		t.Fatal("routed through a wall")
+	}
+}
+
+func TestMazeSequential(t *testing.T) {
+	a := NewAt(stamp.Small)
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM { return seqtm.New(h) }, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.routed)+a.failed != ConfigFor(stamp.Small).Routes {
+		t.Fatal("route accounting wrong")
+	}
+}
+
+func TestMazeConcurrentTinySTM(t *testing.T) {
+	a := NewAt(stamp.Small)
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM {
+		return tinystm.New(h, tinystm.Config{})
+	}, 6); err != nil {
+		t.Fatal(err)
+	}
+}

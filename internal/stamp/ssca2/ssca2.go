@@ -1,0 +1,144 @@
+// Package ssca2 ports kernel 1 of STAMP's ssca2 (Scalable Synthetic
+// Compact Applications, graph analysis): threads insert a stream of edges
+// into per-vertex adjacency arrays. Transactions are tiny (read a degree
+// counter, append one slot, bump the counter) and contention is low —
+// the workload whose scalability is limited by per-transaction overhead
+// rather than conflicts, which is why it is ROCoCoTM's worst case in
+// Figure 10 (the out-of-core round trip dominates).
+package ssca2
+
+import (
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/tm"
+)
+
+// Config sizes the workload.
+type Config struct {
+	Vertices  int
+	Edges     int
+	MaxDegree int // adjacency capacity per vertex; extra edges are dropped
+	Seed      uint64
+}
+
+// ConfigFor returns the paper-shaped configuration at a given scale.
+func ConfigFor(s stamp.Scale) Config {
+	switch s {
+	case stamp.Small:
+		return Config{Vertices: 64, Edges: 512, MaxDegree: 32, Seed: 2}
+	case stamp.Medium:
+		return Config{Vertices: 1 << 10, Edges: 1 << 14, MaxDegree: 64, Seed: 2}
+	default:
+		return Config{Vertices: 1 << 13, Edges: 1 << 17, MaxDegree: 64, Seed: 2}
+	}
+}
+
+// App is one ssca2 instance.
+type App struct {
+	cfg   Config
+	edges [][2]int // generated edge list (read-only input)
+
+	// STAMP's ssca2 keeps separate packed arrays: degrees is one word per
+	// vertex (eight vertices per cache line — the false-sharing pattern
+	// that triggers TSX's eager line-granular conflicts), data holds the
+	// adjacency slots.
+	degrees mem.Addr
+	data    mem.Addr
+	dropped mem.Addr // count of edges dropped due to full adjacency
+}
+
+// New returns an ssca2 app for cfg.
+func New(cfg Config) *App { return &App{cfg: cfg} }
+
+// NewAt returns an ssca2 app at the given scale.
+func NewAt(s stamp.Scale) *App { return New(ConfigFor(s)) }
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "ssca2" }
+
+// HeapWords implements stamp.App.
+func (a *App) HeapWords() int {
+	return a.cfg.Vertices*(1+a.cfg.MaxDegree) + 64
+}
+
+// Setup implements stamp.App.
+func (a *App) Setup(h *mem.Heap) error {
+	c := a.cfg
+	if c.Vertices < 2 || c.Edges < 1 || c.MaxDegree < 1 {
+		return fmt.Errorf("ssca2: bad config %+v", c)
+	}
+	rng := stamp.NewRNG(c.Seed)
+	a.edges = make([][2]int, c.Edges)
+	for i := range a.edges {
+		u := rng.Intn(c.Vertices)
+		v := rng.Intn(c.Vertices)
+		a.edges[i] = [2]int{u, v}
+	}
+	var err error
+	if a.degrees, err = h.Alloc(c.Vertices); err != nil {
+		return err
+	}
+	if a.data, err = h.Alloc(c.Vertices * c.MaxDegree); err != nil {
+		return err
+	}
+	a.dropped, err = h.Alloc(1)
+	return err
+}
+
+// Run implements stamp.App.
+func (a *App) Run(m tm.TM, id, threads int) error {
+	lo, hi := stamp.Chunk(len(a.edges), threads, id)
+	for i := lo; i < hi; i++ {
+		u, v := a.edges[i][0], a.edges[i][1]
+		degAddr := a.degrees + mem.Addr(u)
+		slotBase := a.data + mem.Addr(u*a.cfg.MaxDegree)
+		err := tm.Run(m, id, func(x tm.Txn) error {
+			deg, err := x.Read(degAddr)
+			if err != nil {
+				return err
+			}
+			if int(deg) >= a.cfg.MaxDegree {
+				cnt, err := x.Read(a.dropped)
+				if err != nil {
+					return err
+				}
+				return x.Write(a.dropped, cnt+1)
+			}
+			if err := x.Write(slotBase+mem.Addr(deg), mem.Word(v)); err != nil {
+				return err
+			}
+			return x.Write(degAddr, deg+1)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify implements stamp.App.
+func (a *App) Verify(h *mem.Heap) error {
+	c := a.cfg
+	var total mem.Word
+	for v := 0; v < c.Vertices; v++ {
+		deg := h.Load(a.degrees + mem.Addr(v))
+		if int(deg) > c.MaxDegree {
+			return fmt.Errorf("ssca2: vertex %d degree %d exceeds cap", v, deg)
+		}
+		total += deg
+		for i := 0; i < int(deg); i++ {
+			if t := h.Load(a.data + mem.Addr(v*c.MaxDegree+i)); int(t) >= c.Vertices {
+				return fmt.Errorf("ssca2: vertex %d slot %d holds bogus target %d", v, i, t)
+			}
+		}
+	}
+	total += h.Load(a.dropped)
+	if total != mem.Word(c.Edges) {
+		return fmt.Errorf("ssca2: %d edges accounted, want %d (lost updates)", total, c.Edges)
+	}
+	return nil
+}
+
+var _ stamp.App = (*App)(nil)

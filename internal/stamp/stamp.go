@@ -1,0 +1,212 @@
+// Package stamp is the harness for this repository's ports of the STAMP
+// benchmark applications (Minh et al., IISWC'08) — the workloads the
+// paper's Figure 10/11 evaluation runs on HARP2. Seven of the eight
+// applications are provided (bayes is excluded, as in the paper):
+// genome, intruder, kmeans, labyrinth, ssca2, vacation and yada, each in
+// its own subpackage, built on the transactional data-structure library
+// (internal/tmds) the way the C originals build on STAMP's lib/.
+//
+// Every application is self-checking: Verify inspects the final heap and
+// fails if any TM runtime broke the workload's invariants, so the suite
+// doubles as a cross-runtime integration test.
+package stamp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// Scale selects input sizes: Small keeps unit tests fast; Medium drives
+// the experiment harness; Large approximates the paper's "largest input
+// dataset" shape at laptop-tractable sizes.
+type Scale int
+
+// Scale values.
+const (
+	Small Scale = iota
+	Medium
+	Large
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// App is one STAMP application instance. The lifecycle is
+// Setup → Run (once per thread, concurrently) → Verify.
+type App interface {
+	// Name is the STAMP application name.
+	Name() string
+	// HeapWords returns the heap capacity the app needs.
+	HeapWords() int
+	// Setup builds the input and the initial heap state
+	// (non-transactionally; runs single-threaded).
+	Setup(h *mem.Heap) error
+	// Run executes thread id's share of the workload (0 ≤ id < threads).
+	Run(m tm.TM, id, threads int) error
+	// Verify checks the final heap state against the app's invariants.
+	Verify(h *mem.Heap) error
+}
+
+// ThreadAware is implemented by apps that need the thread count before Run
+// (e.g. to size a barrier). Execute calls SetThreads after Setup, before
+// any Run goroutine starts.
+type ThreadAware interface {
+	SetThreads(n int)
+}
+
+// Result summarizes one execution.
+type Result struct {
+	App      string
+	Runtime  string
+	Threads  int
+	Wall     time.Duration
+	TM       tm.Stats
+	VerifyOK bool
+}
+
+// Execute runs app on a fresh heap under the runtime built by mkTM with
+// the given thread count, then verifies. mkTM receives the heap.
+func Execute(app App, mkTM func(*mem.Heap) tm.TM, threads int) (Result, error) {
+	if threads < 1 {
+		return Result{}, fmt.Errorf("stamp: threads = %d", threads)
+	}
+	h := mem.NewHeap(app.HeapWords())
+	if err := app.Setup(h); err != nil {
+		return Result{}, fmt.Errorf("stamp: %s setup: %w", app.Name(), err)
+	}
+	if ta, ok := app.(ThreadAware); ok {
+		ta.SetThreads(threads)
+	}
+	m := mkTM(h)
+	defer m.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := app.Run(m, id, threads); err != nil {
+				errs <- fmt.Errorf("stamp: %s thread %d: %w", app.Name(), id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return Result{}, err
+	}
+	wall := time.Since(start)
+
+	res := Result{
+		App:     app.Name(),
+		Runtime: m.Name(),
+		Threads: threads,
+		Wall:    wall,
+		TM:      m.Stats(),
+	}
+	if err := app.Verify(h); err != nil {
+		return res, fmt.Errorf("stamp: %s verify: %w", app.Name(), err)
+	}
+	res.VerifyOK = true
+	return res, nil
+}
+
+// Chunk splits n work items across `threads` workers and returns thread
+// id's half-open range [lo, hi).
+func Chunk(n, threads, id int) (lo, hi int) {
+	lo = n * id / threads
+	hi = n * (id + 1) / threads
+	return
+}
+
+// RNG is the xorshift generator the apps use for deterministic,
+// thread-partitionable random streams without importing math/rand into
+// inner loops.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a generator; seed 0 is remapped.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: seed}
+}
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stamp: Intn on non-positive bound")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Direct is a non-transactional tm.Txn view of the heap for
+// single-threaded setup and verification code that wants to reuse the
+// tmds structures outside any runtime.
+type Direct struct{ H *mem.Heap }
+
+// Read implements tm.Txn.
+func (d Direct) Read(a mem.Addr) (mem.Word, error) { return d.H.Load(a), nil }
+
+// Write implements tm.Txn.
+func (d Direct) Write(a mem.Addr, v mem.Word) error { d.H.Store(a, v); return nil }
+
+// Barrier is a reusable n-party barrier for the phase-structured apps
+// (kmeans iterations, genome phases) — the pthread barrier the paper
+// substitutes for STAMP's log2 barrier (§6.3 footnote).
+type Barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+// NewBarrier returns a barrier for n parties.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n parties have called Wait, then releases them.
+// It returns true for exactly one party per generation (the "leader").
+func (b *Barrier) Wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return true
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package stamp_test
+
+import (
+	"testing"
+
+	"rococotm/internal/htm"
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stamp/genome"
+	"rococotm/internal/stamp/intruder"
+	"rococotm/internal/stamp/kmeans"
+	"rococotm/internal/stamp/labyrinth"
+	"rococotm/internal/stamp/ssca2"
+	"rococotm/internal/stamp/vacation"
+	"rococotm/internal/stamp/yada"
+	"rococotm/internal/stm/seqtm"
+	"rococotm/internal/stm/tinystm"
+	"rococotm/internal/tm"
+)
+
+// apps builds a fresh Small-scale instance of every STAMP port.
+func apps() []stamp.App {
+	return []stamp.App{
+		genome.NewAt(stamp.Small),
+		intruder.NewAt(stamp.Small),
+		kmeans.NewAt(stamp.Small),
+		labyrinth.NewAt(stamp.Small),
+		ssca2.NewAt(stamp.Small),
+		vacation.NewAt(stamp.Small),
+		yada.NewAt(stamp.Small),
+	}
+}
+
+type runtimeCase struct {
+	name    string
+	threads int
+	mk      func(*mem.Heap) tm.TM
+}
+
+func runtimes() []runtimeCase {
+	return []runtimeCase{
+		{"seq/1", 1, func(h *mem.Heap) tm.TM { return seqtm.New(h) }},
+		{"tinystm/4", 4, func(h *mem.Heap) tm.TM { return tinystm.New(h, tinystm.Config{}) }},
+		{"htm/4", 4, func(h *mem.Heap) tm.TM { return htm.New(h, htm.Config{}) }},
+		{"rococotm/4", 4, func(h *mem.Heap) tm.TM { return rococotm.New(h, rococotm.Config{}) }},
+	}
+}
+
+// TestSuiteMatrix runs every app under every runtime and verifies the
+// app's own invariants — the cross-module integration test of the repo.
+func TestSuiteMatrix(t *testing.T) {
+	for _, rc := range runtimes() {
+		rc := rc
+		t.Run(rc.name, func(t *testing.T) {
+			for _, app := range apps() {
+				app := app
+				t.Run(app.Name(), func(t *testing.T) {
+					res, err := stamp.Execute(app, rc.mk, rc.threads)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.VerifyOK {
+						t.Fatal("verification did not run")
+					}
+					if res.TM.Starts < res.TM.Commits {
+						t.Fatalf("stats nonsense: %+v", res.TM)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestChunkCoversAll checks the work partitioner.
+func TestChunkCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, threads := range []int{1, 3, 8} {
+			covered := 0
+			prevHi := 0
+			for id := 0; id < threads; id++ {
+				lo, hi := stamp.Chunk(n, threads, id)
+				if lo != prevHi {
+					t.Fatalf("n=%d threads=%d id=%d: gap at %d", n, threads, id, lo)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n || prevHi != n {
+				t.Fatalf("n=%d threads=%d: covered %d", n, threads, covered)
+			}
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const parties = 4
+	b := stamp.NewBarrier(parties)
+	leaders := make(chan bool, parties*3)
+	done := make(chan struct{})
+	for i := 0; i < parties; i++ {
+		go func() {
+			for round := 0; round < 3; round++ {
+				leaders <- b.Wait()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < parties; i++ {
+		<-done
+	}
+	close(leaders)
+	total, lead := 0, 0
+	for l := range leaders {
+		total++
+		if l {
+			lead++
+		}
+	}
+	if total != parties*3 || lead != 3 {
+		t.Fatalf("barrier: %d waits, %d leaders (want %d, 3)", total, lead, parties*3)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := stamp.NewRNG(9), stamp.NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if stamp.NewRNG(0).Next() == 0 {
+		t.Fatal("zero seed not remapped")
+	}
+}
+
+func TestExecuteRejectsBadThreads(t *testing.T) {
+	if _, err := stamp.Execute(ssca2.NewAt(stamp.Small),
+		func(h *mem.Heap) tm.TM { return seqtm.New(h) }, 0); err == nil {
+		t.Fatal("threads=0 accepted")
+	}
+}
+
+// TestSuiteMediumROCoCoTM runs two representative apps at the experiment
+// scale under ROCoCoTM with 8 threads — a heavier integration pass than
+// the Small matrix (skipped under -short).
+func TestSuiteMediumROCoCoTM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale integration skipped in -short mode")
+	}
+	for _, app := range []stamp.App{vacation.NewAt(stamp.Medium), genome.NewAt(stamp.Medium)} {
+		app := app
+		t.Run(app.Name(), func(t *testing.T) {
+			res, err := stamp.Execute(app, func(h *mem.Heap) tm.TM {
+				return rococotm.New(h, rococotm.Config{MaxThreads: 9})
+			}, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TM.Commits == 0 {
+				t.Fatal("nothing committed")
+			}
+		})
+	}
+}

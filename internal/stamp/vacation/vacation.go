@@ -1,0 +1,419 @@
+// Package vacation ports STAMP's vacation: an OLTP-style travel
+// reservation system. Three resource tables (cars, flights, rooms) and a
+// customer table are red-black trees; client threads run a mix of
+// multi-lookup reservations, customer deletions and table updates, each a
+// single medium-sized transaction over several trees — the classic
+// "database in a TM" workload.
+//
+// The end-state invariant is conservation: for every resource,
+// total == free + booked reservations across all customers.
+package vacation
+
+import (
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/tm"
+	"rococotm/internal/tmds"
+)
+
+// Resource types.
+const (
+	typeCar = iota
+	typeFlight
+	typeRoom
+	numTypes
+)
+
+// Config sizes the workload.
+type Config struct {
+	Relations int // resources per table
+	Customers int
+	Tasks     int // client transactions per run
+	Queries   int // max resources examined per reservation
+	Seed      uint64
+}
+
+// ConfigHighContention returns STAMP's vacation-high flavour: the same
+// task count hammering a quarter of the resources with twice the lookups
+// per reservation — the configuration STAMP uses to stress conflict
+// resolution rather than throughput.
+func ConfigHighContention(s stamp.Scale) Config {
+	c := ConfigFor(s)
+	c.Relations = c.Relations/4 + 1
+	c.Customers = c.Customers/4 + 1
+	c.Queries *= 2
+	return c
+}
+
+// ConfigFor returns the paper-shaped configuration at a given scale.
+func ConfigFor(s stamp.Scale) Config {
+	switch s {
+	case stamp.Small:
+		return Config{Relations: 32, Customers: 16, Tasks: 256, Queries: 3, Seed: 4}
+	case stamp.Medium:
+		return Config{Relations: 256, Customers: 128, Tasks: 4096, Queries: 4, Seed: 4}
+	default:
+		return Config{Relations: 1024, Customers: 512, Tasks: 16384, Queries: 4, Seed: 4}
+	}
+}
+
+// Resource record layout: [total, free, price].
+const (
+	resTotal = iota
+	resFree
+	resPrice
+	resWords
+)
+
+// App is one vacation instance.
+type App struct {
+	cfg    Config
+	heap   *mem.Heap          // captured at Setup, for API helpers
+	tables [numTypes]mem.Addr // RBTree handles: id → record addr
+	cust   mem.Addr           // RBTree handle: customer id → List handle
+}
+
+// New returns a vacation app for cfg.
+func New(cfg Config) *App { return &App{cfg: cfg} }
+
+// NewAt returns a vacation app at the given scale.
+func NewAt(s stamp.Scale) *App { return New(ConfigFor(s)) }
+
+// Name implements stamp.App.
+func (a *App) Name() string { return "vacation" }
+
+// HeapWords implements stamp.App.
+func (a *App) HeapWords() int {
+	c := a.cfg
+	// Trees (6-word nodes) + records + customer lists + abort-leak slack.
+	return 40*(numTypes*c.Relations*(6+resWords)+c.Customers*8+c.Tasks*12) + 16384
+}
+
+// reservationKey packs (resource type, id) into one list key.
+func reservationKey(typ, id int) mem.Word {
+	return mem.Word(typ)<<32 | mem.Word(uint32(id))
+}
+
+func unpackReservation(k mem.Word) (typ, id int) {
+	return int(k >> 32), int(uint32(k))
+}
+
+// Setup implements stamp.App.
+func (a *App) Setup(h *mem.Heap) error {
+	c := a.cfg
+	if c.Relations < 1 || c.Customers < 1 || c.Queries < 1 {
+		return fmt.Errorf("vacation: bad config %+v", c)
+	}
+	rng := stamp.NewRNG(c.Seed)
+	a.heap = h
+	d := stamp.Direct{H: h}
+	for t := 0; t < numTypes; t++ {
+		tree, err := tmds.NewRBTree(h)
+		if err != nil {
+			return err
+		}
+		a.tables[t] = tree.Handle()
+		for id := 0; id < c.Relations; id++ {
+			rec, err := h.Alloc(resWords)
+			if err != nil {
+				return err
+			}
+			total := mem.Word(50 + rng.Intn(50))
+			h.Store(rec+resTotal, total)
+			h.Store(rec+resFree, total)
+			h.Store(rec+resPrice, mem.Word(50+rng.Intn(450)))
+			if _, err := tree.Insert(d, mem.Word(id), mem.Word(rec)); err != nil {
+				return err
+			}
+		}
+	}
+	cust, err := tmds.NewRBTree(h)
+	if err != nil {
+		return err
+	}
+	a.cust = cust.Handle()
+	for id := 0; id < c.Customers; id++ {
+		l, err := tmds.NewList(h)
+		if err != nil {
+			return err
+		}
+		if _, err := cust.Insert(d, mem.Word(id), mem.Word(l.Handle())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reserve books the highest-priced available resource among n random
+// candidates for customer cid — STAMP's MAKE_RESERVATION action.
+func (a *App) reserve(m tm.TM, id int, rng *stamp.RNG) error {
+	c := a.cfg
+	cid := mem.Word(rng.Intn(c.Customers))
+	n := 1 + rng.Intn(c.Queries)
+	typ := rng.Intn(numTypes)
+	candidates := make([]int, n)
+	for i := range candidates {
+		candidates[i] = rng.Intn(c.Relations)
+	}
+	h := m.Heap()
+	return tm.Run(m, id, func(x tm.Txn) error {
+		table := tmds.RBTreeAt(h, a.tables[typ])
+		bestID, bestRec, bestPrice := -1, mem.Addr(0), mem.Word(0)
+		for _, rid := range candidates {
+			recW, ok, err := table.Find(x, mem.Word(rid))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue // deleted by an update task
+			}
+			rec := mem.Addr(recW)
+			free, err := x.Read(rec + resFree)
+			if err != nil {
+				return err
+			}
+			if free == 0 {
+				continue
+			}
+			price, err := x.Read(rec + resPrice)
+			if err != nil {
+				return err
+			}
+			if bestID < 0 || price > bestPrice {
+				bestID, bestRec, bestPrice = rid, rec, price
+			}
+		}
+		if bestID < 0 {
+			return nil // nothing available: read-only transaction
+		}
+		custTree := tmds.RBTreeAt(h, a.cust)
+		listW, ok, err := custTree.Find(x, cid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // customer deleted concurrently
+		}
+		resList := tmds.ListAt(h, mem.Addr(listW))
+		ins, err := resList.Insert(x, reservationKey(typ, bestID), bestPrice)
+		if err != nil {
+			return err
+		}
+		if !ins {
+			return nil // already holds this resource: no double booking
+		}
+		free, err := x.Read(bestRec + resFree)
+		if err != nil {
+			return err
+		}
+		if free == 0 {
+			// Lost the race for the last unit inside our own snapshot
+			// window; give up this booking.
+			_, err := resList.Remove(x, reservationKey(typ, bestID))
+			return err
+		}
+		return x.Write(bestRec+resFree, free-1)
+	})
+}
+
+// deleteCustomer releases everything customer cid holds — STAMP's
+// DELETE_CUSTOMER action (the customer record itself stays, emptied).
+func (a *App) deleteCustomer(m tm.TM, id int, rng *stamp.RNG) error {
+	cid := mem.Word(rng.Intn(a.cfg.Customers))
+	h := m.Heap()
+	return tm.Run(m, id, func(x tm.Txn) error {
+		custTree := tmds.RBTreeAt(h, a.cust)
+		listW, ok, err := custTree.Find(x, cid)
+		if err != nil || !ok {
+			return err
+		}
+		resList := tmds.ListAt(h, mem.Addr(listW))
+		// Collect the reservations, then release each.
+		type booking struct{ key mem.Word }
+		var held []booking
+		if err := resList.ForEach(x, func(k, v mem.Word) bool {
+			held = append(held, booking{key: k})
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, b := range held {
+			typ, rid := unpackReservation(b.key)
+			table := tmds.RBTreeAt(h, a.tables[typ])
+			recW, ok, err := table.Find(x, mem.Word(rid))
+			if err != nil {
+				return err
+			}
+			if ok {
+				rec := mem.Addr(recW)
+				free, err := x.Read(rec + resFree)
+				if err != nil {
+					return err
+				}
+				if err := x.Write(rec+resFree, free+1); err != nil {
+					return err
+				}
+			}
+			if _, err := resList.Remove(x, b.key); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// updateTables raises or lowers capacity/prices — STAMP's UPDATE_TABLES
+// action. Resources are never removed while reservations may reference
+// them (capacity only grows or prices change), keeping conservation
+// checkable.
+func (a *App) updateTables(m tm.TM, id int, rng *stamp.RNG) error {
+	typ := rng.Intn(numTypes)
+	rid := mem.Word(rng.Intn(a.cfg.Relations))
+	grow := rng.Intn(2) == 0
+	newPrice := mem.Word(50 + rng.Intn(450))
+	h := m.Heap()
+	return tm.Run(m, id, func(x tm.Txn) error {
+		table := tmds.RBTreeAt(h, a.tables[typ])
+		recW, ok, err := table.Find(x, rid)
+		if err != nil || !ok {
+			return err
+		}
+		rec := mem.Addr(recW)
+		if grow {
+			total, err := x.Read(rec + resTotal)
+			if err != nil {
+				return err
+			}
+			free, err := x.Read(rec + resFree)
+			if err != nil {
+				return err
+			}
+			if err := x.Write(rec+resTotal, total+10); err != nil {
+				return err
+			}
+			return x.Write(rec+resFree, free+10)
+		}
+		return x.Write(rec+resPrice, newPrice)
+	})
+}
+
+// Run implements stamp.App.
+func (a *App) Run(m tm.TM, id, threads int) error {
+	lo, hi := stamp.Chunk(a.cfg.Tasks, threads, id)
+	rng := stamp.NewRNG(a.cfg.Seed + uint64(id)*0x9e3779b9 + 1)
+	for i := lo; i < hi; i++ {
+		var err error
+		switch p := rng.Intn(100); {
+		case p < 80:
+			err = a.reserve(m, id, rng)
+		case p < 90:
+			err = a.deleteCustomer(m, id, rng)
+		default:
+			err = a.updateTables(m, id, rng)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableOccupancy sums capacity, free units and outstanding bookings of one
+// resource table inside the caller's transaction (typ: 0=cars, 1=flights,
+// 2=rooms) — an API hook for tooling and examples.
+func (a *App) TableOccupancy(x tm.Txn, typ int) (total, free, booked int, err error) {
+	if typ < 0 || typ >= numTypes {
+		return 0, 0, 0, fmt.Errorf("vacation: bad table %d", typ)
+	}
+	h := a.heap
+	table := tmds.RBTreeAt(h, a.tables[typ])
+	var werr error
+	err = table.ForEach(x, func(_, recW mem.Word) bool {
+		rec := mem.Addr(recW)
+		tt, e := x.Read(rec + resTotal)
+		if e != nil {
+			werr = e
+			return false
+		}
+		ff, e := x.Read(rec + resFree)
+		if e != nil {
+			werr = e
+			return false
+		}
+		total += int(tt)
+		free += int(ff)
+		return true
+	})
+	if err == nil {
+		err = werr
+	}
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Outstanding bookings for this table across customers.
+	custTree := tmds.RBTreeAt(h, a.cust)
+	err = custTree.ForEach(x, func(_, listW mem.Word) bool {
+		l := tmds.ListAt(h, mem.Addr(listW))
+		werr = l.ForEach(x, func(k, _ mem.Word) bool {
+			if t, _ := unpackReservation(k); t == typ {
+				booked++
+			}
+			return true
+		})
+		return werr == nil
+	})
+	if err == nil {
+		err = werr
+	}
+	return total, free, booked, err
+}
+
+// Verify implements stamp.App: conservation per resource.
+func (a *App) Verify(h *mem.Heap) error {
+	d := stamp.Direct{H: h}
+	// Booked units per (type, id) across all customers.
+	booked := map[mem.Word]int{}
+	custTree := tmds.RBTreeAt(h, a.cust)
+	err := custTree.ForEach(d, func(_, listW mem.Word) bool {
+		l := tmds.ListAt(h, mem.Addr(listW))
+		_ = l.ForEach(d, func(k, _ mem.Word) bool {
+			booked[k]++
+			return true
+		})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for t := 0; t < numTypes; t++ {
+		table := tmds.RBTreeAt(h, a.tables[t])
+		var verr error
+		err := table.ForEach(d, func(id, recW mem.Word) bool {
+			rec := mem.Addr(recW)
+			total := h.Load(rec + resTotal)
+			free := h.Load(rec + resFree)
+			b := booked[reservationKey(t, int(uint32(id)))]
+			if free > total {
+				verr = fmt.Errorf("vacation: type %d id %d free %d > total %d", t, id, free, total)
+				return false
+			}
+			if mem.Word(b)+free != total {
+				verr = fmt.Errorf("vacation: type %d id %d: booked %d + free %d != total %d",
+					t, id, b, free, total)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if verr != nil {
+			return verr
+		}
+	}
+	return nil
+}
+
+var _ stamp.App = (*App)(nil)

@@ -1,0 +1,106 @@
+package vacation
+
+import (
+	"testing"
+
+	"rococotm/internal/htm"
+	"rococotm/internal/mem"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stm/seqtm"
+	"rococotm/internal/tm"
+)
+
+func TestReservationKeyPacking(t *testing.T) {
+	for _, c := range []struct{ typ, id int }{{0, 0}, {2, 12345}, {1, 1 << 30}} {
+		k := reservationKey(c.typ, c.id)
+		typ, id := unpackReservation(k)
+		if typ != c.typ || id != c.id {
+			t.Fatalf("(%d,%d) round-tripped to (%d,%d)", c.typ, c.id, typ, id)
+		}
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	a := New(Config{Relations: 0, Customers: 1, Queries: 1})
+	if err := a.Setup(mem.NewHeap(1 << 12)); err == nil {
+		t.Fatal("zero relations accepted")
+	}
+}
+
+func TestConservationSequential(t *testing.T) {
+	a := NewAt(stamp.Small)
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM { return seqtm.New(h) }, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConservationUnderHTM(t *testing.T) {
+	a := NewAt(stamp.Small)
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM {
+		return htm.New(h, htm.Config{})
+	}, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableOccupancy(t *testing.T) {
+	a := NewAt(stamp.Small)
+	h := mem.NewHeap(a.HeapWords())
+	if err := a.Setup(h); err != nil {
+		t.Fatal(err)
+	}
+	m := seqtm.New(h)
+	defer m.Close()
+	// Book something so occupancy is non-trivial.
+	rng := stamp.NewRNG(5)
+	for i := 0; i < 50; i++ {
+		if err := a.reserve(m, 0, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tm.Run(m, 0, func(x tm.Txn) error {
+		for typ := 0; typ < numTypes; typ++ {
+			total, free, booked, err := a.TableOccupancy(x, typ)
+			if err != nil {
+				return err
+			}
+			if total != free+booked {
+				t.Fatalf("type %d: %d != %d + %d", typ, total, free, booked)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Run(m, 0, func(x tm.Txn) error {
+		_, _, _, err := a.TableOccupancy(x, 99)
+		if err == nil {
+			t.Fatal("bad table index accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteCustomerReleases(t *testing.T) {
+	a := New(Config{Relations: 4, Customers: 1, Tasks: 1, Queries: 4, Seed: 8})
+	h := mem.NewHeap(a.HeapWords())
+	if err := a.Setup(h); err != nil {
+		t.Fatal(err)
+	}
+	m := seqtm.New(h)
+	defer m.Close()
+	rng := stamp.NewRNG(9)
+	for i := 0; i < 20; i++ {
+		if err := a.reserve(m, 0, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.deleteCustomer(m, 0, stamp.NewRNG(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Verify(h); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package yada
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/stamp"
+	"rococotm/internal/stm/seqtm"
+	"rococotm/internal/tm"
+)
+
+func TestBadConfigRejected(t *testing.T) {
+	if err := New(Config{InitialElements: 2, NewBadPct: 10}).Setup(mem.NewHeap(1 << 12)); err == nil {
+		t.Fatal("tiny mesh accepted")
+	}
+	if err := New(Config{InitialElements: 64, NewBadPct: 60}).Setup(mem.NewHeap(1 << 16)); err == nil {
+		t.Fatal("divergent NewBadPct accepted")
+	}
+}
+
+func TestRefinementTerminatesSequential(t *testing.T) {
+	a := NewAt(stamp.Small)
+	res, err := stamp.Execute(a, func(h *mem.Heap) tm.TM { return seqtm.New(h) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TM.Commits == 0 {
+		t.Fatal("no refinement transactions ran")
+	}
+}
+
+func TestRefinementConcurrent(t *testing.T) {
+	a := NewAt(stamp.Small)
+	if _, err := stamp.Execute(a, func(h *mem.Heap) tm.TM {
+		return rococotm.New(h, rococotm.Config{})
+	}, 6); err != nil {
+		t.Fatal(err)
+	}
+}

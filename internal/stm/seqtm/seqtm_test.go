@@ -1,0 +1,85 @@
+package seqtm
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+	"rococotm/internal/tm/tmtest"
+)
+
+func factory() tm.TM { return New(mem.NewHeap(1 << 16)) }
+
+func TestReadYourWrites(t *testing.T) { tmtest.ReadYourWrites(t, factory) }
+func TestStatsSanity(t *testing.T)    { tmtest.StatsSanity(t, factory) }
+func TestWriteSkew(t *testing.T)      { tmtest.WriteSkew(t, factory, 100) }
+
+func TestCounterHammer(t *testing.T) {
+	tmtest.CounterHammer(t, factory, 4, 200)
+}
+
+func TestBankInvariant(t *testing.T) {
+	tmtest.BankInvariant(t, factory, 4, 16, 200)
+}
+
+func TestOpacityProbe(t *testing.T) {
+	tmtest.OpacityProbe(t, factory, 4, 200)
+}
+
+func TestDisjointParallelism(t *testing.T) {
+	tmtest.DisjointParallelism(t, factory, 4, 200)
+}
+
+func TestNeverAborts(t *testing.T) {
+	m := factory()
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+	for i := 0; i < 100; i++ {
+		if err := tm.Run(m, 0, func(x tm.Txn) error {
+			v, err := x.Read(a)
+			if err != nil {
+				return err
+			}
+			return x.Write(a, v+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := m.Stats(); st.Aborts != 0 {
+		t.Fatalf("sequential TM aborted %d times", st.Aborts)
+	}
+}
+
+func TestExplicitAbortCounted(t *testing.T) {
+	m := factory()
+	defer m.Close()
+	x, err := m.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Abort(x)
+	m.Abort(x) // double abort is a no-op
+	st := m.Stats()
+	if st.Aborts != 1 {
+		t.Fatalf("aborts = %d, want 1", st.Aborts)
+	}
+	// The global lock must be free again.
+	if err := tm.Run(m, 0, func(x tm.Txn) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleCommitNoop(t *testing.T) {
+	m := factory()
+	defer m.Close()
+	x, _ := m.Begin(0)
+	if err := m.Commit(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(x); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Commits; got != 1 {
+		t.Fatalf("commits = %d", got)
+	}
+}

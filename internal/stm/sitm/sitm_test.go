@@ -1,0 +1,180 @@
+package sitm
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+	"rococotm/internal/tm/tmtest"
+)
+
+func factory() tm.TM {
+	return New(mem.NewHeap(1<<16), Config{})
+}
+
+// SI satisfies everything in the conformance kit except serializability-
+// only properties: read-your-writes, rollback, counters (SI forbids lost
+// updates via first-committer-wins), bank conservation, opacity
+// (consistent snapshots are SI's defining feature).
+func TestReadYourWrites(t *testing.T) { tmtest.ReadYourWrites(t, factory) }
+func TestAbortRollsBack(t *testing.T) { tmtest.AbortRollsBack(t, factory) }
+func TestStatsSanity(t *testing.T)    { tmtest.StatsSanity(t, factory) }
+
+func TestCounterHammer(t *testing.T) {
+	tmtest.CounterHammer(t, factory, 8, 300)
+}
+
+func TestBankInvariant(t *testing.T) {
+	tmtest.BankInvariant(t, factory, 6, 32, 300)
+}
+
+func TestOpacityProbe(t *testing.T) {
+	tmtest.OpacityProbe(t, factory, 6, 300)
+}
+
+func TestDisjointParallelism(t *testing.T) {
+	tmtest.DisjointParallelism(t, factory, 8, 400)
+}
+
+// TestWriteSkewIsAdmitted is the runtime counterpart of the paper's
+// Figure 1: under snapshot isolation, two transactions that each read both
+// flags and write different ones can BOTH commit — the anomaly every
+// serializable runtime in this repository rejects (tmtest.WriteSkew).
+func TestWriteSkewIsAdmitted(t *testing.T) {
+	m := factory()
+	defer m.Close()
+	h := m.Heap()
+	xa := h.MustAlloc(1)
+	ya := h.MustAlloc(1)
+
+	// Deterministic overlap: both transactions snapshot before either
+	// writes, each checks the constraint (x + y == 0) and writes the flag
+	// the other one read.
+	t1, err := m.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBoth := func(x tm.Txn) mem.Word {
+		vx, err := x.Read(xa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vy, err := x.Read(ya)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vx + vy
+	}
+	if readBoth(t1) != 0 || readBoth(t2) != 0 {
+		t.Fatal("initial flags not zero")
+	}
+	if err := t1.Write(ya, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(xa, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(t1); err != nil {
+		t.Fatalf("t1: %v", err)
+	}
+	if err := m.Commit(t2); err != nil {
+		t.Fatalf("t2 must commit under SI (disjoint write sets): %v", err)
+	}
+	if h.Load(xa)+h.Load(ya) != 2 {
+		t.Fatal("write skew did not materialize")
+	}
+	// The same interleaving through a serializable runtime must reject
+	// one of the two — tmtest.WriteSkew covers the concurrent version for
+	// every other runtime; here we pin the deterministic schedule.
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	m := New(mem.NewHeap(1<<12), Config{})
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+
+	t1, _ := m.Begin(0)
+	t2, _ := m.Begin(1)
+	if err := t1.Write(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Commit(t2)
+	if _, ok := tm.IsAbort(err); !ok {
+		t.Fatalf("second committer of a WW conflict committed: %v", err)
+	}
+	if m.Heap().Load(a) != 1 {
+		t.Fatal("loser's value visible")
+	}
+}
+
+func TestSnapshotStability(t *testing.T) {
+	// A reader's view must not move even as writers commit around it.
+	m := New(mem.NewHeap(1<<12), Config{})
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+	if err := tm.Run(m, 0, func(x tm.Txn) error { return x.Write(a, 10) }); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := m.Begin(0)
+	v1, err := r.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tm.Run(m, 1, func(x tm.Txn) error {
+			return x.Write(a, mem.Word(100+i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v2, err := r.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 10 || v2 != 10 {
+		t.Fatalf("snapshot moved: %d then %d", v1, v2)
+	}
+	if err := m.Commit(r); err != nil {
+		t.Fatal(err)
+	}
+	if m.Heap().Load(a) != 104 {
+		t.Fatalf("latest value = %d", m.Heap().Load(a))
+	}
+}
+
+func TestGCWindowAbort(t *testing.T) {
+	// A snapshot older than the retained chain must abort with the window
+	// reason rather than read a wrong version.
+	m := New(mem.NewHeap(1<<12), Config{GCKeep: 2})
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+	r, _ := m.Begin(0)
+	for i := 0; i < 5; i++ {
+		if err := tm.Run(m, 1, func(x tm.Txn) error {
+			return x.Write(a, mem.Word(i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := r.Read(a)
+	reason, ok := tm.IsAbort(err)
+	if !ok || reason != tm.ReasonWindow {
+		t.Fatalf("stale snapshot read returned %v", err)
+	}
+}
+
+// With every write part of an RMW, snapshot isolation admits no write
+// skew, so even SI must produce serializable histories here.
+func TestHistorySerializableRMW(t *testing.T) {
+	tmtest.HistorySerializable(t, factory, tmtest.HistoryOptions{Readers: true, Seed: 3})
+}

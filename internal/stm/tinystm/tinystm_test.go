@@ -1,0 +1,205 @@
+package tinystm
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+	"rococotm/internal/tm/tmtest"
+)
+
+func factory() tm.TM {
+	return New(mem.NewHeap(1<<16), Config{})
+}
+
+func TestReadYourWrites(t *testing.T) { tmtest.ReadYourWrites(t, factory) }
+func TestAbortRollsBack(t *testing.T) { tmtest.AbortRollsBack(t, factory) }
+func TestStatsSanity(t *testing.T)    { tmtest.StatsSanity(t, factory) }
+func TestWriteSkew(t *testing.T)      { tmtest.WriteSkew(t, factory, 200) }
+
+func TestCounterHammer(t *testing.T) {
+	tmtest.CounterHammer(t, factory, 8, 300)
+}
+
+func TestBankInvariant(t *testing.T) {
+	tmtest.BankInvariant(t, factory, 6, 32, 400)
+}
+
+func TestOpacityProbe(t *testing.T) {
+	tmtest.OpacityProbe(t, factory, 6, 400)
+}
+
+func TestDisjointParallelism(t *testing.T) {
+	tmtest.DisjointParallelism(t, factory, 8, 500)
+}
+
+func TestLockWordEncoding(t *testing.T) {
+	for _, owner := range []int{0, 1, 27} {
+		w := lockedWord(owner)
+		if !isLocked(w) || ownerOf(w) != owner {
+			t.Fatalf("owner %d: word %#x decodes to locked=%v owner=%d",
+				owner, w, isLocked(w), ownerOf(w))
+		}
+	}
+	for _, v := range []uint64{0, 1, 1 << 40} {
+		w := versionWord(v)
+		if isLocked(w) || versionOf(w) != v {
+			t.Fatalf("version %d: word %#x decodes locked=%v version=%d",
+				v, w, isLocked(w), versionOf(w))
+		}
+	}
+}
+
+func TestSnapshotExtension(t *testing.T) {
+	// A read of a newly-committed stripe must extend the snapshot rather
+	// than abort when the prior read set is untouched.
+	h := mem.NewHeap(1 << 12)
+	s := New(h, Config{})
+	a := h.MustAlloc(1)
+	b := h.MustAlloc(1)
+
+	x, err := s.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent commit to b bumps its stripe version past x's snapshot.
+	if err := tm.Run(s, 1, func(y tm.Txn) error {
+		return y.Write(b, 5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := x.Read(b)
+	if err != nil {
+		t.Fatalf("read after concurrent commit should extend, got %v", err)
+	}
+	if v != 5 {
+		t.Fatalf("extended read = %d, want 5", v)
+	}
+	if err := s.Commit(x); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleReadAborts(t *testing.T) {
+	// If the extension fails because the read set itself was overwritten,
+	// the reader must abort (TOCC behaviour ROCoCo later relaxes).
+	h := mem.NewHeap(1 << 12)
+	s := New(h, Config{})
+	a := h.MustAlloc(1)
+	b := h.MustAlloc(1)
+
+	x, _ := s.Begin(0)
+	if _, err := x.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent commit overwrites a (x's read set) and b.
+	if err := tm.Run(s, 1, func(y tm.Txn) error {
+		if err := y.Write(a, 1); err != nil {
+			return err
+		}
+		return y.Write(b, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := x.Read(b)
+	if _, ok := tm.IsAbort(err); !ok {
+		t.Fatalf("stale read did not abort: %v", err)
+	}
+	st := s.Stats()
+	if st.Reasons[tm.ReasonConflict] == 0 {
+		t.Fatal("abort not attributed to conflict")
+	}
+}
+
+func TestWWConflictAborts(t *testing.T) {
+	h := mem.NewHeap(1 << 12)
+	s := New(h, Config{})
+	a := h.MustAlloc(1)
+
+	x, _ := s.Begin(0)
+	if err := x.Write(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	// y commits a write to the same stripe first.
+	if err := tm.Run(s, 1, func(y tm.Txn) error { return y.Write(a, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	// x never read a, so commit succeeds (blind write, last-writer-wins
+	// is fine for serializability) — but if x had READ a it must abort.
+	if err := s.Commit(x); err != nil {
+		t.Fatalf("blind write-write commit failed: %v", err)
+	}
+
+	x2, _ := s.Begin(0)
+	if _, err := x2.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Run(s, 1, func(y tm.Txn) error { return y.Write(a, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := x2.Write(a, 4); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Commit(x2)
+	if _, ok := tm.IsAbort(err); !ok {
+		t.Fatalf("read-modify-write with stale read committed: %v", err)
+	}
+}
+
+func TestValidationTimer(t *testing.T) {
+	h := mem.NewHeap(1 << 12)
+	s := New(h, Config{MeasureValidation: true})
+	a := h.MustAlloc(4)
+	for i := 0; i < 20; i++ {
+		if err := tm.Run(s, 0, func(x tm.Txn) error {
+			for j := 0; j < 4; j++ {
+				v, err := x.Read(a + mem.Addr(j))
+				if err != nil {
+					return err
+				}
+				if err := x.Write(a+mem.Addr(j), v+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().ValidationNanos == 0 {
+		t.Fatal("MeasureValidation recorded nothing")
+	}
+}
+
+func TestBadStripesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two stripes accepted")
+		}
+	}()
+	New(mem.NewHeap(1<<10), Config{Stripes: 1000})
+}
+
+func BenchmarkReadWriteTxn(b *testing.B) {
+	h := mem.NewHeap(1 << 16)
+	s := New(h, Config{})
+	a := h.MustAlloc(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tm.Run(s, 0, func(x tm.Txn) error {
+			v, err := x.Read(a + mem.Addr(i%64))
+			if err != nil {
+				return err
+			}
+			return x.Write(a+mem.Addr((i+1)%64), v+1)
+		})
+	}
+}
+
+func TestHistorySerializable(t *testing.T) {
+	tmtest.HistorySerializable(t, factory, tmtest.HistoryOptions{Readers: true, Seed: 1})
+}

@@ -1,0 +1,237 @@
+// Package tm defines the transactional-memory API shared by every runtime
+// in this repository (TinySTM-like LSA, the TSX-like HTM model, the
+// sequential baseline, and ROCoCoTM) and the retry loop applications use.
+//
+// The programming model mirrors the paper's: applications mark atomic
+// blocks and perform word-granular transactional loads and stores inside
+// them; the runtime is free to abort and re-execute a block at any point,
+// which it signals by returning a conflict error from Read/Write/Commit.
+// Application code must propagate those errors outward (the Run helper then
+// retries); swallowing them would break opacity.
+package tm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"rococotm/internal/mem"
+)
+
+// Conflict reasons, carried by AbortError.
+const (
+	ReasonConflict = "conflict"   // R/W conflict with a concurrent transaction
+	ReasonCycle    = "cycle"      // ROCoCo validation found a dependency cycle
+	ReasonWindow   = "window"     // sliding-window overflow (§4.2)
+	ReasonCapacity = "capacity"   // HTM cache-capacity overflow
+	ReasonSpurious = "spurious"   // HTM micro-architectural abort
+	ReasonFallback = "fallback"   // HTM aborted because the fallback lock was taken
+	ReasonExplicit = "user-abort" // application requested abort
+)
+
+// AbortError signals that the enclosing transaction must be rolled back.
+// Runtimes return it from Read/Write/Commit; Run retries the transaction.
+type AbortError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *AbortError) Error() string { return "tm: aborted (" + e.Reason + ")" }
+
+// Abort returns an AbortError with the given reason.
+func Abort(reason string) error { return &AbortError{Reason: reason} }
+
+// IsAbort reports whether err is (or wraps) a transactional abort, and
+// returns the reason.
+func IsAbort(err error) (string, bool) {
+	var ae *AbortError
+	if errors.As(err, &ae) {
+		return ae.Reason, true
+	}
+	return "", false
+}
+
+// Txn is one transactional execution attempt. A Txn is used by a single
+// goroutine. After any method returns an AbortError the transaction is
+// dead: the only valid next step is to stop using it (Run handles this).
+type Txn interface {
+	// Read returns the word at a as of the transaction's snapshot.
+	Read(a mem.Addr) (mem.Word, error)
+	// Write buffers (or, in eager runtimes, performs) a word store.
+	Write(a mem.Addr, v mem.Word) error
+}
+
+// TM is a transactional-memory runtime bound to a heap.
+type TM interface {
+	// Name identifies the runtime in experiment output.
+	Name() string
+	// Heap returns the shared heap this runtime manages.
+	Heap() *mem.Heap
+	// Begin starts a transaction attempt on the calling goroutine.
+	// thread identifies the executing thread (0 ≤ thread < configured
+	// maximum); runtimes use it for per-thread metadata.
+	Begin(thread int) (Txn, error)
+	// Commit attempts to commit the transaction. On AbortError the
+	// transaction has been rolled back.
+	Commit(t Txn) error
+	// Abort rolls back an attempt (used for explicit aborts and when the
+	// application function fails with a non-transactional error).
+	Abort(t Txn)
+	// Stats returns cumulative counters.
+	Stats() Stats
+	// Close releases background resources (e.g. the FPGA pipeline).
+	Close()
+}
+
+// Stats are cumulative runtime counters, collected with atomics.
+type Stats struct {
+	Starts   uint64 // transaction attempts begun
+	Commits  uint64 // attempts committed
+	Aborts   uint64 // attempts aborted, any reason
+	Reasons  map[string]uint64
+	ReadOnly uint64 // commits that skipped validation (empty write set)
+	// ValidationNanos accumulates time spent in commit-time validation —
+	// the quantity Figure 11 reports per transaction.
+	ValidationNanos uint64
+	// ModelValidationNanos accumulates the *modeled* hardware validation
+	// latency (pipeline cycles + CCI round trip) where a runtime offloads
+	// validation; zero for pure-software runtimes.
+	ModelValidationNanos uint64
+}
+
+// AbortRate returns Aborts / Starts.
+func (s Stats) AbortRate() float64 {
+	if s.Starts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Starts)
+}
+
+// Counters is the embeddable atomic implementation of Stats that runtimes
+// share.
+type Counters struct {
+	starts, commits, aborts, readOnly, valNanos atomic.Uint64
+	modelValNanos                               atomic.Uint64
+	reasonConflict, reasonCycle, reasonWindow   atomic.Uint64
+	reasonCapacity, reasonSpurious              atomic.Uint64
+	reasonFallback, reasonExplicit              atomic.Uint64
+}
+
+// OnStart records a transaction attempt.
+func (c *Counters) OnStart() { c.starts.Add(1) }
+
+// OnCommit records a successful commit; readOnly marks the fast path.
+func (c *Counters) OnCommit(readOnly bool) {
+	c.commits.Add(1)
+	if readOnly {
+		c.readOnly.Add(1)
+	}
+}
+
+// OnAbort records an abort with its reason.
+func (c *Counters) OnAbort(reason string) {
+	c.aborts.Add(1)
+	switch reason {
+	case ReasonConflict:
+		c.reasonConflict.Add(1)
+	case ReasonCycle:
+		c.reasonCycle.Add(1)
+	case ReasonWindow:
+		c.reasonWindow.Add(1)
+	case ReasonCapacity:
+		c.reasonCapacity.Add(1)
+	case ReasonSpurious:
+		c.reasonSpurious.Add(1)
+	case ReasonFallback:
+		c.reasonFallback.Add(1)
+	default:
+		c.reasonExplicit.Add(1)
+	}
+}
+
+// AddValidation accumulates commit-time validation latency.
+func (c *Counters) AddValidation(d time.Duration) {
+	if d > 0 {
+		c.valNanos.Add(uint64(d))
+	}
+}
+
+// AddModelValidation accumulates modeled hardware validation latency.
+func (c *Counters) AddModelValidation(nanos uint64) {
+	c.modelValNanos.Add(nanos)
+}
+
+// Snapshot materializes the counters as Stats.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		Starts:   c.starts.Load(),
+		Commits:  c.commits.Load(),
+		Aborts:   c.aborts.Load(),
+		ReadOnly: c.readOnly.Load(),
+		Reasons: map[string]uint64{
+			ReasonConflict: c.reasonConflict.Load(),
+			ReasonCycle:    c.reasonCycle.Load(),
+			ReasonWindow:   c.reasonWindow.Load(),
+			ReasonCapacity: c.reasonCapacity.Load(),
+			ReasonSpurious: c.reasonSpurious.Load(),
+			ReasonFallback: c.reasonFallback.Load(),
+			ReasonExplicit: c.reasonExplicit.Load(),
+		},
+		ValidationNanos:      c.valNanos.Load(),
+		ModelValidationNanos: c.modelValNanos.Load(),
+	}
+}
+
+// Run executes fn as a transaction on the given thread, retrying until it
+// commits or fn fails with a non-transactional error. It implements the
+// STAMP-style retry loop with bounded randomized backoff.
+func Run(m TM, thread int, fn func(Txn) error) error {
+	backoff := 0
+	for {
+		t, err := m.Begin(thread)
+		if err != nil {
+			return fmt.Errorf("tm: begin: %w", err)
+		}
+		err = fn(t)
+		if err == nil {
+			err = m.Commit(t)
+			if err == nil {
+				return nil
+			}
+		}
+		if _, ok := IsAbort(err); !ok {
+			// Application failure: roll back and propagate.
+			m.Abort(t)
+			return err
+		}
+		// Conflict abort: the runtime already rolled back. Back off under
+		// repeated contention (randomized exponential, plus yielding the
+		// processor so a conflicting winner can finish) before retrying —
+		// the contention-management role of STAMP's retry loop.
+		if backoff++; backoff > 1 {
+			for y := 0; y < backoff && y < 8; y++ {
+				runtime.Gosched()
+			}
+			spin(rand.Intn(1 << uint(min(4+backoff, 12))))
+		}
+	}
+}
+
+// spin burns a few cycles without yielding the scheduler entirely.
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		_ = atomic.LoadUint64(&spinSink)
+	}
+}
+
+var spinSink uint64
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package tm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"rococotm/internal/mem"
+)
+
+func TestAbortErrorRoundTrip(t *testing.T) {
+	err := Abort(ReasonCycle)
+	reason, ok := IsAbort(err)
+	if !ok || reason != ReasonCycle {
+		t.Fatalf("IsAbort = (%q, %v)", reason, ok)
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	reason, ok = IsAbort(wrapped)
+	if !ok || reason != ReasonCycle {
+		t.Fatal("wrapped abort not recognized")
+	}
+	if _, ok := IsAbort(errors.New("plain")); ok {
+		t.Fatal("plain error recognized as abort")
+	}
+	if _, ok := IsAbort(nil); ok {
+		t.Fatal("nil recognized as abort")
+	}
+	if got := err.Error(); got != "tm: aborted (cycle)" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestCountersSnapshot(t *testing.T) {
+	var c Counters
+	c.OnStart()
+	c.OnStart()
+	c.OnStart()
+	c.OnCommit(false)
+	c.OnCommit(true)
+	c.OnAbort(ReasonConflict)
+	c.AddValidation(100 * time.Nanosecond)
+	c.AddValidation(-5) // ignored
+	c.AddModelValidation(640)
+	s := c.Snapshot()
+	if s.Starts != 3 || s.Commits != 2 || s.Aborts != 1 || s.ReadOnly != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Reasons[ReasonConflict] != 1 {
+		t.Fatalf("reasons = %v", s.Reasons)
+	}
+	if s.ValidationNanos != 100 || s.ModelValidationNanos != 640 {
+		t.Fatalf("validation nanos = %d/%d", s.ValidationNanos, s.ModelValidationNanos)
+	}
+	if got := s.AbortRate(); got != 1.0/3 {
+		t.Fatalf("AbortRate = %g", got)
+	}
+	if (Stats{}).AbortRate() != 0 {
+		t.Fatal("empty AbortRate not 0")
+	}
+}
+
+func TestCountersAllReasons(t *testing.T) {
+	var c Counters
+	reasons := []string{ReasonConflict, ReasonCycle, ReasonWindow,
+		ReasonCapacity, ReasonSpurious, ReasonFallback, ReasonExplicit, "other"}
+	for _, r := range reasons {
+		c.OnAbort(r)
+	}
+	s := c.Snapshot()
+	if s.Aborts != uint64(len(reasons)) {
+		t.Fatalf("aborts = %d", s.Aborts)
+	}
+	// "other" folds into explicit.
+	if s.Reasons[ReasonExplicit] != 2 {
+		t.Fatalf("explicit = %d", s.Reasons[ReasonExplicit])
+	}
+}
+
+// flakyTM aborts the first n commit attempts, then succeeds — for testing
+// the Run retry loop without a real runtime.
+type flakyTM struct {
+	heap      *mem.Heap
+	failLeft  int
+	begins    int
+	abortCall int
+	cnt       Counters
+}
+
+type flakyTxn struct{ m *flakyTM }
+
+func (m *flakyTM) Name() string    { return "flaky" }
+func (m *flakyTM) Heap() *mem.Heap { return m.heap }
+func (m *flakyTM) Stats() Stats    { return m.cnt.Snapshot() }
+func (m *flakyTM) Close()          {}
+func (m *flakyTM) Begin(int) (Txn, error) {
+	m.begins++
+	return &flakyTxn{m: m}, nil
+}
+func (m *flakyTM) Commit(Txn) error {
+	if m.failLeft > 0 {
+		m.failLeft--
+		return Abort(ReasonConflict)
+	}
+	return nil
+}
+func (m *flakyTM) Abort(Txn) { m.abortCall++ }
+
+func (x *flakyTxn) Read(a mem.Addr) (mem.Word, error)  { return x.m.heap.Load(a), nil }
+func (x *flakyTxn) Write(a mem.Addr, v mem.Word) error { x.m.heap.Store(a, v); return nil }
+
+func TestRunRetriesOnConflict(t *testing.T) {
+	m := &flakyTM{heap: mem.NewHeap(8), failLeft: 3}
+	err := Run(m, 0, func(x Txn) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.begins != 4 {
+		t.Fatalf("begins = %d, want 4 (3 retries)", m.begins)
+	}
+	if m.abortCall != 0 {
+		t.Fatal("Run called Abort for runtime-rolled-back attempts")
+	}
+}
+
+func TestRunPropagatesAppError(t *testing.T) {
+	m := &flakyTM{heap: mem.NewHeap(8)}
+	sentinel := errors.New("app failure")
+	err := Run(m, 0, func(x Txn) error { return sentinel })
+	if err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
+	if m.begins != 1 {
+		t.Fatalf("begins = %d; app errors must not be retried", m.begins)
+	}
+	if m.abortCall != 1 {
+		t.Fatal("Run must roll back on app error")
+	}
+}
+
+func TestRunRetriesAbortFromBody(t *testing.T) {
+	m := &flakyTM{heap: mem.NewHeap(8)}
+	calls := 0
+	err := Run(m, 0, func(x Txn) error {
+		calls++
+		if calls < 3 {
+			return Abort(ReasonConflict) // e.g. a failed Read propagated
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("body ran %d times, want 3", calls)
+	}
+}

@@ -1,0 +1,240 @@
+package tmtest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/semantics"
+	"rococotm/internal/tm"
+)
+
+// HistoryOptions tunes the recorded-history serializability check.
+type HistoryOptions struct {
+	Threads   int
+	TxnsEach  int
+	Addresses int
+	// Readers adds pure read-only transactions to the mix. Runtimes that
+	// commit invisible readers outside their validation scope (ROCoCoTM's
+	// CPU-side read-only fast path, §5.3) may order them by snapshot while
+	// writers get reorderd; set false to scope the check to the runtime's
+	// guarantee.
+	Readers bool
+	Seed    int64
+}
+
+// record is one committed transaction's observation log.
+type record struct {
+	id         string
+	start, end float64
+	reads      map[mem.Addr]mem.Word // observed token per address
+	writes     map[mem.Addr]mem.Word // written token per address
+}
+
+// HistorySerializable drives a random read-modify-write workload through
+// the runtime, records every committed transaction's reads-from relation
+// via unique write tokens, reconstructs the history, and checks it with
+// the §3 serializability checker — an end-to-end, oracle-based correctness
+// test connecting the runtimes to the semantics package.
+//
+// Every write is part of an RMW (the transaction read the address first),
+// so each address's version order is recoverable by chaining reads-from,
+// and lost updates surface as broken chains.
+func HistorySerializable(t *testing.T, mk Factory, opts HistoryOptions) {
+	t.Helper()
+	if opts.Threads == 0 {
+		opts.Threads = 6
+	}
+	if opts.TxnsEach == 0 {
+		opts.TxnsEach = 120
+	}
+	if opts.Addresses == 0 {
+		opts.Addresses = 12
+	}
+	m := mk()
+	defer m.Close()
+	base := m.Heap().MustAlloc(opts.Addresses)
+
+	var tokenMu sync.Mutex
+	nextToken := mem.Word(1)
+	newToken := func() mem.Word {
+		tokenMu.Lock()
+		defer tokenMu.Unlock()
+		tok := nextToken
+		nextToken++
+		return tok
+	}
+
+	epoch := time.Now()
+	now := func() float64 { return float64(time.Since(epoch)) }
+
+	var recMu sync.Mutex
+	var records []record
+
+	var wg sync.WaitGroup
+	errs := make(chan error, opts.Threads)
+	for th := 0; th < opts.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(th)*7919))
+			for i := 0; i < opts.TxnsEach; i++ {
+				readOnly := opts.Readers && rng.Intn(3) == 0
+				nOps := 1 + rng.Intn(3)
+				addrs := make([]mem.Addr, nOps)
+				for j := range addrs {
+					addrs[j] = base + mem.Addr(rng.Intn(opts.Addresses))
+				}
+				toks := make([]mem.Word, nOps)
+				if !readOnly {
+					for j := range toks {
+						toks[j] = newToken()
+					}
+				}
+				rec := record{
+					id:    fmt.Sprintf("t%d.%d", th, i),
+					start: now(),
+				}
+				err := tm.Run(m, th, func(x tm.Txn) error {
+					rec.reads = map[mem.Addr]mem.Word{}
+					rec.writes = map[mem.Addr]mem.Word{}
+					for j, a := range addrs {
+						if _, done := rec.writes[a]; done {
+							continue // one RMW per address per txn
+						}
+						// Force fine-grained interleaving on a single-CPU
+						// host so transactions genuinely overlap.
+						runtime.Gosched()
+						v, err := x.Read(a)
+						if err != nil {
+							return err
+						}
+						rec.reads[a] = v
+						if !readOnly {
+							if err := x.Write(a, toks[j]); err != nil {
+								return err
+							}
+							rec.writes[a] = toks[j]
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				rec.end = now()
+				recMu.Lock()
+				records = append(records, rec)
+				recMu.Unlock()
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	h, err := buildHistory(records, base, opts.Addresses)
+	if err != nil {
+		t.Fatalf("history reconstruction: %v", err)
+	}
+	ok, _, err := h.Serializable()
+	if err != nil {
+		t.Fatalf("history check: %v", err)
+	}
+	if !ok {
+		t.Fatalf("%s produced a non-serializable history (%d committed txns)",
+			m.Name(), len(records))
+	}
+}
+
+// buildHistory converts observation records into a semantics.History:
+// tokens identify writers, and per-address write order is recovered by
+// chaining each writer's observed predecessor token.
+func buildHistory(records []record, base mem.Addr, addresses int) (semantics.History, error) {
+	writerOf := map[mem.Word]string{} // token → txn id
+	for _, r := range records {
+		for _, tok := range r.writes {
+			if prev, dup := writerOf[tok]; dup {
+				return semantics.History{}, fmt.Errorf("token %d written twice (%s, %s)", tok, prev, r.id)
+			}
+			writerOf[tok] = r.id
+		}
+	}
+	obj := func(a mem.Addr) string { return fmt.Sprintf("x%d", a-base) }
+
+	var h semantics.History
+	h.WriteOrder = map[string][]string{}
+	for _, r := range records {
+		txn := semantics.Txn{
+			ID:    r.id,
+			Start: r.start,
+			End:   r.end,
+			Reads: map[string]string{},
+		}
+		if txn.End <= txn.Start {
+			txn.End = txn.Start + 1 // zero-duration guard
+		}
+		for a, tok := range r.reads {
+			ver := semantics.InitialVersion
+			if tok != 0 {
+				w, ok := writerOf[tok]
+				if !ok {
+					return semantics.History{}, fmt.Errorf("%s read unknown token %d", r.id, tok)
+				}
+				ver = w
+			}
+			txn.Reads[obj(a)] = ver
+		}
+		for a := range r.writes {
+			txn.Writes = append(txn.Writes, obj(a))
+		}
+		h.Txns = append(h.Txns, txn)
+	}
+
+	// Reconstruct per-address version order by chaining RMW reads-from:
+	// the writer that observed token T wrote the successor of T.
+	for ai := 0; ai < addresses; ai++ {
+		a := base + mem.Addr(ai)
+		succ := map[mem.Word]record{} // observed token → writer record
+		count := 0
+		for _, r := range records {
+			tok, wrote := r.writes[a]
+			if !wrote {
+				continue
+			}
+			prev := r.reads[a]
+			if _, dup := succ[prev]; dup {
+				return semantics.History{}, fmt.Errorf(
+					"lost update on %s: two writers observed token %d", obj(a), prev)
+			}
+			succ[prev] = r
+			_ = tok
+			count++
+		}
+		var order []string
+		cur := mem.Word(0) // initial version
+		for {
+			r, ok := succ[cur]
+			if !ok {
+				break
+			}
+			order = append(order, r.id)
+			cur = r.writes[a]
+		}
+		if len(order) != count {
+			return semantics.History{}, fmt.Errorf(
+				"broken version chain on %s: %d of %d writers reachable", obj(a), len(order), count)
+		}
+		if len(order) > 0 {
+			h.WriteOrder[obj(a)] = order
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,388 @@
+// Package tmtest is a conformance kit for tm.TM implementations: every
+// runtime in the repository (TinySTM, the HTM model, ROCoCoTM, the
+// sequential baseline) is driven through the same atomicity, isolation,
+// opacity and rollback checks. Runtime packages call these helpers from
+// their own tests.
+package tmtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// Factory builds a fresh runtime and its heap for one test.
+type Factory func() tm.TM
+
+// ReadYourWrites checks that a transaction observes its own buffered
+// stores before commit and that committed stores are visible afterwards.
+func ReadYourWrites(t *testing.T, mk Factory) {
+	t.Helper()
+	m := mk()
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+	err := tm.Run(m, 0, func(x tm.Txn) error {
+		if err := x.Write(a, 7); err != nil {
+			return err
+		}
+		v, err := x.Read(a)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			return fmt.Errorf("read-your-writes: got %d, want 7", v)
+		}
+		if err := x.Write(a, 9); err != nil {
+			return err
+		}
+		v, err = x.Read(a)
+		if err != nil {
+			return err
+		}
+		if v != 9 {
+			return fmt.Errorf("read-your-writes after overwrite: got %d", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Heap().Load(a); got != 9 {
+		t.Fatalf("committed value = %d, want 9", got)
+	}
+}
+
+// AbortRollsBack checks that a transaction failing with an application
+// error leaves memory untouched.
+func AbortRollsBack(t *testing.T, mk Factory) {
+	t.Helper()
+	m := mk()
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+	m.Heap().Store(a, 42)
+	sentinel := fmt.Errorf("application failure")
+	err := tm.Run(m, 0, func(x tm.Txn) error {
+		if err := x.Write(a, 99); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("Run returned %v, want sentinel", err)
+	}
+	if got := m.Heap().Load(a); got != 42 {
+		t.Fatalf("aborted write leaked: value = %d, want 42", got)
+	}
+}
+
+// CounterHammer runs `threads` goroutines each incrementing a shared
+// counter `perThread` times and checks the total — the canonical
+// lost-update test.
+func CounterHammer(t *testing.T, mk Factory, threads, perThread int) {
+	t.Helper()
+	m := mk()
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				err := tm.Run(m, th, func(x tm.Txn) error {
+					v, err := x.Read(a)
+					if err != nil {
+						return err
+					}
+					return x.Write(a, v+1)
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := mem.Word(threads * perThread)
+	if got := m.Heap().Load(a); got != want {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, want)
+	}
+}
+
+// BankInvariant runs transfer transactions between accounts from multiple
+// threads while auditor transactions continuously assert that the total
+// balance is constant — checking both isolation of in-flight transfers and
+// atomicity of committed ones.
+func BankInvariant(t *testing.T, mk Factory, threads, accounts, transfers int) {
+	t.Helper()
+	m := mk()
+	defer m.Close()
+	const initial = 1000
+	base := m.Heap().MustAlloc(accounts)
+	for i := 0; i < accounts; i++ {
+		m.Heap().Store(base+mem.Addr(i), initial)
+	}
+	total := mem.Word(accounts * initial)
+
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	fail := func(format string, args ...any) {
+		if failed.CompareAndSwap(false, true) {
+			t.Errorf(format, args...)
+		}
+	}
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(th + 1)))
+			for i := 0; i < transfers && !failed.Load(); i++ {
+				if th == 0 && i%8 == 0 {
+					// Auditor: read every account in one transaction.
+					var sum mem.Word
+					err := tm.Run(m, th, func(x tm.Txn) error {
+						sum = 0
+						for j := 0; j < accounts; j++ {
+							v, err := x.Read(base + mem.Addr(j))
+							if err != nil {
+								return err
+							}
+							sum += v
+						}
+						return nil
+					})
+					if err != nil {
+						fail("auditor: %v", err)
+						return
+					}
+					if sum != total {
+						fail("auditor saw total %d, want %d", sum, total)
+						return
+					}
+					continue
+				}
+				from := mem.Addr(rng.Intn(accounts))
+				to := mem.Addr(rng.Intn(accounts))
+				amount := mem.Word(1 + rng.Intn(5))
+				err := tm.Run(m, th, func(x tm.Txn) error {
+					fv, err := x.Read(base + from)
+					if err != nil {
+						return err
+					}
+					tv, err := x.Read(base + to)
+					if err != nil {
+						return err
+					}
+					if fv < amount {
+						return nil // insufficient funds; commit unchanged
+					}
+					if from == to {
+						return nil
+					}
+					if err := x.Write(base+from, fv-amount); err != nil {
+						return err
+					}
+					return x.Write(base+to, tv+amount)
+				})
+				if err != nil {
+					fail("transfer: %v", err)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.FailNow()
+	}
+	var sum mem.Word
+	for i := 0; i < accounts; i++ {
+		sum += m.Heap().Load(base + mem.Addr(i))
+	}
+	if sum != total {
+		t.Fatalf("final total = %d, want %d", sum, total)
+	}
+}
+
+// OpacityProbe keeps two words equal (x == y at every commit) under
+// concurrent writers while reader transactions assert they never observe
+// x != y — the read-set-consistency property (§5.3 footnote).
+func OpacityProbe(t *testing.T, mk Factory, threads, iters int) {
+	t.Helper()
+	m := mk()
+	defer m.Close()
+	xa := m.Heap().MustAlloc(1)
+	ya := m.Heap().MustAlloc(1)
+
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < iters && !failed.Load(); i++ {
+				var err error
+				if th%2 == 0 {
+					err = tm.Run(m, th, func(x tm.Txn) error {
+						v, err := x.Read(xa)
+						if err != nil {
+							return err
+						}
+						if err := x.Write(xa, v+1); err != nil {
+							return err
+						}
+						return x.Write(ya, v+1)
+					})
+				} else {
+					err = tm.Run(m, th, func(x tm.Txn) error {
+						vx, err := x.Read(xa)
+						if err != nil {
+							return err
+						}
+						vy, err := x.Read(ya)
+						if err != nil {
+							return err
+						}
+						if vx != vy {
+							return fmt.Errorf("opacity violation: x=%d y=%d", vx, vy)
+						}
+						return nil
+					})
+				}
+				if err != nil {
+					if failed.CompareAndSwap(false, true) {
+						t.Errorf("thread %d: %v", th, err)
+					}
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.FailNow()
+	}
+	if vx, vy := m.Heap().Load(xa), m.Heap().Load(ya); vx != vy {
+		t.Fatalf("final state x=%d y=%d", vx, vy)
+	}
+}
+
+// WriteSkew checks serializability beyond snapshot isolation: two
+// transactions each read both flags and write one of them; under
+// serializability at most one may commit a write based on a stale read, so
+// the invariant x + y ≤ 1 must hold at the end of every round.
+func WriteSkew(t *testing.T, mk Factory, rounds int) {
+	t.Helper()
+	m := mk()
+	defer m.Close()
+	xa := m.Heap().MustAlloc(1)
+	ya := m.Heap().MustAlloc(1)
+	for r := 0; r < rounds; r++ {
+		m.Heap().Store(xa, 0)
+		m.Heap().Store(ya, 0)
+		var wg sync.WaitGroup
+		worker := func(th int, mine, other mem.Addr) {
+			defer wg.Done()
+			_ = tm.Run(m, th, func(x tm.Txn) error {
+				vm, err := x.Read(mine)
+				if err != nil {
+					return err
+				}
+				vo, err := x.Read(other)
+				if err != nil {
+					return err
+				}
+				if vm+vo == 0 {
+					return x.Write(mine, 1)
+				}
+				return nil
+			})
+		}
+		wg.Add(2)
+		go worker(0, xa, ya)
+		go worker(1, ya, xa)
+		wg.Wait()
+		if vx, vy := m.Heap().Load(xa), m.Heap().Load(ya); vx+vy > 1 {
+			t.Fatalf("round %d: write skew admitted: x=%d y=%d", r, vx, vy)
+		}
+	}
+}
+
+// DisjointParallelism checks that transactions on disjoint data all commit
+// and never deadlock.
+func DisjointParallelism(t *testing.T, mk Factory, threads, iters int) {
+	t.Helper()
+	m := mk()
+	defer m.Close()
+	base := m.Heap().MustAlloc(threads * 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, threads)
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			mine := base + mem.Addr(th*8)
+			for i := 0; i < iters; i++ {
+				err := tm.Run(m, th, func(x tm.Txn) error {
+					v, err := x.Read(mine)
+					if err != nil {
+						return err
+					}
+					return x.Write(mine, v+1)
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for th := 0; th < threads; th++ {
+		if got := m.Heap().Load(base + mem.Addr(th*8)); got != mem.Word(iters) {
+			t.Fatalf("thread %d slot = %d, want %d", th, got, iters)
+		}
+	}
+}
+
+// StatsSanity checks that the runtime's counters add up after a workload.
+func StatsSanity(t *testing.T, mk Factory) {
+	t.Helper()
+	m := mk()
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := tm.Run(m, 0, func(x tm.Txn) error {
+			v, err := x.Read(a)
+			if err != nil {
+				return err
+			}
+			return x.Write(a, v+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if st.Commits != n {
+		t.Fatalf("commits = %d, want %d", st.Commits, n)
+	}
+	if st.Starts != st.Commits+st.Aborts {
+		t.Fatalf("starts %d != commits %d + aborts %d", st.Starts, st.Commits, st.Aborts)
+	}
+}

@@ -1,0 +1,133 @@
+package tmds
+
+import (
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// Bitmap is a fixed-size transactional bit array — STAMP's bitmap_t.
+// Header layout: [nbits, dataPtr].
+type Bitmap struct {
+	h    *mem.Heap
+	base mem.Addr
+}
+
+const (
+	bmBits = iota
+	bmData
+	bmHdr
+)
+
+// NewBitmap allocates a zeroed bitmap of n bits.
+func NewBitmap(h *mem.Heap, n int) (Bitmap, error) {
+	if n < 1 {
+		n = 1
+	}
+	base, err := h.Alloc(bmHdr)
+	if err != nil {
+		return Bitmap{}, err
+	}
+	data, err := h.Alloc((n + 63) / 64)
+	if err != nil {
+		return Bitmap{}, err
+	}
+	h.Store(base+bmBits, mem.Word(n))
+	h.Store(base+bmData, word(data))
+	return Bitmap{h: h, base: base}, nil
+}
+
+// Handle returns the heap address of the bitmap header.
+func (b Bitmap) Handle() mem.Addr { return b.base }
+
+// BitmapAt rebinds a Bitmap from a stored handle.
+func BitmapAt(h *mem.Heap, base mem.Addr) Bitmap { return Bitmap{h: h, base: base} }
+
+// Bits returns the bitmap length in bits.
+func (b Bitmap) Bits(x tm.Txn) (int, error) {
+	n, err := field(x, b.base, bmBits)
+	return int(n), err
+}
+
+func (b Bitmap) wordAddr(x tm.Txn, i int) (mem.Addr, error) {
+	data, err := field(x, b.base, bmData)
+	if err != nil {
+		return 0, err
+	}
+	return ptr(data) + mem.Addr(i/64), nil
+}
+
+// Get reports bit i; out-of-range bits read as false.
+func (b Bitmap) Get(x tm.Txn, i int) (bool, error) {
+	n, err := field(x, b.base, bmBits)
+	if err != nil || i < 0 || i >= int(n) {
+		return false, err
+	}
+	wa, err := b.wordAddr(x, i)
+	if err != nil {
+		return false, err
+	}
+	w, err := x.Read(wa)
+	return w&(1<<uint(i%64)) != 0, err
+}
+
+// Set sets bit i and reports whether it was previously clear (STAMP's
+// bitmap_set returns whether the claim succeeded). Out of range → false.
+func (b Bitmap) Set(x tm.Txn, i int) (bool, error) {
+	n, err := field(x, b.base, bmBits)
+	if err != nil || i < 0 || i >= int(n) {
+		return false, err
+	}
+	wa, err := b.wordAddr(x, i)
+	if err != nil {
+		return false, err
+	}
+	w, err := x.Read(wa)
+	if err != nil {
+		return false, err
+	}
+	bit := mem.Word(1) << uint(i%64)
+	if w&bit != 0 {
+		return false, nil
+	}
+	return true, x.Write(wa, w|bit)
+}
+
+// Clear clears bit i.
+func (b Bitmap) Clear(x tm.Txn, i int) error {
+	n, err := field(x, b.base, bmBits)
+	if err != nil || i < 0 || i >= int(n) {
+		return err
+	}
+	wa, err := b.wordAddr(x, i)
+	if err != nil {
+		return err
+	}
+	w, err := x.Read(wa)
+	if err != nil {
+		return err
+	}
+	return x.Write(wa, w&^(mem.Word(1)<<uint(i%64)))
+}
+
+// Count returns the number of set bits (walks every word).
+func (b Bitmap) Count(x tm.Txn) (int, error) {
+	n, err := field(x, b.base, bmBits)
+	if err != nil {
+		return 0, err
+	}
+	data, err := field(x, b.base, bmData)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for i := 0; i < (int(n)+63)/64; i++ {
+		w, err := x.Read(ptr(data) + mem.Addr(i))
+		if err != nil {
+			return 0, err
+		}
+		for ; w != 0; w &= w - 1 {
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,83 @@
+package tmds
+
+import (
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stm/seqtm"
+	"rococotm/internal/tm"
+)
+
+// FuzzRBTreeAgainstMap interprets fuzzer bytes as an operation stream
+// (insert/remove/find) and checks the red-black tree against a Go map
+// oracle plus its own structural invariants.
+func FuzzRBTreeAgainstMap(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 1, 1, 2, 2, 0, 3, 1, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := mem.NewHeap(1 << 18)
+		m := seqtm.New(h)
+		defer m.Close()
+		tr, err := NewRBTree(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[mem.Word]mem.Word{}
+		for i := 0; i+1 < len(data) && i < 400; i += 2 {
+			op := data[i] % 3
+			k := mem.Word(data[i+1] % 64)
+			err := tm.Run(m, 0, func(x tm.Txn) error {
+				switch op {
+				case 0:
+					ins, err := tr.Insert(x, k, k*3)
+					if err != nil {
+						return err
+					}
+					if _, exists := oracle[k]; ins == exists {
+						t.Fatalf("insert(%d)=%v oracle=%v", k, ins, exists)
+					}
+					if ins {
+						oracle[k] = k * 3
+					}
+				case 1:
+					rem, err := tr.Remove(x, k)
+					if err != nil {
+						return err
+					}
+					if _, exists := oracle[k]; rem != exists {
+						t.Fatalf("remove(%d)=%v oracle=%v", k, rem, exists)
+					}
+					delete(oracle, k)
+				case 2:
+					v, ok, err := tr.Find(x, k)
+					if err != nil {
+						return err
+					}
+					want, exists := oracle[k]
+					if ok != exists || (ok && v != want) {
+						t.Fatalf("find(%d) mismatch", k)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tm.Run(m, 0, func(x tm.Txn) error {
+			if _, err := tr.checkInvariants(x); err != nil {
+				return err
+			}
+			n, err := tr.Len(x)
+			if err != nil {
+				return err
+			}
+			if n != len(oracle) {
+				t.Fatalf("Len=%d oracle=%d", n, len(oracle))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

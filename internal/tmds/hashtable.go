@@ -1,0 +1,107 @@
+package tmds
+
+import (
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// Hashtable is a fixed-bucket chained hash map — STAMP's hashtable_t.
+// Header layout: [nbuckets, size, bucket₀ head, bucket₁ head, ...] where
+// each bucket head is a sorted-list head-pointer word.
+type Hashtable struct {
+	h    *mem.Heap
+	base mem.Addr
+	n    int // bucket count, cached (immutable after creation)
+}
+
+const (
+	htBuckets = iota
+	htSize
+	htFirstBucket
+)
+
+// NewHashtable allocates a table with nbuckets chains (rounded up to ≥ 1).
+func NewHashtable(h *mem.Heap, nbuckets int) (Hashtable, error) {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	base, err := h.Alloc(htFirstBucket + nbuckets)
+	if err != nil {
+		return Hashtable{}, err
+	}
+	h.Store(base+htBuckets, mem.Word(nbuckets))
+	return Hashtable{h: h, base: base, n: nbuckets}, nil
+}
+
+// Handle returns the heap address of the table header.
+func (t Hashtable) Handle() mem.Addr { return t.base }
+
+// HashtableAt rebinds a Hashtable from a stored handle. It reads the
+// bucket count non-transactionally (immutable after creation).
+func HashtableAt(h *mem.Heap, base mem.Addr) Hashtable {
+	return Hashtable{h: h, base: base, n: int(h.Load(base + htBuckets))}
+}
+
+// bucket returns the List over chain i.
+func (t Hashtable) bucket(k mem.Word) List {
+	i := int(uint64(k) * 0x9e3779b97f4a7c15 >> 32 % uint64(t.n))
+	return List{h: t.h, head: t.base + htFirstBucket + mem.Addr(i)}
+}
+
+// Insert adds (k, v); false if k already present. No shared size counter
+// is maintained (it would serialize every insert on one word — STAMP's
+// hashtable has the same design); Len walks the buckets.
+func (t Hashtable) Insert(x tm.Txn, k, v mem.Word) (bool, error) {
+	return t.bucket(k).Insert(x, k, v)
+}
+
+// Find returns the value under k.
+func (t Hashtable) Find(x tm.Txn, k mem.Word) (mem.Word, bool, error) {
+	return t.bucket(k).Find(x, k)
+}
+
+// Update overwrites the value under k if present.
+func (t Hashtable) Update(x tm.Txn, k, v mem.Word) (bool, error) {
+	return t.bucket(k).Update(x, k, v)
+}
+
+// Remove deletes k; false if absent.
+func (t Hashtable) Remove(x tm.Txn, k mem.Word) (bool, error) {
+	return t.bucket(k).Remove(x, k)
+}
+
+// Len returns the element count by walking every bucket (O(n); element
+// counts are not centrally maintained to avoid a serialization hotspot).
+func (t Hashtable) Len(x tm.Txn) (int, error) {
+	total := 0
+	for i := 0; i < t.n; i++ {
+		l := List{h: t.h, head: t.base + htFirstBucket + mem.Addr(i)}
+		n, err := l.Len(x)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// ForEach visits every (key, val) pair, bucket by bucket.
+func (t Hashtable) ForEach(x tm.Txn, fn func(k, v mem.Word) bool) error {
+	for i := 0; i < t.n; i++ {
+		l := List{h: t.h, head: t.base + htFirstBucket + mem.Addr(i)}
+		stop := false
+		if err := l.ForEach(x, func(k, v mem.Word) bool {
+			if !fn(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package tmds
+
+import (
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// List is a sorted singly-linked list with unique keys — STAMP's list_t.
+// Node layout: [key, val, next]. The header is a single word holding the
+// first-node pointer.
+type List struct {
+	h    *mem.Heap
+	head mem.Addr // address of the head-pointer word
+}
+
+const (
+	lKey = iota
+	lVal
+	lNext
+	lNode
+)
+
+// NewList allocates an empty list.
+func NewList(h *mem.Heap) (List, error) {
+	head, err := h.Alloc(1)
+	if err != nil {
+		return List{}, err
+	}
+	return List{h: h, head: head}, nil
+}
+
+// Handle returns the heap address of the list header.
+func (l List) Handle() mem.Addr { return l.head }
+
+// ListAt rebinds a List from a stored handle.
+func ListAt(h *mem.Heap, head mem.Addr) List { return List{h: h, head: head} }
+
+// locate returns (prevPtrAddr, node) where node is the first node with
+// key ≥ k (node may be Nil) and prevPtrAddr is the address of the pointer
+// word that points at it.
+func (l List) locate(x tm.Txn, k mem.Word) (mem.Addr, mem.Addr, error) {
+	prevPtr := l.head
+	for {
+		cur, err := x.Read(prevPtr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ptr(cur) == mem.Nil {
+			return prevPtr, mem.Nil, nil
+		}
+		key, err := field(x, ptr(cur), lKey)
+		if err != nil {
+			return 0, 0, err
+		}
+		if key >= k {
+			return prevPtr, ptr(cur), nil
+		}
+		prevPtr = ptr(cur) + lNext
+	}
+}
+
+// Insert adds (k, v); inserted=false if k is already present (value left
+// unchanged, matching STAMP's set semantics).
+func (l List) Insert(x tm.Txn, k, v mem.Word) (bool, error) {
+	prevPtr, node, err := l.locate(x, k)
+	if err != nil {
+		return false, err
+	}
+	if node != mem.Nil {
+		key, err := field(x, node, lKey)
+		if err != nil {
+			return false, err
+		}
+		if key == k {
+			return false, nil
+		}
+	}
+	n, err := l.h.Alloc(lNode)
+	if err != nil {
+		return false, err
+	}
+	if err := setField(x, n, lKey, k); err != nil {
+		return false, err
+	}
+	if err := setField(x, n, lVal, v); err != nil {
+		return false, err
+	}
+	if err := setField(x, n, lNext, word(node)); err != nil {
+		return false, err
+	}
+	return true, x.Write(prevPtr, word(n))
+}
+
+// Find returns the value stored under k.
+func (l List) Find(x tm.Txn, k mem.Word) (mem.Word, bool, error) {
+	_, node, err := l.locate(x, k)
+	if err != nil || node == mem.Nil {
+		return 0, false, err
+	}
+	key, err := field(x, node, lKey)
+	if err != nil || key != k {
+		return 0, false, err
+	}
+	v, err := field(x, node, lVal)
+	return v, err == nil, err
+}
+
+// Update sets the value under k if present.
+func (l List) Update(x tm.Txn, k, v mem.Word) (bool, error) {
+	_, node, err := l.locate(x, k)
+	if err != nil || node == mem.Nil {
+		return false, err
+	}
+	key, err := field(x, node, lKey)
+	if err != nil || key != k {
+		return false, err
+	}
+	return true, setField(x, node, lVal, v)
+}
+
+// Remove unlinks k; removed=false if absent. The node is leaked to the
+// allocator, as in STAMP's TM-safe free discipline.
+func (l List) Remove(x tm.Txn, k mem.Word) (bool, error) {
+	prevPtr, node, err := l.locate(x, k)
+	if err != nil || node == mem.Nil {
+		return false, err
+	}
+	key, err := field(x, node, lKey)
+	if err != nil || key != k {
+		return false, err
+	}
+	next, err := field(x, node, lNext)
+	if err != nil {
+		return false, err
+	}
+	return true, x.Write(prevPtr, next)
+}
+
+// Len walks the list and returns its length.
+func (l List) Len(x tm.Txn) (int, error) {
+	n := 0
+	cur, err := x.Read(l.head)
+	if err != nil {
+		return 0, err
+	}
+	for ptr(cur) != mem.Nil {
+		n++
+		cur, err = field(x, ptr(cur), lNext)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// ForEach visits (key, val) pairs in ascending key order. fn returning
+// false stops the walk early.
+func (l List) ForEach(x tm.Txn, fn func(k, v mem.Word) bool) error {
+	cur, err := x.Read(l.head)
+	if err != nil {
+		return err
+	}
+	for ptr(cur) != mem.Nil {
+		k, err := field(x, ptr(cur), lKey)
+		if err != nil {
+			return err
+		}
+		v, err := field(x, ptr(cur), lVal)
+		if err != nil {
+			return err
+		}
+		if !fn(k, v) {
+			return nil
+		}
+		cur, err = field(x, ptr(cur), lNext)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package tmds
+
+import (
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// PQueue is a binary min-heap keyed by priority — STAMP's heap_t (yada's
+// work queue). Elements are (priority, value) pairs stored as two
+// consecutive words. Header layout: [capacity, size, dataPtr].
+type PQueue struct {
+	h    *mem.Heap
+	base mem.Addr
+}
+
+const (
+	pqCap = iota
+	pqSize
+	pqData
+	pqHdr
+)
+
+// NewPQueue allocates an empty priority queue for `capacity` elements.
+func NewPQueue(h *mem.Heap, capacity int) (PQueue, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	base, err := h.Alloc(pqHdr)
+	if err != nil {
+		return PQueue{}, err
+	}
+	data, err := h.Alloc(capacity * 2)
+	if err != nil {
+		return PQueue{}, err
+	}
+	h.Store(base+pqCap, mem.Word(capacity))
+	h.Store(base+pqData, word(data))
+	return PQueue{h: h, base: base}, nil
+}
+
+// Handle returns the heap address of the queue header.
+func (p PQueue) Handle() mem.Addr { return p.base }
+
+// PQueueAt rebinds a PQueue from a stored handle.
+func PQueueAt(h *mem.Heap, base mem.Addr) PQueue { return PQueue{h: h, base: base} }
+
+// Len returns the number of elements.
+func (p PQueue) Len(x tm.Txn) (int, error) {
+	n, err := field(x, p.base, pqSize)
+	return int(n), err
+}
+
+func (p PQueue) elem(x tm.Txn, data mem.Addr, i int) (prio, val mem.Word, err error) {
+	prio, err = x.Read(data + mem.Addr(2*i))
+	if err != nil {
+		return
+	}
+	val, err = x.Read(data + mem.Addr(2*i+1))
+	return
+}
+
+func (p PQueue) setElem(x tm.Txn, data mem.Addr, i int, prio, val mem.Word) error {
+	if err := x.Write(data+mem.Addr(2*i), prio); err != nil {
+		return err
+	}
+	return x.Write(data+mem.Addr(2*i+1), val)
+}
+
+// Push inserts (prio, val), growing the backing array when full.
+func (p PQueue) Push(x tm.Txn, prio, val mem.Word) error {
+	n, err := field(x, p.base, pqSize)
+	if err != nil {
+		return err
+	}
+	c, err := field(x, p.base, pqCap)
+	if err != nil {
+		return err
+	}
+	dataW, err := field(x, p.base, pqData)
+	if err != nil {
+		return err
+	}
+	data := ptr(dataW)
+	if n == c {
+		newData, aerr := p.h.Alloc(int(c) * 4)
+		if aerr != nil {
+			return aerr
+		}
+		for i := 0; i < int(n)*2; i++ {
+			w, rerr := x.Read(data + mem.Addr(i))
+			if rerr != nil {
+				return rerr
+			}
+			if werr := x.Write(newData+mem.Addr(i), w); werr != nil {
+				return werr
+			}
+		}
+		if err := setField(x, p.base, pqCap, c*2); err != nil {
+			return err
+		}
+		if err := setField(x, p.base, pqData, word(newData)); err != nil {
+			return err
+		}
+		data = newData
+	}
+	// Sift up.
+	i := int(n)
+	for i > 0 {
+		parent := (i - 1) / 2
+		pp, _, err := p.elem(x, data, parent)
+		if err != nil {
+			return err
+		}
+		if pp <= prio {
+			break
+		}
+		pv, err := x.Read(data + mem.Addr(2*parent+1))
+		if err != nil {
+			return err
+		}
+		if err := p.setElem(x, data, i, pp, pv); err != nil {
+			return err
+		}
+		i = parent
+	}
+	if err := p.setElem(x, data, i, prio, val); err != nil {
+		return err
+	}
+	return setField(x, p.base, pqSize, n+1)
+}
+
+// Pop removes and returns the minimum-priority element; ok=false if empty.
+func (p PQueue) Pop(x tm.Txn) (prio, val mem.Word, ok bool, err error) {
+	n, err := field(x, p.base, pqSize)
+	if err != nil || n == 0 {
+		return 0, 0, false, err
+	}
+	dataW, err := field(x, p.base, pqData)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	data := ptr(dataW)
+	prio, val, err = p.elem(x, data, 0)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	last := int(n) - 1
+	lp, lv, err := p.elem(x, data, last)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err = setField(x, p.base, pqSize, mem.Word(last)); err != nil {
+		return 0, 0, false, err
+	}
+	// Sift the former last element down from the root.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		sp := lp
+		if l < last {
+			cp, _, cerr := p.elem(x, data, l)
+			if cerr != nil {
+				return 0, 0, false, cerr
+			}
+			if cp < sp {
+				small, sp = l, cp
+			}
+		}
+		if r < last {
+			cp, _, cerr := p.elem(x, data, r)
+			if cerr != nil {
+				return 0, 0, false, cerr
+			}
+			if cp < sp {
+				small, sp = r, cp
+			}
+		}
+		if small == i {
+			break
+		}
+		cp, cv, cerr := p.elem(x, data, small)
+		if cerr != nil {
+			return 0, 0, false, cerr
+		}
+		if err = p.setElem(x, data, i, cp, cv); err != nil {
+			return 0, 0, false, err
+		}
+		i = small
+	}
+	if last > 0 {
+		if err = p.setElem(x, data, i, lp, lv); err != nil {
+			return 0, 0, false, err
+		}
+	}
+	return prio, val, true, nil
+}

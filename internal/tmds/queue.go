@@ -1,0 +1,152 @@
+package tmds
+
+import (
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// Queue is a growable ring buffer of words — STAMP's queue_t.
+// Header layout: [capacity, begin, end, dataPtr]; the slot at index end is
+// always unused (begin == end means empty), so usable capacity is cap-1.
+type Queue struct {
+	h    *mem.Heap
+	base mem.Addr
+}
+
+const (
+	qCap = iota
+	qBegin
+	qEnd
+	qData
+	qHdr
+)
+
+// NewQueue allocates an empty queue with the given initial capacity.
+func NewQueue(h *mem.Heap, capacity int) (Queue, error) {
+	if capacity < 2 {
+		capacity = 2
+	}
+	base, err := h.Alloc(qHdr)
+	if err != nil {
+		return Queue{}, err
+	}
+	data, err := h.Alloc(capacity)
+	if err != nil {
+		return Queue{}, err
+	}
+	h.Store(base+qCap, mem.Word(capacity))
+	h.Store(base+qData, word(data))
+	return Queue{h: h, base: base}, nil
+}
+
+// Handle returns the heap address of the queue header.
+func (q Queue) Handle() mem.Addr { return q.base }
+
+// QueueAt rebinds a Queue from a stored handle.
+func QueueAt(h *mem.Heap, base mem.Addr) Queue { return Queue{h: h, base: base} }
+
+// Len returns the number of queued elements.
+func (q Queue) Len(x tm.Txn) (int, error) {
+	c, err := field(x, q.base, qCap)
+	if err != nil {
+		return 0, err
+	}
+	b, err := field(x, q.base, qBegin)
+	if err != nil {
+		return 0, err
+	}
+	e, err := field(x, q.base, qEnd)
+	if err != nil {
+		return 0, err
+	}
+	return int((e - b + c) % c), nil
+}
+
+// IsEmpty reports whether the queue has no elements.
+func (q Queue) IsEmpty(x tm.Txn) (bool, error) {
+	n, err := q.Len(x)
+	return n == 0, err
+}
+
+// Push enqueues v at the tail, doubling the ring when full.
+func (q Queue) Push(x tm.Txn, v mem.Word) error {
+	c, err := field(x, q.base, qCap)
+	if err != nil {
+		return err
+	}
+	b, err := field(x, q.base, qBegin)
+	if err != nil {
+		return err
+	}
+	e, err := field(x, q.base, qEnd)
+	if err != nil {
+		return err
+	}
+	data, err := field(x, q.base, qData)
+	if err != nil {
+		return err
+	}
+	if (e+1)%c == b {
+		// Full: allocate a double-size ring and compact into it.
+		newCap := int(c) * 2
+		newData, aerr := q.h.Alloc(newCap)
+		if aerr != nil {
+			return aerr
+		}
+		n := int((e - b + c) % c)
+		for i := 0; i < n; i++ {
+			w, rerr := x.Read(ptr(data) + mem.Addr((int(b)+i)%int(c)))
+			if rerr != nil {
+				return rerr
+			}
+			if werr := x.Write(newData+mem.Addr(i), w); werr != nil {
+				return werr
+			}
+		}
+		if err := setField(x, q.base, qCap, mem.Word(newCap)); err != nil {
+			return err
+		}
+		if err := setField(x, q.base, qBegin, 0); err != nil {
+			return err
+		}
+		if err := setField(x, q.base, qEnd, mem.Word(n)); err != nil {
+			return err
+		}
+		if err := setField(x, q.base, qData, word(newData)); err != nil {
+			return err
+		}
+		c, b, e, data = mem.Word(newCap), 0, mem.Word(n), word(newData)
+	}
+	if err := x.Write(ptr(data)+mem.Addr(e), v); err != nil {
+		return err
+	}
+	return setField(x, q.base, qEnd, (e+1)%c)
+}
+
+// Pop dequeues from the head; ok=false when empty.
+func (q Queue) Pop(x tm.Txn) (mem.Word, bool, error) {
+	c, err := field(x, q.base, qCap)
+	if err != nil {
+		return 0, false, err
+	}
+	b, err := field(x, q.base, qBegin)
+	if err != nil {
+		return 0, false, err
+	}
+	e, err := field(x, q.base, qEnd)
+	if err != nil {
+		return 0, false, err
+	}
+	if b == e {
+		return 0, false, nil
+	}
+	data, err := field(x, q.base, qData)
+	if err != nil {
+		return 0, false, err
+	}
+	v, err := x.Read(ptr(data) + mem.Addr(b))
+	if err != nil {
+		return 0, false, err
+	}
+	return v, true, setField(x, q.base, qBegin, (b+1)%c)
+}

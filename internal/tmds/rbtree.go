@@ -1,0 +1,523 @@
+package tmds
+
+import (
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// RBTree is a transactional red-black tree with parent pointers — STAMP's
+// rbtree_t, the table structure of vacation. Keys are unique.
+//
+// Node layout: [key, val, left, right, parent, color] (6 words). A real
+// sentinel node plays CLRS's T.nil: it is black and its fields are written
+// freely during delete fixups. Header layout: [rootPtr, sentinelPtr, size].
+type RBTree struct {
+	h    *mem.Heap
+	base mem.Addr
+	nilN mem.Addr // sentinel, cached (immutable after creation)
+}
+
+const (
+	rbKey = iota
+	rbVal
+	rbLeft
+	rbRight
+	rbParent
+	rbColor
+	rbNode
+)
+
+const (
+	rbHdrRoot = iota
+	rbHdrNil
+	rbHdrSize
+	rbHdr
+)
+
+const (
+	black = mem.Word(0)
+	red   = mem.Word(1)
+)
+
+// NewRBTree allocates an empty tree.
+func NewRBTree(h *mem.Heap) (RBTree, error) {
+	base, err := h.Alloc(rbHdr)
+	if err != nil {
+		return RBTree{}, err
+	}
+	sent, err := h.Alloc(rbNode)
+	if err != nil {
+		return RBTree{}, err
+	}
+	// Sentinel: black, self-linked.
+	h.Store(sent+rbColor, black)
+	h.Store(sent+rbLeft, word(sent))
+	h.Store(sent+rbRight, word(sent))
+	h.Store(sent+rbParent, word(sent))
+	h.Store(base+rbHdrRoot, word(sent))
+	h.Store(base+rbHdrNil, word(sent))
+	return RBTree{h: h, base: base, nilN: sent}, nil
+}
+
+// Handle returns the heap address of the tree header.
+func (t RBTree) Handle() mem.Addr { return t.base }
+
+// RBTreeAt rebinds an RBTree from a stored handle.
+func RBTreeAt(h *mem.Heap, base mem.Addr) RBTree {
+	return RBTree{h: h, base: base, nilN: mem.Addr(h.Load(base + rbHdrNil))}
+}
+
+// cursor latches the first transactional error so the rebalancing code can
+// read like the CLRS pseudocode. After any error every operation is a
+// no-op and the error is returned from the public method.
+type cursor struct {
+	t   RBTree
+	x   tm.Txn
+	err error
+}
+
+func (c *cursor) get(n mem.Addr, f int) mem.Word {
+	if c.err != nil {
+		return 0
+	}
+	v, err := field(c.x, n, f)
+	if err != nil {
+		c.err = err
+	}
+	return v
+}
+
+func (c *cursor) set(n mem.Addr, f int, v mem.Word) {
+	if c.err != nil {
+		return
+	}
+	c.err = setField(c.x, n, f, v)
+}
+
+func (c *cursor) key(n mem.Addr) mem.Word    { return c.get(n, rbKey) }
+func (c *cursor) left(n mem.Addr) mem.Addr   { return ptr(c.get(n, rbLeft)) }
+func (c *cursor) right(n mem.Addr) mem.Addr  { return ptr(c.get(n, rbRight)) }
+func (c *cursor) parent(n mem.Addr) mem.Addr { return ptr(c.get(n, rbParent)) }
+func (c *cursor) color(n mem.Addr) mem.Word  { return c.get(n, rbColor) }
+func (c *cursor) root() mem.Addr             { return ptr(c.get(c.t.base, rbHdrRoot)) }
+func (c *cursor) setRoot(n mem.Addr)         { c.set(c.t.base, rbHdrRoot, word(n)) }
+
+// search returns the node with key k, or the sentinel.
+func (c *cursor) search(k mem.Word) mem.Addr {
+	n := c.root()
+	for c.err == nil && n != c.t.nilN {
+		nk := c.key(n)
+		switch {
+		case k == nk:
+			return n
+		case k < nk:
+			n = c.left(n)
+		default:
+			n = c.right(n)
+		}
+	}
+	return c.t.nilN
+}
+
+func (c *cursor) leftRotate(x mem.Addr) {
+	y := c.right(x)
+	yl := c.left(y)
+	c.set(x, rbRight, word(yl))
+	if yl != c.t.nilN {
+		c.set(yl, rbParent, word(x))
+	}
+	xp := c.parent(x)
+	c.set(y, rbParent, word(xp))
+	if xp == c.t.nilN {
+		c.setRoot(y)
+	} else if c.left(xp) == x {
+		c.set(xp, rbLeft, word(y))
+	} else {
+		c.set(xp, rbRight, word(y))
+	}
+	c.set(y, rbLeft, word(x))
+	c.set(x, rbParent, word(y))
+}
+
+func (c *cursor) rightRotate(x mem.Addr) {
+	y := c.left(x)
+	yr := c.right(y)
+	c.set(x, rbLeft, word(yr))
+	if yr != c.t.nilN {
+		c.set(yr, rbParent, word(x))
+	}
+	xp := c.parent(x)
+	c.set(y, rbParent, word(xp))
+	if xp == c.t.nilN {
+		c.setRoot(y)
+	} else if c.right(xp) == x {
+		c.set(xp, rbRight, word(y))
+	} else {
+		c.set(xp, rbLeft, word(y))
+	}
+	c.set(y, rbRight, word(x))
+	c.set(x, rbParent, word(y))
+}
+
+// Insert adds (k, v); false if k is already present.
+func (t RBTree) Insert(x tm.Txn, k, v mem.Word) (bool, error) {
+	c := &cursor{t: t, x: x}
+	// BST descent remembering the parent.
+	parent := t.nilN
+	n := c.root()
+	for c.err == nil && n != t.nilN {
+		parent = n
+		nk := c.key(n)
+		switch {
+		case k == nk:
+			return false, c.err
+		case k < nk:
+			n = c.left(n)
+		default:
+			n = c.right(n)
+		}
+	}
+	if c.err != nil {
+		return false, c.err
+	}
+	z, err := t.h.Alloc(rbNode)
+	if err != nil {
+		return false, err
+	}
+	c.set(z, rbKey, k)
+	c.set(z, rbVal, v)
+	c.set(z, rbLeft, word(t.nilN))
+	c.set(z, rbRight, word(t.nilN))
+	c.set(z, rbParent, word(parent))
+	c.set(z, rbColor, red)
+	if parent == t.nilN {
+		c.setRoot(z)
+	} else if k < c.key(parent) {
+		c.set(parent, rbLeft, word(z))
+	} else {
+		c.set(parent, rbRight, word(z))
+	}
+	c.insertFixup(z)
+	return c.err == nil, c.err
+}
+
+func (c *cursor) insertFixup(z mem.Addr) {
+	for c.err == nil {
+		zp := c.parent(z)
+		if c.color(zp) != red {
+			break
+		}
+		zpp := c.parent(zp)
+		if zp == c.left(zpp) {
+			y := c.right(zpp) // uncle
+			if c.color(y) == red {
+				c.set(zp, rbColor, black)
+				c.set(y, rbColor, black)
+				c.set(zpp, rbColor, red)
+				z = zpp
+				continue
+			}
+			if z == c.right(zp) {
+				z = zp
+				c.leftRotate(z)
+				zp = c.parent(z)
+				zpp = c.parent(zp)
+			}
+			c.set(zp, rbColor, black)
+			c.set(zpp, rbColor, red)
+			c.rightRotate(zpp)
+		} else {
+			y := c.left(zpp)
+			if c.color(y) == red {
+				c.set(zp, rbColor, black)
+				c.set(y, rbColor, black)
+				c.set(zpp, rbColor, red)
+				z = zpp
+				continue
+			}
+			if z == c.left(zp) {
+				z = zp
+				c.rightRotate(z)
+				zp = c.parent(z)
+				zpp = c.parent(zp)
+			}
+			c.set(zp, rbColor, black)
+			c.set(zpp, rbColor, red)
+			c.leftRotate(zpp)
+		}
+	}
+	c.set(c.root(), rbColor, black)
+}
+
+// Find returns the value stored under k.
+func (t RBTree) Find(x tm.Txn, k mem.Word) (mem.Word, bool, error) {
+	c := &cursor{t: t, x: x}
+	n := c.search(k)
+	if c.err != nil || n == t.nilN {
+		return 0, false, c.err
+	}
+	v := c.get(n, rbVal)
+	return v, c.err == nil, c.err
+}
+
+// Update overwrites the value under k if present.
+func (t RBTree) Update(x tm.Txn, k, v mem.Word) (bool, error) {
+	c := &cursor{t: t, x: x}
+	n := c.search(k)
+	if c.err != nil || n == t.nilN {
+		return false, c.err
+	}
+	c.set(n, rbVal, v)
+	return c.err == nil, c.err
+}
+
+// Len returns the element count via an in-order walk (no central counter
+// is maintained: it would serialize every insert/remove on one word).
+func (t RBTree) Len(x tm.Txn) (int, error) {
+	n := 0
+	err := t.ForEach(x, func(_, _ mem.Word) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// transplant replaces subtree u with subtree v (CLRS RB-TRANSPLANT).
+func (c *cursor) transplant(u, v mem.Addr) {
+	up := c.parent(u)
+	if up == c.t.nilN {
+		c.setRoot(v)
+	} else if u == c.left(up) {
+		c.set(up, rbLeft, word(v))
+	} else {
+		c.set(up, rbRight, word(v))
+	}
+	c.set(v, rbParent, word(up))
+}
+
+func (c *cursor) minimum(n mem.Addr) mem.Addr {
+	for c.err == nil {
+		l := c.left(n)
+		if l == c.t.nilN {
+			return n
+		}
+		n = l
+	}
+	return n
+}
+
+// Remove deletes k; false if absent.
+func (t RBTree) Remove(x tm.Txn, k mem.Word) (bool, error) {
+	c := &cursor{t: t, x: x}
+	z := c.search(k)
+	if c.err != nil || z == t.nilN {
+		return false, c.err
+	}
+	y := z
+	yColor := c.color(y)
+	var xn mem.Addr
+	if c.left(z) == t.nilN {
+		xn = c.right(z)
+		c.transplant(z, xn)
+	} else if c.right(z) == t.nilN {
+		xn = c.left(z)
+		c.transplant(z, xn)
+	} else {
+		y = c.minimum(c.right(z))
+		yColor = c.color(y)
+		xn = c.right(y)
+		if c.parent(y) == z {
+			c.set(xn, rbParent, word(y))
+		} else {
+			c.transplant(y, xn)
+			zr := c.right(z)
+			c.set(y, rbRight, word(zr))
+			c.set(zr, rbParent, word(y))
+		}
+		c.transplant(z, y)
+		zl := c.left(z)
+		c.set(y, rbLeft, word(zl))
+		c.set(zl, rbParent, word(y))
+		c.set(y, rbColor, c.color(z))
+	}
+	if yColor == black {
+		c.deleteFixup(xn)
+	}
+	return c.err == nil, c.err
+}
+
+func (c *cursor) deleteFixup(x mem.Addr) {
+	for c.err == nil && x != c.root() && c.color(x) == black {
+		xp := c.parent(x)
+		if x == c.left(xp) {
+			w := c.right(xp)
+			if c.color(w) == red {
+				c.set(w, rbColor, black)
+				c.set(xp, rbColor, red)
+				c.leftRotate(xp)
+				xp = c.parent(x)
+				w = c.right(xp)
+			}
+			if c.color(c.left(w)) == black && c.color(c.right(w)) == black {
+				c.set(w, rbColor, red)
+				x = xp
+				continue
+			}
+			if c.color(c.right(w)) == black {
+				c.set(c.left(w), rbColor, black)
+				c.set(w, rbColor, red)
+				c.rightRotate(w)
+				xp = c.parent(x)
+				w = c.right(xp)
+			}
+			c.set(w, rbColor, c.color(xp))
+			c.set(xp, rbColor, black)
+			c.set(c.right(w), rbColor, black)
+			c.leftRotate(xp)
+			x = c.root()
+		} else {
+			w := c.left(xp)
+			if c.color(w) == red {
+				c.set(w, rbColor, black)
+				c.set(xp, rbColor, red)
+				c.rightRotate(xp)
+				xp = c.parent(x)
+				w = c.left(xp)
+			}
+			if c.color(c.right(w)) == black && c.color(c.left(w)) == black {
+				c.set(w, rbColor, red)
+				x = xp
+				continue
+			}
+			if c.color(c.left(w)) == black {
+				c.set(c.right(w), rbColor, black)
+				c.set(w, rbColor, red)
+				c.leftRotate(w)
+				xp = c.parent(x)
+				w = c.left(xp)
+			}
+			c.set(w, rbColor, c.color(xp))
+			c.set(xp, rbColor, black)
+			c.set(c.left(w), rbColor, black)
+			c.rightRotate(xp)
+			x = c.root()
+		}
+	}
+	c.set(x, rbColor, black)
+}
+
+// ForEach visits (key, val) in ascending key order; fn returning false
+// stops early. Iterative in-order walk using parent pointers (no stack
+// allocation inside the transaction).
+func (t RBTree) ForEach(x tm.Txn, fn func(k, v mem.Word) bool) error {
+	c := &cursor{t: t, x: x}
+	n := c.root()
+	if n == t.nilN {
+		return c.err
+	}
+	n = c.minimum(n)
+	for c.err == nil && n != t.nilN {
+		k := c.key(n)
+		v := c.get(n, rbVal)
+		if c.err != nil {
+			return c.err
+		}
+		if !fn(k, v) {
+			return nil
+		}
+		// Successor.
+		if r := c.right(n); r != t.nilN {
+			n = c.minimum(r)
+		} else {
+			p := c.parent(n)
+			for c.err == nil && p != t.nilN && n == c.right(p) {
+				n = p
+				p = c.parent(p)
+			}
+			n = p
+		}
+	}
+	return c.err
+}
+
+// FindGE returns the smallest (key, val) with key ≥ k — vacation's
+// "find nearest available resource" helper.
+func (t RBTree) FindGE(x tm.Txn, k mem.Word) (mem.Word, mem.Word, bool, error) {
+	c := &cursor{t: t, x: x}
+	best := t.nilN
+	n := c.root()
+	for c.err == nil && n != t.nilN {
+		nk := c.key(n)
+		if nk == k {
+			best = n
+			break
+		}
+		if nk > k {
+			best = n
+			n = c.left(n)
+		} else {
+			n = c.right(n)
+		}
+	}
+	if c.err != nil || best == t.nilN {
+		return 0, 0, false, c.err
+	}
+	bk := c.key(best)
+	bv := c.get(best, rbVal)
+	return bk, bv, c.err == nil, c.err
+}
+
+// checkInvariants verifies the red-black properties transactionally and
+// returns the black height; used by the test suite.
+func (t RBTree) checkInvariants(x tm.Txn) (int, error) {
+	c := &cursor{t: t, x: x}
+	root := c.root()
+	if c.err != nil {
+		return 0, c.err
+	}
+	if root != t.nilN && c.color(root) != black {
+		return 0, errRBViolation("red root")
+	}
+	var walk func(n mem.Addr, lo, hi *mem.Word) (int, error)
+	walk = func(n mem.Addr, lo, hi *mem.Word) (int, error) {
+		if c.err != nil {
+			return 0, c.err
+		}
+		if n == t.nilN {
+			return 1, nil
+		}
+		k := c.key(n)
+		if lo != nil && k <= *lo {
+			return 0, errRBViolation("BST order (low)")
+		}
+		if hi != nil && k >= *hi {
+			return 0, errRBViolation("BST order (high)")
+		}
+		if c.color(n) == red {
+			if c.color(c.left(n)) == red || c.color(c.right(n)) == red {
+				return 0, errRBViolation("red-red")
+			}
+		}
+		lh, err := walk(c.left(n), lo, &k)
+		if err != nil {
+			return 0, err
+		}
+		rh, err := walk(c.right(n), &k, hi)
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, errRBViolation("black height")
+		}
+		if c.color(n) == black {
+			lh++
+		}
+		return lh, nil
+	}
+	return walk(root, nil, nil)
+}
+
+type errRBViolation string
+
+// Error implements error.
+func (e errRBViolation) Error() string { return "tmds: red-black violation: " + string(e) }

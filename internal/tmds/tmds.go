@@ -1,0 +1,37 @@
+// Package tmds is the transactional data-structure library the STAMP ports
+// are built on — the role of STAMP's lib/ directory. Every structure lives
+// in the shared word heap (internal/mem) and performs all of its accesses
+// through a tm.Txn, so a structure operation aborts and retries with the
+// enclosing transaction and composes with any other transactional work in
+// the same atomic block.
+//
+// Provided structures: Vector, List (sorted linked list), Hashtable
+// (chained), Queue (growable ring), PQueue (binary min-heap), Bitmap, and
+// RBTree (red-black tree with parent pointers, as used by vacation).
+//
+// Memory discipline: nodes are carved from the heap's bump allocator,
+// which is non-transactional. A transaction that allocates and then aborts
+// leaks the allocation — the same behaviour as STAMP's TM_MALLOC between
+// retries — so allocation failure is the only resource error surfaced.
+package tmds
+
+import (
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// field reads word f of the record at base.
+func field(x tm.Txn, base mem.Addr, f int) (mem.Word, error) {
+	return x.Read(base + mem.Addr(f))
+}
+
+// setField writes word f of the record at base.
+func setField(x tm.Txn, base mem.Addr, f int, v mem.Word) error {
+	return x.Write(base+mem.Addr(f), v)
+}
+
+// ptr converts a stored word to an address.
+func ptr(w mem.Word) mem.Addr { return mem.Addr(w) }
+
+// word converts an address to a storable word.
+func word(a mem.Addr) mem.Word { return mem.Word(a) }

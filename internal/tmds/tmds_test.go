@@ -1,0 +1,605 @@
+package tmds
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/stm/seqtm"
+	"rococotm/internal/tm"
+)
+
+// run executes fn as a transaction on a fresh sequential TM — structure
+// semantics are independent of the runtime, which the integration tests
+// cover separately.
+func newEnv() (*mem.Heap, tm.TM) {
+	h := mem.NewHeap(1 << 20)
+	return h, seqtm.New(h)
+}
+
+func run(t *testing.T, m tm.TM, fn func(x tm.Txn) error) {
+	t.Helper()
+	if err := tm.Run(m, 0, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorBasics(t *testing.T) {
+	h, m := newEnv()
+	v, err := NewVector(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, m, func(x tm.Txn) error {
+		for i := 0; i < 10; i++ { // forces two growths
+			if err := v.PushBack(x, mem.Word(i*i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run(t, m, func(x tm.Txn) error {
+		n, err := v.Len(x)
+		if err != nil {
+			return err
+		}
+		if n != 10 {
+			t.Fatalf("len = %d", n)
+		}
+		for i := 0; i < 10; i++ {
+			w, ok, err := v.At(x, i)
+			if err != nil {
+				return err
+			}
+			if !ok || w != mem.Word(i*i) {
+				t.Fatalf("At(%d) = %d, %v", i, w, ok)
+			}
+		}
+		if _, ok, _ := v.At(x, 10); ok {
+			t.Fatal("out-of-range At succeeded")
+		}
+		if ok, _ := v.Set(x, 3, 99); !ok {
+			t.Fatal("Set failed")
+		}
+		w, _, _ := v.At(x, 3)
+		if w != 99 {
+			t.Fatal("Set did not stick")
+		}
+		w, ok, err := v.PopBack(x)
+		if err != nil || !ok || w != 81 {
+			t.Fatalf("PopBack = %d %v %v", w, ok, err)
+		}
+		return v.Clear(x)
+	})
+	run(t, m, func(x tm.Txn) error {
+		n, _ := v.Len(x)
+		if n != 0 {
+			t.Fatalf("len after clear = %d", n)
+		}
+		_, ok, _ := v.PopBack(x)
+		if ok {
+			t.Fatal("PopBack on empty succeeded")
+		}
+		return nil
+	})
+}
+
+func TestListAgainstMapOracle(t *testing.T) {
+	h, m := newEnv()
+	l, err := NewList(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(1))
+	for step := 0; step < 800; step++ {
+		k := mem.Word(rng.Intn(50))
+		v := mem.Word(rng.Intn(1000))
+		switch rng.Intn(4) {
+		case 0:
+			run(t, m, func(x tm.Txn) error {
+				ins, err := l.Insert(x, k, v)
+				if err != nil {
+					return err
+				}
+				_, exists := oracle[k]
+				if ins == exists {
+					t.Fatalf("step %d: insert(%d) = %v, oracle exists %v", step, k, ins, exists)
+				}
+				if ins {
+					oracle[k] = v
+				}
+				return nil
+			})
+		case 1:
+			run(t, m, func(x tm.Txn) error {
+				got, ok, err := l.Find(x, k)
+				if err != nil {
+					return err
+				}
+				want, exists := oracle[k]
+				if ok != exists || (ok && got != want) {
+					t.Fatalf("step %d: find(%d) = (%d,%v), want (%d,%v)", step, k, got, ok, want, exists)
+				}
+				return nil
+			})
+		case 2:
+			run(t, m, func(x tm.Txn) error {
+				rem, err := l.Remove(x, k)
+				if err != nil {
+					return err
+				}
+				_, exists := oracle[k]
+				if rem != exists {
+					t.Fatalf("step %d: remove(%d) = %v, oracle %v", step, k, rem, exists)
+				}
+				delete(oracle, k)
+				return nil
+			})
+		case 3:
+			run(t, m, func(x tm.Txn) error {
+				upd, err := l.Update(x, k, v)
+				if err != nil {
+					return err
+				}
+				if _, exists := oracle[k]; upd != exists {
+					t.Fatalf("step %d: update mismatch", step)
+				}
+				if upd {
+					oracle[k] = v
+				}
+				return nil
+			})
+		}
+	}
+	// Final order check.
+	run(t, m, func(x tm.Txn) error {
+		var keys []mem.Word
+		if err := l.ForEach(x, func(k, v mem.Word) bool {
+			keys = append(keys, k)
+			if oracle[k] != v {
+				t.Fatalf("value mismatch at %d", k)
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if len(keys) != len(oracle) {
+			t.Fatalf("len %d, oracle %d", len(keys), len(oracle))
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+			t.Fatal("list not sorted")
+		}
+		n, _ := l.Len(x)
+		if n != len(oracle) {
+			t.Fatalf("Len() = %d", n)
+		}
+		return nil
+	})
+}
+
+func TestHashtableAgainstMapOracle(t *testing.T) {
+	h, m := newEnv()
+	ht, err := NewHashtable(h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(2))
+	for step := 0; step < 1000; step++ {
+		k := mem.Word(rng.Intn(200))
+		v := mem.Word(rng.Intn(1000))
+		switch rng.Intn(3) {
+		case 0:
+			run(t, m, func(x tm.Txn) error {
+				ins, err := ht.Insert(x, k, v)
+				if err != nil {
+					return err
+				}
+				if _, exists := oracle[k]; ins == exists {
+					t.Fatalf("step %d insert mismatch", step)
+				}
+				if ins {
+					oracle[k] = v
+				}
+				return nil
+			})
+		case 1:
+			run(t, m, func(x tm.Txn) error {
+				got, ok, err := ht.Find(x, k)
+				if err != nil {
+					return err
+				}
+				want, exists := oracle[k]
+				if ok != exists || (ok && got != want) {
+					t.Fatalf("step %d find mismatch", step)
+				}
+				return nil
+			})
+		case 2:
+			run(t, m, func(x tm.Txn) error {
+				rem, err := ht.Remove(x, k)
+				if err != nil {
+					return err
+				}
+				if _, exists := oracle[k]; rem != exists {
+					t.Fatalf("step %d remove mismatch", step)
+				}
+				delete(oracle, k)
+				return nil
+			})
+		}
+	}
+	run(t, m, func(x tm.Txn) error {
+		n, err := ht.Len(x)
+		if err != nil {
+			return err
+		}
+		if n != len(oracle) {
+			t.Fatalf("Len = %d, oracle %d", n, len(oracle))
+		}
+		count := 0
+		seen := map[mem.Word]bool{}
+		if err := ht.ForEach(x, func(k, v mem.Word) bool {
+			count++
+			if seen[k] {
+				t.Fatalf("duplicate key %d", k)
+			}
+			seen[k] = true
+			if oracle[k] != v {
+				t.Fatalf("value mismatch at %d", k)
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if count != len(oracle) {
+			t.Fatalf("ForEach visited %d, want %d", count, len(oracle))
+		}
+		return nil
+	})
+}
+
+func TestHashtableRebind(t *testing.T) {
+	h, m := newEnv()
+	ht, _ := NewHashtable(h, 8)
+	run(t, m, func(x tm.Txn) error {
+		_, err := ht.Insert(x, 5, 50)
+		return err
+	})
+	ht2 := HashtableAt(h, ht.Handle())
+	run(t, m, func(x tm.Txn) error {
+		v, ok, err := ht2.Find(x, 5)
+		if err != nil {
+			return err
+		}
+		if !ok || v != 50 {
+			t.Fatalf("rebind lost data: %d %v", v, ok)
+		}
+		return nil
+	})
+}
+
+func TestQueueFIFOAndGrowth(t *testing.T) {
+	h, m := newEnv()
+	q, err := NewQueue(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	run(t, m, func(x tm.Txn) error {
+		for i := 0; i < n; i++ {
+			if err := q.Push(x, mem.Word(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run(t, m, func(x tm.Txn) error {
+		ln, _ := q.Len(x)
+		if ln != n {
+			t.Fatalf("Len = %d", ln)
+		}
+		for i := 0; i < n; i++ {
+			v, ok, err := q.Pop(x)
+			if err != nil {
+				return err
+			}
+			if !ok || v != mem.Word(i) {
+				t.Fatalf("Pop %d = %d, %v", i, v, ok)
+			}
+		}
+		_, ok, _ := q.Pop(x)
+		if ok {
+			t.Fatal("Pop on empty succeeded")
+		}
+		empty, _ := q.IsEmpty(x)
+		if !empty {
+			t.Fatal("IsEmpty false after drain")
+		}
+		return nil
+	})
+}
+
+func TestQueueInterleavedWraparound(t *testing.T) {
+	h, m := newEnv()
+	q, _ := NewQueue(h, 4)
+	next, expect := 0, 0
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 500; step++ {
+		if rng.Intn(2) == 0 {
+			run(t, m, func(x tm.Txn) error {
+				err := q.Push(x, mem.Word(next))
+				next++
+				return err
+			})
+		} else {
+			run(t, m, func(x tm.Txn) error {
+				v, ok, err := q.Pop(x)
+				if err != nil {
+					return err
+				}
+				if ok {
+					if v != mem.Word(expect) {
+						t.Fatalf("step %d: pop %d, want %d", step, v, expect)
+					}
+					expect++
+				} else if expect != next {
+					t.Fatalf("step %d: empty pop but %d outstanding", step, next-expect)
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestPQueueOrdering(t *testing.T) {
+	h, m := newEnv()
+	pq, err := NewPQueue(h, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var prios []int
+	run(t, m, func(x tm.Txn) error {
+		for i := 0; i < 200; i++ {
+			p := rng.Intn(1000)
+			prios = append(prios, p)
+			if err := pq.Push(x, mem.Word(p), mem.Word(p*2)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	sort.Ints(prios)
+	run(t, m, func(x tm.Txn) error {
+		for i, want := range prios {
+			p, v, ok, err := pq.Pop(x)
+			if err != nil {
+				return err
+			}
+			if !ok || int(p) != want || v != p*2 {
+				t.Fatalf("pop %d = (%d,%d,%v), want prio %d", i, p, v, ok, want)
+			}
+		}
+		_, _, ok, _ := pq.Pop(x)
+		if ok {
+			t.Fatal("pop on empty succeeded")
+		}
+		return nil
+	})
+}
+
+func TestBitmap(t *testing.T) {
+	h, m := newEnv()
+	b, err := NewBitmap(h, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, m, func(x tm.Txn) error {
+		n, _ := b.Bits(x)
+		if n != 200 {
+			t.Fatalf("Bits = %d", n)
+		}
+		for _, i := range []int{0, 63, 64, 127, 199} {
+			ok, err := b.Set(x, i)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				t.Fatalf("Set(%d) claimed already set", i)
+			}
+		}
+		// Second claim fails.
+		ok, _ := b.Set(x, 64)
+		if ok {
+			t.Fatal("double Set succeeded")
+		}
+		// Out of range.
+		if ok, _ := b.Set(x, 200); ok {
+			t.Fatal("out-of-range Set succeeded")
+		}
+		cnt, _ := b.Count(x)
+		if cnt != 5 {
+			t.Fatalf("Count = %d", cnt)
+		}
+		if err := b.Clear(x, 64); err != nil {
+			return err
+		}
+		g, _ := b.Get(x, 64)
+		if g {
+			t.Fatal("Clear did not clear")
+		}
+		cnt, _ = b.Count(x)
+		if cnt != 4 {
+			t.Fatalf("Count after clear = %d", cnt)
+		}
+		return nil
+	})
+}
+
+func TestRBTreeAgainstMapOracle(t *testing.T) {
+	h, m := newEnv()
+	tr, err := NewRBTree(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[mem.Word]mem.Word{}
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 2000; step++ {
+		k := mem.Word(rng.Intn(300))
+		v := mem.Word(rng.Intn(10000))
+		switch rng.Intn(4) {
+		case 0, 1: // bias toward inserts so the tree grows
+			run(t, m, func(x tm.Txn) error {
+				ins, err := tr.Insert(x, k, v)
+				if err != nil {
+					return err
+				}
+				if _, exists := oracle[k]; ins == exists {
+					t.Fatalf("step %d: insert(%d)=%v oracle=%v", step, k, ins, exists)
+				}
+				if ins {
+					oracle[k] = v
+				}
+				return nil
+			})
+		case 2:
+			run(t, m, func(x tm.Txn) error {
+				got, ok, err := tr.Find(x, k)
+				if err != nil {
+					return err
+				}
+				want, exists := oracle[k]
+				if ok != exists || (ok && got != want) {
+					t.Fatalf("step %d: find(%d) mismatch", step, k)
+				}
+				return nil
+			})
+		case 3:
+			run(t, m, func(x tm.Txn) error {
+				rem, err := tr.Remove(x, k)
+				if err != nil {
+					return err
+				}
+				if _, exists := oracle[k]; rem != exists {
+					t.Fatalf("step %d: remove(%d)=%v oracle=%v", step, k, rem, exists)
+				}
+				delete(oracle, k)
+				return nil
+			})
+		}
+		if step%100 == 99 {
+			run(t, m, func(x tm.Txn) error {
+				_, err := tr.checkInvariants(x)
+				return err
+			})
+		}
+	}
+	// Full in-order check.
+	run(t, m, func(x tm.Txn) error {
+		var keys []mem.Word
+		if err := tr.ForEach(x, func(k, v mem.Word) bool {
+			keys = append(keys, k)
+			if oracle[k] != v {
+				t.Fatalf("value mismatch at key %d", k)
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if len(keys) != len(oracle) {
+			t.Fatalf("walked %d keys, oracle %d", len(keys), len(oracle))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatal("in-order walk not sorted")
+			}
+		}
+		n, _ := tr.Len(x)
+		if n != len(oracle) {
+			t.Fatalf("Len = %d", n)
+		}
+		_, err := tr.checkInvariants(x)
+		return err
+	})
+}
+
+func TestRBTreeUpdateAndFindGE(t *testing.T) {
+	h, m := newEnv()
+	tr, _ := NewRBTree(h)
+	run(t, m, func(x tm.Txn) error {
+		for _, k := range []mem.Word{10, 20, 30, 40} {
+			if _, err := tr.Insert(x, k, k*10); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run(t, m, func(x tm.Txn) error {
+		ok, err := tr.Update(x, 20, 999)
+		if err != nil || !ok {
+			t.Fatalf("update: %v %v", ok, err)
+		}
+		if ok, _ := tr.Update(x, 25, 1); ok {
+			t.Fatal("update of absent key succeeded")
+		}
+		v, ok, _ := tr.Find(x, 20)
+		if !ok || v != 999 {
+			t.Fatalf("find after update = %d", v)
+		}
+		k, v, ok, err := tr.FindGE(x, 25)
+		if err != nil {
+			return err
+		}
+		if !ok || k != 30 || v != 300 {
+			t.Fatalf("FindGE(25) = (%d,%d,%v)", k, v, ok)
+		}
+		k, _, ok, _ = tr.FindGE(x, 40)
+		if !ok || k != 40 {
+			t.Fatalf("FindGE(40) = (%d,%v)", k, ok)
+		}
+		if _, _, ok, _ := tr.FindGE(x, 41); ok {
+			t.Fatal("FindGE past max succeeded")
+		}
+		return nil
+	})
+}
+
+func TestRBTreeSequentialDeletes(t *testing.T) {
+	// Ascending inserts followed by ascending deletes stresses the fixup
+	// paths deterministically.
+	h, m := newEnv()
+	tr, _ := NewRBTree(h)
+	const n = 128
+	run(t, m, func(x tm.Txn) error {
+		for i := 0; i < n; i++ {
+			if _, err := tr.Insert(x, mem.Word(i), mem.Word(i)); err != nil {
+				return err
+			}
+		}
+		_, err := tr.checkInvariants(x)
+		return err
+	})
+	for i := 0; i < n; i++ {
+		run(t, m, func(x tm.Txn) error {
+			rem, err := tr.Remove(x, mem.Word(i))
+			if err != nil {
+				return err
+			}
+			if !rem {
+				t.Fatalf("remove(%d) failed", i)
+			}
+			_, err = tr.checkInvariants(x)
+			return err
+		})
+	}
+	run(t, m, func(x tm.Txn) error {
+		ln, _ := tr.Len(x)
+		if ln != 0 {
+			t.Fatalf("Len = %d after full drain", ln)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,153 @@
+package tmds
+
+import (
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// Vector is a growable array of words in the transactional heap.
+// Header layout: [capacity, size, dataPtr].
+type Vector struct {
+	h    *mem.Heap
+	base mem.Addr
+}
+
+const (
+	vecCap = iota
+	vecSize
+	vecData
+	vecHdr
+)
+
+// NewVector allocates an empty vector with the given initial capacity.
+func NewVector(h *mem.Heap, capacity int) (Vector, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	base, err := h.Alloc(vecHdr)
+	if err != nil {
+		return Vector{}, err
+	}
+	data, err := h.Alloc(capacity)
+	if err != nil {
+		return Vector{}, err
+	}
+	h.Store(base+vecCap, mem.Word(capacity))
+	h.Store(base+vecSize, 0)
+	h.Store(base+vecData, word(data))
+	return Vector{h: h, base: base}, nil
+}
+
+// Handle returns the heap address of the vector header, so a vector can be
+// stored inside other structures and rebuilt with VectorAt.
+func (v Vector) Handle() mem.Addr { return v.base }
+
+// VectorAt rebinds a Vector from a stored handle.
+func VectorAt(h *mem.Heap, base mem.Addr) Vector { return Vector{h: h, base: base} }
+
+// Len returns the number of elements.
+func (v Vector) Len(x tm.Txn) (int, error) {
+	n, err := field(x, v.base, vecSize)
+	return int(n), err
+}
+
+// At returns element i. Out-of-range indexes return ok=false.
+func (v Vector) At(x tm.Txn, i int) (mem.Word, bool, error) {
+	n, err := field(x, v.base, vecSize)
+	if err != nil {
+		return 0, false, err
+	}
+	if i < 0 || i >= int(n) {
+		return 0, false, nil
+	}
+	data, err := field(x, v.base, vecData)
+	if err != nil {
+		return 0, false, err
+	}
+	w, err := x.Read(ptr(data) + mem.Addr(i))
+	return w, err == nil, err
+}
+
+// Set overwrites element i; ok=false if out of range.
+func (v Vector) Set(x tm.Txn, i int, val mem.Word) (bool, error) {
+	n, err := field(x, v.base, vecSize)
+	if err != nil {
+		return false, err
+	}
+	if i < 0 || i >= int(n) {
+		return false, nil
+	}
+	data, err := field(x, v.base, vecData)
+	if err != nil {
+		return false, err
+	}
+	return true, x.Write(ptr(data)+mem.Addr(i), val)
+}
+
+// PushBack appends val, growing the backing array if needed.
+func (v Vector) PushBack(x tm.Txn, val mem.Word) error {
+	n, err := field(x, v.base, vecSize)
+	if err != nil {
+		return err
+	}
+	c, err := field(x, v.base, vecCap)
+	if err != nil {
+		return err
+	}
+	data, err := field(x, v.base, vecData)
+	if err != nil {
+		return err
+	}
+	if n == c {
+		// Grow: allocate double, copy transactionally, swing the pointer.
+		newData, aerr := v.h.Alloc(int(c) * 2)
+		if aerr != nil {
+			return aerr
+		}
+		for i := 0; i < int(n); i++ {
+			w, rerr := x.Read(ptr(data) + mem.Addr(i))
+			if rerr != nil {
+				return rerr
+			}
+			if werr := x.Write(newData+mem.Addr(i), w); werr != nil {
+				return werr
+			}
+		}
+		if err := setField(x, v.base, vecCap, c*2); err != nil {
+			return err
+		}
+		if err := setField(x, v.base, vecData, word(newData)); err != nil {
+			return err
+		}
+		data = word(newData)
+	}
+	if err := x.Write(ptr(data)+mem.Addr(n), val); err != nil {
+		return err
+	}
+	return setField(x, v.base, vecSize, n+1)
+}
+
+// PopBack removes and returns the last element; ok=false when empty.
+func (v Vector) PopBack(x tm.Txn) (mem.Word, bool, error) {
+	n, err := field(x, v.base, vecSize)
+	if err != nil {
+		return 0, false, err
+	}
+	if n == 0 {
+		return 0, false, nil
+	}
+	data, err := field(x, v.base, vecData)
+	if err != nil {
+		return 0, false, err
+	}
+	w, err := x.Read(ptr(data) + mem.Addr(n-1))
+	if err != nil {
+		return 0, false, err
+	}
+	return w, true, setField(x, v.base, vecSize, n-1)
+}
+
+// Clear resets the size to zero (capacity retained).
+func (v Vector) Clear(x tm.Txn) error {
+	return setField(x, v.base, vecSize, 0)
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Locations: 1024, N: 8, Count: 10, ReadFrac: 0.5, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Locations: 0, N: 1, Count: 1},
+		{Locations: 10, N: 0, Count: 1},
+		{Locations: 10, N: 11, Count: 1},
+		{Locations: 10, N: 5, Count: 0},
+		{Locations: 10, N: 5, Count: 1, ReadFrac: 1.5},
+		{Locations: 10, N: 5, Count: 1, ReadFrac: -0.1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Locations: 1024, N: 8, Count: 100, ReadFrac: 0.5, Seed: 7}
+	txns, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txns) != 100 {
+		t.Fatalf("len = %d", len(txns))
+	}
+	for _, tx := range txns {
+		if tx.Footprint() != 8 {
+			t.Fatalf("txn %d footprint %d, want 8", tx.ID, tx.Footprint())
+		}
+		seen := map[int]bool{}
+		for _, l := range append(append([]int{}, tx.Reads...), tx.Writes...) {
+			if l < 0 || l >= 1024 {
+				t.Fatalf("location %d out of range", l)
+			}
+			if seen[l] {
+				t.Fatalf("txn %d repeats location %d", tx.ID, l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Locations: 64, N: 4, Count: 50, ReadFrac: 0.5, Seed: 9}
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	for i := range a {
+		if len(a[i].Reads) != len(b[i].Reads) || len(a[i].Writes) != len(b[i].Writes) {
+			t.Fatal("same seed produced different traces")
+		}
+		for j := range a[i].Reads {
+			if a[i].Reads[j] != b[i].Reads[j] {
+				t.Fatal("same seed produced different reads")
+			}
+		}
+	}
+	cfg.Seed = 10
+	c, _ := Generate(cfg)
+	same := true
+	for i := range a {
+		if len(a[i].Reads) != len(c[i].Reads) {
+			same = false
+			break
+		}
+		for j := range a[i].Reads {
+			if a[i].Reads[j] != c[i].Reads[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestReadFracExtremes(t *testing.T) {
+	ro, _ := Generate(Config{Locations: 100, N: 10, Count: 20, ReadFrac: 1, Seed: 1})
+	for _, tx := range ro {
+		if len(tx.Writes) != 0 {
+			t.Fatal("ReadFrac=1 produced writes")
+		}
+	}
+	wo, _ := Generate(Config{Locations: 100, N: 10, Count: 20, ReadFrac: 0, Seed: 1})
+	for _, tx := range wo {
+		if len(tx.Reads) != 0 {
+			t.Fatal("ReadFrac=0 produced reads")
+		}
+	}
+}
+
+func TestCollisionRateFormula(t *testing.T) {
+	cfg := Config{Locations: 1024, N: 4}
+	if got := cfg.CollisionRate(); math.Abs(got-0.0155) > 0.001 {
+		t.Fatalf("N=4 collision rate %g, want ≈0.0155", got)
+	}
+	cfg.N = 32
+	if got := cfg.CollisionRate(); math.Abs(got-0.638) > 0.005 {
+		t.Fatalf("N=32 collision rate %g, want ≈0.638", got)
+	}
+}
+
+func TestMeasuredCollisionMatchesModel(t *testing.T) {
+	for _, n := range []int{4, 16, 32} {
+		cfg := Config{Locations: 1024, N: n, Count: 600, ReadFrac: 0.5, Seed: 3}
+		txns, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := cfg.CollisionRate()
+		meas := MeasuredCollisionRate(txns, 20000, 4)
+		if diff := math.Abs(model - meas); diff > 0.03 {
+			t.Errorf("N=%d: model %.4f vs measured %.4f", n, model, meas)
+		}
+	}
+}
+
+func TestOverlapHelpers(t *testing.T) {
+	a := Txn{Reads: []int{1, 3, 5}, Writes: []int{2, 4}}
+	b := Txn{Reads: []int{2}, Writes: []int{5}}
+	if !a.OverlapRW(b) { // a reads 5, b writes 5
+		t.Error("OverlapRW missed")
+	}
+	if !a.OverlapWR(b) { // a writes 2, b reads 2
+		t.Error("OverlapWR missed")
+	}
+	if a.OverlapWW(b) {
+		t.Error("OverlapWW false positive")
+	}
+	c := Txn{Reads: []int{100}, Writes: []int{200}}
+	if a.Conflicts(c) {
+		t.Error("disjoint transactions conflict")
+	}
+}
+
+func TestSampleDistinctProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 10 + rng.Intn(1000)
+		n := 1 + rng.Intn(m)
+		out := sampleDistinct(r, m, n)
+		if len(out) != n {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDistinctFullRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	out := sampleDistinct(rng, 8, 8)
+	seen := map[int]bool{}
+	for _, v := range out {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("n=m sample is not a permutation: %v", out)
+	}
+}
