@@ -23,12 +23,20 @@
 //
 //	semcheck -example fig1|fig2a|fig2b     # the paper's case studies
 //	semcheck history.json                  # check a file
+//	semcheck -quiet history.json           # exit status only
+//
+// With -require <si|serializable|strict|tocc> the exit status reports
+// whether the history satisfies that property: 0 when it holds, 1 when it
+// does not, 2 on usage or input errors. -quiet suppresses all normal
+// output and defaults -require to serializable, making semcheck usable as
+// a scripting predicate.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rococotm/internal/semantics"
@@ -49,8 +57,29 @@ type jsonHistory struct {
 }
 
 func main() {
-	example := flag.String("example", "", "built-in history: fig1, fig2a, fig2b")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("semcheck", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	example := fs.String("example", "", "built-in history: fig1, fig2a, fig2b")
+	quiet := fs.Bool("quiet", false, "print nothing; the -require verdict is the exit status")
+	require := fs.String("require", "",
+		"property gating the exit status: si, serializable, strict or tocc (serializable when -quiet)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *quiet {
+		out = io.Discard
+		if *require == "" {
+			*require = "serializable"
+		}
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(errOut, "semcheck:", err)
+		return 2
+	}
 
 	var h semantics.History
 	switch {
@@ -61,15 +90,15 @@ func main() {
 	case *example == "fig2b":
 		h = semantics.Fig2b()
 	case *example != "":
-		fatal(fmt.Errorf("unknown example %q", *example))
-	case flag.NArg() == 1:
-		data, err := os.ReadFile(flag.Arg(0))
+		return fail(fmt.Errorf("unknown example %q", *example))
+	case fs.NArg() == 1:
+		data, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		var jh jsonHistory
 		if err := json.Unmarshal(data, &jh); err != nil {
-			fatal(fmt.Errorf("parse %s: %w", flag.Arg(0), err))
+			return fail(fmt.Errorf("parse %s: %w", fs.Arg(0), err))
 		}
 		h.WriteOrder = jh.WriteOrder
 		for _, t := range jh.Txns {
@@ -79,48 +108,48 @@ func main() {
 			})
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	si, err := h.SnapshotIsolation()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("snapshot isolation     %v\n", si)
+	fmt.Fprintf(out, "snapshot isolation     %v\n", si)
 
 	ser, order, err := h.Serializable()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("serializable           %v", ser)
+	fmt.Fprintf(out, "serializable           %v", ser)
 	if ser {
-		fmt.Printf("   witness order %v", order)
+		fmt.Fprintf(out, "   witness order %v", order)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	strict, sorder, err := h.StrictSerializable()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("strict serializable    %v", strict)
+	fmt.Fprintf(out, "strict serializable    %v", strict)
 	if strict {
-		fmt.Printf("   witness order %v", sorder)
+		fmt.Fprintf(out, "   witness order %v", sorder)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 
 	tocc, err := h.CommitOrderConsistent()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("TOCC (commit order)    %v\n", tocc)
+	fmt.Fprintf(out, "TOCC (commit order)    %v\n", tocc)
 
 	if ts, feasible, err := h.TimestampAssignment(); err == nil {
-		fmt.Printf("timestamp assignment   feasible=%v", feasible)
+		fmt.Fprintf(out, "timestamp assignment   feasible=%v", feasible)
 		if feasible {
-			fmt.Printf("   %v", ts)
+			fmt.Fprintf(out, "   %v", ts)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 
 	singleOp := true
@@ -132,26 +161,38 @@ func main() {
 	if singleOp {
 		lin, err := h.Linearizable()
 		if err == nil {
-			fmt.Printf("linearizable           %v\n", lin)
+			fmt.Fprintf(out, "linearizable           %v\n", lin)
 		}
 	}
 
 	ph, err := h.PhantomOrderings()
 	if err == nil && len(ph) > 0 {
-		fmt.Printf("phantom orderings      %v (rt-forced pairs with no R/W dependency)\n", ph)
+		fmt.Fprintf(out, "phantom orderings      %v (rt-forced pairs with no R/W dependency)\n", ph)
 	}
 
 	if ser && !tocc && strict {
-		fmt.Println("\n→ serializable (even respecting real time) but rejected by")
-		fmt.Println("  commit-order timestamps: a TOCC/LSA runtime aborts part of this")
-		fmt.Println("  history; ROCoCo commits it — the paper's phantom ordering.")
+		fmt.Fprintln(out, "\n→ serializable (even respecting real time) but rejected by")
+		fmt.Fprintln(out, "  commit-order timestamps: a TOCC/LSA runtime aborts part of this")
+		fmt.Fprintln(out, "  history; ROCoCo commits it — the paper's phantom ordering.")
 	}
 	if si && !ser {
-		fmt.Println("\n→ admitted by SI but not serializable: a write-skew-class anomaly.")
+		fmt.Fprintln(out, "\n→ admitted by SI but not serializable: a write-skew-class anomaly.")
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "semcheck:", err)
-	os.Exit(1)
+	if *require != "" {
+		verdicts := map[string]bool{
+			"si":           si,
+			"serializable": ser,
+			"strict":       strict,
+			"tocc":         tocc,
+		}
+		holds, known := verdicts[*require]
+		if !known {
+			return fail(fmt.Errorf("unknown -require property %q", *require))
+		}
+		if !holds {
+			return 1
+		}
+	}
+	return 0
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fig1 is the paper's write-skew history: admitted by snapshot isolation
+// but not serializable, which pins down both exit statuses.
+func TestQuietExitStatus(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"quiet defaults to serializable", []string{"-quiet", "-example", "fig1"}, 1},
+		{"quiet with satisfied property", []string{"-quiet", "-require", "si", "-example", "fig1"}, 0},
+		{"serializable history", []string{"-quiet", "-example", "fig2a"}, 0},
+		{"unknown property", []string{"-quiet", "-require", "bogus", "-example", "fig1"}, 2},
+		{"unknown example", []string{"-quiet", "-example", "nope"}, 2},
+		{"missing input", []string{"-quiet"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			got := run(tc.args, &out, &errOut)
+			if got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, errOut.String())
+			}
+			if out.Len() != 0 {
+				t.Fatalf("run(%v) wrote output in quiet mode: %q", tc.args, out.String())
+			}
+		})
+	}
+}
+
+func TestVerboseOutputUnchanged(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if got := run([]string{"-example", "fig1"}, &out, &errOut); got != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %s)", got, errOut.String())
+	}
+	for _, want := range []string{
+		"snapshot isolation     true",
+		"serializable           false",
+		"write-skew-class anomaly",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

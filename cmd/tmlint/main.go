@@ -1,0 +1,174 @@
+// Command tmlint statically checks this repository against the
+// transactional-memory programming contracts documented in internal/tm.
+// It is built purely on the standard library (go/ast, go/types,
+// go/importer); the module stays dependency-free.
+//
+// Usage:
+//
+//	tmlint [-list] [packages]
+//
+// Packages are directory patterns relative to the working directory;
+// "./..." (the default) walks the whole module. Findings are printed as
+//
+//	file:line: [pass] message
+//
+// and the exit status is 1 when any finding is reported, 2 on usage or
+// load errors, 0 otherwise. In-package _test.go files are analyzed along
+// with their package; external (package foo_test) test files are analyzed
+// as their own package; testdata directories are skipped.
+//
+// A finding is suppressed by a
+//
+//	//lint:ignore tmlint/<pass> reason
+//
+// comment on the flagged line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rococotm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("tmlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "describe the passes and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, p := range lint.Passes() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmlint:", err)
+		return 2
+	}
+
+	dirs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmlint:", err)
+		return 2
+	}
+
+	failed := false
+	findings := 0
+	for _, dir := range dirs {
+		pkgs, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmlint: %s: %v\n", dir, err)
+			failed = true
+			continue
+		}
+		for _, p := range pkgs {
+			for _, f := range lint.Check(p) {
+				fmt.Println(render(cwd, f))
+				findings++
+			}
+		}
+	}
+	switch {
+	case failed:
+		return 2
+	case findings > 0:
+		return 1
+	}
+	return 0
+}
+
+// render prints a finding with its file path relative to the working
+// directory.
+func render(cwd string, f lint.Finding) string {
+	name := f.Pos.Filename
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", name, f.Pos.Line, f.Pass, f.Message)
+}
+
+// expand resolves package patterns to directories containing Go files.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "/..."); ok {
+			if base == "." || base == "" {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") ||
+					strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("pattern %q is not a directory", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains buildable .go files.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") &&
+			!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+			return true
+		}
+	}
+	return false
+}

@@ -236,13 +236,16 @@ func BenchmarkHTMCounter(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = tm.Run(m, 0, func(x tm.Txn) error {
+		err := tm.Run(m, 0, func(x tm.Txn) error {
 			v, err := x.Read(a)
 			if err != nil {
 				return err
 			}
 			return x.Write(a, v+1)
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runAbortErr enforces the propagation contract of internal/tm: the error
+// returned by Txn.Read, Txn.Write, TM.Commit or tm.Run may carry an
+// AbortError, and swallowing it breaks opacity (tm.go doc). A finding is
+// produced when such an error is
+//
+//   - ignored entirely (bare expression statement, go/defer),
+//   - discarded with the blank identifier, or
+//   - assigned to a variable that is either never read again or is read
+//     only by `err != nil` guards whose error path neither returns,
+//     terminates, nor inspects the error.
+//
+// Passing the error to any function (including tm.IsAbort and the
+// fmt.Errorf %w idiom), returning it, storing it into a field, or
+// comparing it against anything but nil all count as legitimate handling.
+func runAbortErr(p *Package) []Finding {
+	api := resolveTM(p)
+	if api == nil {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, _ := api.classify(p.Info, call)
+			if kind == kindNone {
+				return true
+			}
+			out = append(out, checkAbortCall(p, api, parents, call, kind)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkAbortCall analyzes how one risky call's error result is consumed.
+func checkAbortCall(p *Package, api *tmAPI, parents map[ast.Node]ast.Node,
+	call *ast.CallExpr, kind riskyKind) []Finding {
+	finding := func(pos token.Pos, format string, args ...any) []Finding {
+		return []Finding{{
+			Pos:     p.Fset.Position(pos),
+			Pass:    "aborterr",
+			Message: fmt.Sprintf(format, args...),
+		}}
+	}
+
+	parent := parents[call]
+	for {
+		if pe, ok := parent.(*ast.ParenExpr); ok {
+			parent = parents[pe]
+			continue
+		}
+		break
+	}
+
+	switch parent := parent.(type) {
+	case *ast.ExprStmt:
+		return finding(call.Pos(),
+			"abort error from %s is ignored; it must propagate out of the atomic block", kind)
+	case *ast.GoStmt, *ast.DeferStmt:
+		return finding(call.Pos(),
+			"abort error from %s is discarded by go/defer; it must propagate", kind)
+	case *ast.AssignStmt:
+		errExpr := errLHS(p, parent, call)
+		if errExpr == nil {
+			return nil // malformed or no error result; the compiler owns this
+		}
+		id, ok := ast.Unparen(errExpr).(*ast.Ident)
+		if !ok {
+			return nil // stored into a field/element: visible elsewhere
+		}
+		if id.Name == "_" {
+			return finding(id.Pos(),
+				"abort error from %s is discarded with _; it must propagate", kind)
+		}
+		return checkErrUsage(p, api, parents, parent, id, kind)
+	}
+	// The call is an operand of a larger expression (return value, call
+	// argument, comparison, if-init handled via AssignStmt): the error
+	// flows onward.
+	return nil
+}
+
+// errLHS returns the assignment operand receiving call's error result.
+func errLHS(p *Package, as *ast.AssignStmt, call *ast.CallExpr) ast.Expr {
+	idx := errResultIndex(p.Info, call)
+	if idx < 0 {
+		return nil
+	}
+	if len(as.Rhs) == 1 && ast.Unparen(as.Rhs[0]) == call {
+		if idx < len(as.Lhs) {
+			return as.Lhs[idx]
+		}
+		return nil
+	}
+	for i, rhs := range as.Rhs {
+		if ast.Unparen(rhs) == call && i < len(as.Lhs) {
+			return as.Lhs[i] // 1:1 assignment: single error result
+		}
+	}
+	return nil
+}
+
+// checkErrUsage inspects every later read of the error variable within the
+// enclosing function.
+func checkErrUsage(p *Package, api *tmAPI, parents map[ast.Node]ast.Node,
+	assign *ast.AssignStmt, id *ast.Ident, kind riskyKind) []Finding {
+	obj := objOf(p.Info, id)
+	if obj == nil {
+		return nil
+	}
+	fn := enclosingFunc(parents, assign)
+	var body *ast.BlockStmt
+	if fn != nil {
+		body = funcBody(fn)
+	}
+	if body == nil {
+		return nil
+	}
+
+	// The variable is live from this assignment until its next overwrite;
+	// reads inside the overwriting statement itself (err = wrap(err)) still
+	// consume this value. Only an overwrite in the same statement list — one
+	// that unconditionally follows on every path — ends the window; a
+	// reassignment in a sibling branch (if/else both setting err before a
+	// merged check) does not.
+	liveFrom := assign.End()
+	liveTo := body.End()
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as == assign || as.Pos() < liveFrom || parents[as] != parents[assign] {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok && objOf(p.Info, lid) == obj {
+				if as.End() < liveTo {
+					liveTo = as.End()
+				}
+			}
+		}
+		return true
+	})
+
+	type weakUse struct {
+		ifStmt *ast.IfStmt
+		op     token.Token // EQL or NEQ against nil
+	}
+	var weak []weakUse
+	meaningful := false
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok || use == id || p.Info.Uses[use] != obj ||
+			use.Pos() < liveFrom || use.Pos() > liveTo {
+			return true
+		}
+		// Writes are not reads.
+		if as, ok := parents[use].(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if ast.Unparen(lhs) == use {
+					return true
+				}
+			}
+		}
+		used = true
+		if w, ok := nilGuardUse(p, parents, use); ok {
+			weak = append(weak, w)
+		} else {
+			meaningful = true
+		}
+		return true
+	})
+
+	// A named result is also read by every bare `return` in the window: the
+	// function hands the held error to its caller.
+	if !meaningful && isNamedResult(p, fn, obj) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if funcBody(n) != nil && n != fn {
+				return false // nested literal returns don't carry our results
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if ok && len(ret.Results) == 0 && ret.Pos() > liveFrom && ret.Pos() <= liveTo {
+				used = true
+				meaningful = true
+			}
+			return true
+		})
+	}
+
+	if !used {
+		return []Finding{{
+			Pos:  p.Fset.Position(id.Pos()),
+			Pass: "aborterr",
+			Message: fmt.Sprintf(
+				"error result of %s is assigned to %s but never used; the abort must propagate",
+				kind, id.Name),
+		}}
+	}
+	if meaningful {
+		return nil
+	}
+	// Every read is a nil guard: at least one guard's error path must leave
+	// the function (or process) instead of falling through.
+	for _, w := range weak {
+		var errPath []ast.Stmt
+		switch {
+		case w.op == token.NEQ:
+			errPath = w.ifStmt.Body.List
+		case w.ifStmt.Else != nil:
+			if blk, ok := w.ifStmt.Else.(*ast.BlockStmt); ok {
+				errPath = blk.List
+			}
+		}
+		if pathTerminates(errPath) {
+			return nil
+		}
+	}
+	if len(weak) == 0 {
+		return nil
+	}
+	return []Finding{{
+		Pos:  p.Fset.Position(weak[0].ifStmt.Pos()),
+		Pass: "aborterr",
+		Message: fmt.Sprintf(
+			"abort error from %s is checked but swallowed: no branch returns, terminates, or inspects it",
+			kind),
+	}}
+}
+
+// isNamedResult reports whether obj is one of fn's named result
+// parameters.
+func isNamedResult(p *Package, fn ast.Node, obj types.Object) bool {
+	var ft *ast.FuncType
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		ft = fn.Type
+	case *ast.FuncLit:
+		ft = fn.Type
+	}
+	if ft == nil || ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if objOf(p.Info, name) == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nilGuardUse reports whether the identifier use is exactly an
+// `err != nil` / `err == nil` comparison inside an if condition, returning
+// the guard.
+func nilGuardUse(p *Package, parents map[ast.Node]ast.Node, use *ast.Ident) (struct {
+	ifStmt *ast.IfStmt
+	op     token.Token
+}, bool) {
+	var zero struct {
+		ifStmt *ast.IfStmt
+		op     token.Token
+	}
+	bin, ok := parents[use].(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return zero, false
+	}
+	other := bin.X
+	if ast.Unparen(other) == use {
+		other = bin.Y
+	}
+	if !isNilIdent(p.Info, other) {
+		return zero, false
+	}
+	// Find the if statement whose condition contains the comparison; the
+	// comparison may sit under && / || / parens.
+	for cur := parents[bin]; cur != nil; cur = parents[cur] {
+		switch cur := cur.(type) {
+		case *ast.BinaryExpr:
+			if cur.Op != token.LAND && cur.Op != token.LOR {
+				return zero, false
+			}
+		case *ast.ParenExpr, *ast.UnaryExpr:
+			// keep climbing
+		case *ast.IfStmt:
+			zero.ifStmt = cur
+			zero.op = bin.Op
+			return zero, true
+		default:
+			return zero, false
+		}
+	}
+	return zero, false
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runDeadTxn enforces the "dead after abort" rule of internal/tm: once a
+// Txn method has returned an AbortError, the transaction is rolled back
+// and the only valid step is to stop using it. The pass tracks, per
+// function and flow-sensitively along statement lists, error variables
+// assigned from Txn.Read/Txn.Write/TM.Commit together with the
+// transaction they came from. Inside a branch that observes the abort —
+//
+//	if err != nil { ... }
+//	if _, ok := tm.IsAbort(err); ok { ... }
+//
+// — any further Read/Write on that same transaction, or Commit of it, is
+// reported. Using a different transaction, or the same one on the
+// not-taken path (after the guard returned), is fine.
+func runDeadTxn(p *Package) []Finding {
+	api := resolveTM(p)
+	if api == nil {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			body := funcBody(n)
+			if body == nil {
+				return true
+			}
+			d := &deadTxn{p: p, api: api}
+			d.scanBlock(body.List, map[types.Object]txnSource{})
+			out = append(out, d.findings...)
+			return true // nested literals get their own scan of outer bindings
+		})
+	}
+	return dedupe(out)
+}
+
+// txnSource records which transaction produced the error held by a
+// variable.
+type txnSource struct {
+	recvObj types.Object // root object of the receiver expression
+	recvStr string       // receiver path, e.g. "x" or "t.inner"
+	kind    riskyKind
+}
+
+type deadTxn struct {
+	p        *Package
+	api      *tmAPI
+	findings []Finding
+}
+
+// scanBlock walks one statement list, threading error→txn bindings.
+func (d *deadTxn) scanBlock(stmts []ast.Stmt, bind map[types.Object]txnSource) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			d.recordAssign(s, bind)
+		case *ast.IfStmt:
+			local := copyBind(bind)
+			if s.Init != nil {
+				if as, ok := s.Init.(*ast.AssignStmt); ok {
+					d.recordAssign(as, local)
+				}
+			}
+			if src, ok := d.abortObserved(s, local); ok {
+				d.checkDeadUses(s.Body, src)
+			}
+			d.scanBlock(s.Body.List, copyBind(local))
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				d.scanBlock(e.List, copyBind(local))
+			case *ast.IfStmt:
+				d.scanBlock([]ast.Stmt{e}, copyBind(local))
+			}
+		case *ast.BlockStmt:
+			d.scanBlock(s.List, copyBind(bind))
+		case *ast.ForStmt:
+			d.scanBlock(s.Body.List, copyBind(bind))
+		case *ast.RangeStmt:
+			d.scanBlock(s.Body.List, copyBind(bind))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					d.scanBlock(cc.Body, copyBind(bind))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					d.scanBlock(cc.Body, copyBind(bind))
+				}
+			}
+		}
+	}
+}
+
+// recordAssign binds err variables to the transaction that produced them,
+// and clears bindings clobbered by unrelated assignments.
+func (d *deadTxn) recordAssign(as *ast.AssignStmt, bind map[types.Object]txnSource) {
+	// Any assignment to a tracked variable invalidates its binding first.
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if obj := objOf(d.p.Info, id); obj != nil {
+				delete(bind, obj)
+			}
+		}
+	}
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	kind, recv := d.api.classify(d.p.Info, call)
+	if recv == nil {
+		return
+	}
+	var txnExpr ast.Expr
+	switch kind {
+	case kindRead, kindWrite:
+		txnExpr = recv
+	case kindCommit:
+		if len(call.Args) == 1 {
+			txnExpr = call.Args[0] // the transaction being committed
+		}
+	default:
+		return
+	}
+	root, path := lvalPath(txnExpr)
+	if root == nil {
+		return
+	}
+	idx := errResultIndex(d.p.Info, call)
+	if idx < 0 || idx >= len(as.Lhs) {
+		return
+	}
+	errID, ok := ast.Unparen(as.Lhs[idx]).(*ast.Ident)
+	if !ok || errID.Name == "_" {
+		return
+	}
+	obj := objOf(d.p.Info, errID)
+	if obj == nil {
+		return
+	}
+	bind[obj] = txnSource{recvObj: objOf(d.p.Info, root), recvStr: path, kind: kind}
+}
+
+// abortObserved reports whether the if statement observes an abort on a
+// tracked error: `err != nil` or `_, ok := tm.IsAbort(err); ok`.
+func (d *deadTxn) abortObserved(s *ast.IfStmt, bind map[types.Object]txnSource) (txnSource, bool) {
+	// if err != nil (possibly conjoined with more conditions)
+	if src, ok := d.nilCheck(s.Cond, bind); ok {
+		return src, true
+	}
+	// if _, ok := tm.IsAbort(err); ok
+	if as, isAssign := s.Init.(*ast.AssignStmt); isAssign && len(as.Rhs) == 1 {
+		if call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); isCall &&
+			d.api.isIsAbortCall(d.p.Info, call) && len(call.Args) == 1 {
+			if errID, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if src, tracked := bind[objOf(d.p.Info, errID)]; tracked {
+					if condIsOKIdent(d.p, s.Cond, as) {
+						return src, true
+					}
+				}
+			}
+		}
+	}
+	return txnSource{}, false
+}
+
+// nilCheck matches `err != nil` anywhere in a && chain of cond.
+func (d *deadTxn) nilCheck(cond ast.Expr, bind map[types.Object]txnSource) (txnSource, bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			if src, ok := d.nilCheck(e.X, bind); ok {
+				return src, true
+			}
+			return d.nilCheck(e.Y, bind)
+		}
+		if e.Op != token.NEQ {
+			return txnSource{}, false
+		}
+		x, y := e.X, e.Y
+		if isNilIdent(d.p.Info, x) {
+			x, y = y, x
+		}
+		if !isNilIdent(d.p.Info, y) {
+			return txnSource{}, false
+		}
+		if id, ok := ast.Unparen(x).(*ast.Ident); ok {
+			if src, tracked := bind[objOf(d.p.Info, id)]; tracked {
+				return src, true
+			}
+		}
+	}
+	return txnSource{}, false
+}
+
+// condIsOKIdent reports whether cond is exactly the bool defined by the
+// init statement (the `ok` of IsAbort).
+func condIsOKIdent(p *Package, cond ast.Expr, init *ast.AssignStmt) bool {
+	id, ok := ast.Unparen(cond).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := objOf(p.Info, id)
+	if obj == nil {
+		return false
+	}
+	for _, lhs := range init.Lhs {
+		if lid, isID := ast.Unparen(lhs).(*ast.Ident); isID && objOf(p.Info, lid) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDeadUses reports Txn method calls on the aborted transaction inside
+// the abort-observed branch.
+func (d *deadTxn) checkDeadUses(body *ast.BlockStmt, src txnSource) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // a nested closure runs who-knows-when; out of scope
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, recv := d.api.classify(d.p.Info, call)
+		var used ast.Expr
+		switch kind {
+		case kindRead, kindWrite:
+			used = recv
+		case kindCommit:
+			if len(call.Args) == 1 {
+				used = call.Args[0]
+			}
+		default:
+			return true
+		}
+		root, path := lvalPath(used)
+		if root == nil || path != src.recvStr || objOf(d.p.Info, root) != src.recvObj {
+			return true
+		}
+		d.findings = append(d.findings, Finding{
+			Pos:  d.p.Fset.Position(call.Pos()),
+			Pass: "deadtxn",
+			Message: fmt.Sprintf(
+				"%s called on transaction %s after an abort from %s was observed; the transaction is dead",
+				kind, path, src.kind),
+		})
+		return true
+	})
+}
+
+// copyBind clones a binding map for branch-local flow.
+func copyBind(m map[types.Object]txnSource) map[types.Object]txnSource {
+	out := make(map[types.Object]txnSource, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// dedupe drops findings duplicated by nested scans.
+func dedupe(in []Finding) []Finding {
+	seen := map[string]bool{}
+	var out []Finding
+	for _, f := range in {
+		k := f.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}

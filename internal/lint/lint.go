@@ -1,0 +1,152 @@
+// Package lint statically enforces the transactional-memory programming
+// contracts documented in internal/tm: abort errors must propagate, a Txn
+// never escapes its atomic block or outlives an observed abort, and retry
+// closures must be idempotent. It is built exclusively on the standard
+// library (go/ast, go/parser, go/types, go/importer) so the module stays
+// dependency-free.
+//
+// Four passes are provided:
+//
+//   - aborterr: an error produced by Txn.Read, Txn.Write, TM.Commit or
+//     tm.Run is discarded, never inspected, or caught by a branch that
+//     swallows it without propagating, terminating or inspecting the
+//     abort reason (tm.IsAbort).
+//   - txnescape: a tm.Txn value escapes its atomic block — stored into a
+//     struct field, package-level variable, map, slice or channel, or
+//     captured by a spawned goroutine. Transactions are single-goroutine
+//     and die with their block.
+//   - retrypure: a closure passed to tm.Run performs a non-idempotent
+//     update (append, ++/+=, map insert) on a variable captured from the
+//     enclosing scope without resetting it at the top of the closure;
+//     OCC re-executes the closure on abort, double-applying the update.
+//   - deadtxn: a Txn method is invoked on a transaction after an abort
+//     was already observed on that same transaction; after the first
+//     AbortError the transaction is dead.
+//
+// A finding may be suppressed by placing
+//
+//	//lint:ignore tmlint/<pass> reason
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one contract violation.
+type Finding struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+// String renders the driver's file:line: [pass] message format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pass, f.Message)
+}
+
+// A Pass is one analyzer.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Finding
+}
+
+// Passes returns every analyzer, in reporting order.
+func Passes() []*Pass {
+	return []*Pass{
+		{
+			Name: "aborterr",
+			Doc:  "abort errors from Txn.Read/Txn.Write/TM.Commit/tm.Run must propagate",
+			Run:  runAbortErr,
+		},
+		{
+			Name: "txnescape",
+			Doc:  "a tm.Txn must not escape its atomic block or goroutine",
+			Run:  runTxnEscape,
+		},
+		{
+			Name: "retrypure",
+			Doc:  "tm.Run closures re-execute on retry; captured-state updates must be idempotent",
+			Run:  runRetryPure,
+		},
+		{
+			Name: "deadtxn",
+			Doc:  "no Txn use after an observed abort on that transaction",
+			Run:  runDeadTxn,
+		},
+	}
+}
+
+// Check runs every pass over p and returns the surviving findings plus any
+// malformed suppression directives, sorted by position.
+func Check(p *Package) []Finding {
+	var all []Finding
+	for _, pass := range Passes() {
+		all = append(all, pass.Run(p)...)
+	}
+	kept := applyIgnores(p, all)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pass < b.Pass
+	})
+	return kept
+}
+
+// ignoreRE matches "//lint:ignore tmlint/<pass> reason".
+var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+tmlint/([a-z]+)\b[ \t]*(.*)$`)
+
+// applyIgnores drops findings suppressed by lint:ignore directives and
+// reports directives that are malformed (missing reason).
+func applyIgnores(p *Package, findings []Finding) []Finding {
+	type key struct {
+		file string
+		line int
+		pass string
+	}
+	suppressed := map[key]bool{}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					out = append(out, Finding{
+						Pos:  pos,
+						Pass: "ignore",
+						Message: fmt.Sprintf(
+							"lint:ignore tmlint/%s directive is missing a reason", m[1]),
+					})
+					continue
+				}
+				// The directive covers its own line (trailing comment) and
+				// the line below (comment above the statement).
+				suppressed[key{pos.Filename, pos.Line, m[1]}] = true
+				suppressed[key{pos.Filename, pos.Line + 1, m[1]}] = true
+			}
+		}
+	}
+	for _, f := range findings {
+		if suppressed[key{f.Pos.Filename, f.Pos.Line, f.Pass}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

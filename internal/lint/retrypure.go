@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runRetryPure enforces idempotence of atomic blocks: tm.Run re-executes
+// its closure after every conflict abort, so a non-idempotent update to
+// state captured from the enclosing scope is applied once per attempt
+// rather than once per transaction. Flagged update forms, on captured
+// variables only:
+//
+//	x++ / x-- / x += v (and the other compound assignments)
+//	x = x + v (self-referential arithmetic)
+//	x = append(x, ...)
+//	m[k] = v (map insertion)
+//
+// An update is exempt when the captured location is reset first: a plain
+// assignment of fresh state (s = nil, s = s[:0], n = 0, m = map[...]{},
+// rec.reads = ...) at the top level of the closure body, positioned before
+// the update. Heap state accessed through the transaction itself is the
+// runtime's job to roll back and is not the target of this pass.
+func runRetryPure(p *Package) []Finding {
+	api := resolveTM(p)
+	if api == nil || api.run == nil {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if kind, _ := api.classify(p.Info, call); kind != kindRun {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			out = append(out, checkRetryClosure(p, lit)...)
+			return true
+		})
+	}
+	return out
+}
+
+// update is one non-idempotent mutation of a captured path.
+type update struct {
+	node ast.Node
+	path string
+	verb string
+}
+
+// checkRetryClosure finds unreset non-idempotent captured-state updates in
+// one atomic closure.
+func checkRetryClosure(p *Package, lit *ast.FuncLit) []Finding {
+	captured := func(id *ast.Ident) bool {
+		obj := objOf(p.Info, id)
+		if _, isVar := obj.(*types.Var); !isVar {
+			return false
+		}
+		return !declaredWithin(obj, lit)
+	}
+	// capturedPath resolves e to its dotted path when the root variable is
+	// captured from outside the closure.
+	capturedPath := func(e ast.Expr) (string, bool) {
+		root, path := lvalPath(e)
+		if root == nil || !captured(root) {
+			return "", false
+		}
+		return path, true
+	}
+
+	// Resets: top-level plain assignments of fresh state, keyed by path.
+	resetAt := map[string]token.Pos{}
+	for _, stmt := range lit.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+			continue
+		}
+		for i, lhs := range as.Lhs {
+			path, ok := capturedPath(lhs)
+			if !ok {
+				continue
+			}
+			if isSelfUpdate(p, lhs, as.Rhs[i]) {
+				continue // x = x + 1 is an update, never a reset
+			}
+			if _, seen := resetAt[path]; !seen {
+				resetAt[path] = as.Pos()
+			}
+		}
+	}
+	isReset := func(path string, pos token.Pos) bool {
+		for r, rpos := range resetAt {
+			if rpos < pos && (r == path || strings.HasPrefix(path, r+".")) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var updates []update
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if path, ok := capturedPath(n.X); ok {
+				updates = append(updates, update{n, path, n.Tok.String()})
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if n.Tok != token.ASSIGN {
+					if path, ok := capturedPath(lhs); ok {
+						updates = append(updates, update{n, path, n.Tok.String()})
+					}
+					continue
+				}
+				// Map insertion through a captured base.
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if base := p.Info.TypeOf(idx.X); base != nil {
+						if _, isMap := base.Underlying().(*types.Map); isMap {
+							if path, ok := capturedPath(idx.X); ok {
+								updates = append(updates, update{n, path, "map insert"})
+							}
+						}
+					}
+					continue
+				}
+				if path, ok := capturedPath(lhs); ok && isSelfUpdate(p, lhs, n.Rhs[i]) {
+					verb := "self-referential assignment"
+					if isAppendTo(p, lhs, n.Rhs[i]) {
+						verb = "append"
+					}
+					updates = append(updates, update{n, path, verb})
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, u := range updates {
+		if isReset(u.path, u.node.Pos()) {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(u.node.Pos()),
+			Pass: "retrypure",
+			Message: fmt.Sprintf(
+				"non-idempotent %s on captured %s inside a tm.Run closure: retries re-execute it; reset %s at the top of the closure or move it after Run",
+				u.verb, u.path, u.path),
+		})
+	}
+	return out
+}
+
+// isSelfUpdate reports whether rhs derives from lhs's own root variable —
+// x = x+1, s = append(s, v) — excluding the s = s[:0] truncation reset.
+func isSelfUpdate(p *Package, lhs, rhs ast.Expr) bool {
+	root, _ := lvalPath(lhs)
+	if root == nil {
+		return false
+	}
+	obj := objOf(p.Info, root)
+	if obj == nil || !exprMentions(p.Info, rhs, obj) {
+		return false
+	}
+	if sl, ok := ast.Unparen(rhs).(*ast.SliceExpr); ok {
+		// s = s[:0] clears and is idempotent.
+		if slRoot, _ := lvalPath(sl.X); slRoot != nil && objOf(p.Info, slRoot) == obj &&
+			sl.Low == nil && isZeroLiteral(sl.High) {
+			return false
+		}
+	}
+	return true
+}
+
+// isAppendTo reports whether rhs is append(lhs, ...).
+func isAppendTo(p *Package, lhs, rhs ast.Expr) bool {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || objOf(p.Info, id) != types.Universe.Lookup("append") {
+		return false
+	}
+	lr, lp := lvalPath(lhs)
+	ar, ap := lvalPath(call.Args[0])
+	return lr != nil && ar != nil && lp == ap && objOf(p.Info, lr) == objOf(p.Info, ar)
+}
+
+// isZeroLiteral reports whether e is the integer literal 0.
+func isZeroLiteral(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}

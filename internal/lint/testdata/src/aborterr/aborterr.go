@@ -1,0 +1,95 @@
+// Package aborterr is golden-test input for the aborterr pass: every
+// `want` comment names a finding the pass must produce on that line, and
+// the unannotated cases are shapes that look suspicious but must stay
+// silent.
+package aborterr
+
+import (
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+func noop(x tm.Txn) error { return nil }
+
+func ignoredOutright(x tm.Txn, a mem.Addr) {
+	x.Write(a, 1) // want `\[aborterr\] abort error from Txn\.Write is ignored`
+}
+
+func discardedBlank(m tm.TM, x tm.Txn, a mem.Addr) {
+	v, _ := x.Read(a)      // want `\[aborterr\] abort error from Txn\.Read is discarded with _`
+	_ = tm.Run(m, 0, noop) // want `\[aborterr\] abort error from tm\.Run is discarded with _`
+	fmt.Println(v)
+}
+
+func discardedByDefer(m tm.TM, x tm.Txn) {
+	defer m.Commit(x) // want `\[aborterr\] abort error from TM\.Commit is discarded by go/defer`
+}
+
+func neverUsed(x tm.Txn, a mem.Addr) error {
+	_, err := x.Read(a) // want `\[aborterr\] error result of Txn\.Read is assigned to err but never used`
+	err = nil
+	return err
+}
+
+func checkedButSwallowed(x tm.Txn, a mem.Addr) {
+	_, err := x.Read(a)
+	if err != nil { // want `\[aborterr\] abort error from Txn\.Read is checked but swallowed`
+		fmt.Println("read failed")
+	}
+}
+
+// returnedLater must stay silent: the error is held across intervening
+// statements and then propagated.
+func returnedLater(x tm.Txn, a mem.Addr) error {
+	v, err := x.Read(a)
+	v += 2
+	fmt.Println(v)
+	return err
+}
+
+// namedResult must stay silent: a bare return hands the named error
+// result to the caller.
+func namedResult(x tm.Txn, a mem.Addr) (v mem.Word, err error) {
+	v, err = x.Read(a)
+	if err != nil {
+		return
+	}
+	v, err = x.Read(a + 1)
+	return
+}
+
+// branchMerge must stay silent: err is assigned on both arms and checked
+// after the merge; the sibling-branch assignment does not kill the first
+// arm's value.
+func branchMerge(m tm.TM, cond bool) error {
+	var err error
+	if cond {
+		err = tm.Run(m, 0, noop)
+	} else {
+		err = tm.Run(m, 1, noop)
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// inspected must stay silent: passing the error to tm.IsAbort counts as
+// handling it.
+func inspected(x tm.Txn, a mem.Addr) {
+	_, err := x.Read(a)
+	if reason, ok := tm.IsAbort(err); ok {
+		fmt.Println("aborted:", reason)
+	}
+}
+
+// guardReturns must stay silent: the error path leaves the function.
+func guardReturns(x tm.Txn, a mem.Addr) mem.Word {
+	v, err := x.Read(a)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,76 @@
+// Package deadtxn is golden-test input for the deadtxn pass.
+package deadtxn
+
+import (
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+func useAfterAbort(x tm.Txn, a mem.Addr) error {
+	_, err := x.Read(a)
+	if err != nil {
+		werr := x.Write(a, 0) // want `\[deadtxn\] Txn\.Write called on transaction x after an abort from Txn\.Read was observed`
+		fmt.Println(werr)
+		return err
+	}
+	return nil
+}
+
+func useAfterCommitFail(m tm.TM, x tm.Txn, a mem.Addr) error {
+	if err := m.Commit(x); err != nil {
+		v, rerr := x.Read(a) // want `\[deadtxn\] Txn\.Read called on transaction x after an abort from TM\.Commit was observed`
+		fmt.Println(v, rerr)
+		return err
+	}
+	return nil
+}
+
+func useAfterInspectedAbort(x tm.Txn, a mem.Addr) error {
+	err := x.Write(a, 1)
+	if reason, ok := tm.IsAbort(err); ok {
+		fmt.Println("aborted:", reason)
+		v, rerr := x.Read(a) // want `\[deadtxn\] Txn\.Read called on transaction x after an abort from Txn\.Write was observed`
+		fmt.Println(v, rerr)
+		return err
+	}
+	return err
+}
+
+// guardReturnsFirst must stay silent: the abort path leaves the function,
+// so the later use runs only when no abort was observed.
+func guardReturnsFirst(x tm.Txn, a mem.Addr) error {
+	_, err := x.Read(a)
+	if err != nil {
+		return err
+	}
+	return x.Write(a, 1)
+}
+
+// differentTxn must stay silent: the transaction used inside the abort
+// branch is not the one that aborted.
+func differentTxn(x, y tm.Txn, a mem.Addr) error {
+	_, err := x.Read(a)
+	if err != nil {
+		if werr := y.Write(a, 0); werr != nil {
+			return werr
+		}
+		return err
+	}
+	return nil
+}
+
+// rebound must stay silent: err is overwritten by an unrelated call before
+// the guard, so the guard no longer observes the transaction's abort.
+func rebound(x tm.Txn, a mem.Addr, fallible func() error) error {
+	_, err := x.Read(a)
+	if err != nil {
+		return err
+	}
+	err = fallible()
+	if err != nil {
+		return x.Write(a, 1)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Package retrypure is golden-test input for the retrypure pass.
+package retrypure
+
+import (
+	"rococotm/internal/tm"
+)
+
+func impure(m tm.TM) (int, []int, map[int]bool, error) {
+	count := 0
+	sum := 0
+	var log []int
+	seen := map[int]bool{}
+	err := tm.Run(m, 0, func(x tm.Txn) error {
+		count++              // want `\[retrypure\] non-idempotent \+\+ on captured count`
+		sum += 2             // want `\[retrypure\] non-idempotent \+= on captured sum`
+		sum = sum + 1        // want `\[retrypure\] non-idempotent self-referential assignment on captured sum`
+		log = append(log, 1) // want `\[retrypure\] non-idempotent append on captured log`
+		seen[1] = true       // want `\[retrypure\] non-idempotent map insert on captured seen`
+		return nil
+	})
+	return count + sum, log, seen, err
+}
+
+// resetAtTop must stay silent: every captured location is re-initialized
+// at the top of the closure, so a retry starts from fresh state.
+func resetAtTop(m tm.TM) (int, []int, map[int]bool, error) {
+	sum := 0
+	var log []int
+	seen := map[int]bool{}
+	err := tm.Run(m, 0, func(x tm.Txn) error {
+		sum = 0
+		log = log[:0]
+		seen = map[int]bool{}
+		sum += 2
+		log = append(log, sum)
+		seen[sum] = true
+		return nil
+	})
+	return sum, log, seen, err
+}
+
+// localState must stay silent: state declared inside the closure is
+// rebuilt from scratch on every attempt.
+func localState(m tm.TM) error {
+	return tm.Run(m, 0, func(x tm.Txn) error {
+		count := 0
+		var log []int
+		for i := 0; i < 4; i++ {
+			count++
+			log = append(log, i)
+		}
+		_ = log
+		return nil
+	})
+}
+
+// suppressed demonstrates the ignore directive: the update is deliberate
+// (counting attempts), so the finding is silenced with a reason.
+func suppressed(m tm.TM) (int, error) {
+	attempts := 0
+	err := tm.Run(m, 0, func(x tm.Txn) error {
+		//lint:ignore tmlint/retrypure counting attempts is deliberate here
+		attempts++
+		return nil
+	})
+	return attempts, err
+}
+
+// missingReason is a malformed directive: suppressing without a reason is
+// itself reported, and the finding it tried to hide survives.
+func missingReason(m tm.TM) (int, error) {
+	n := 0
+	err := tm.Run(m, 0, func(x tm.Txn) error {
+		// want `\[ignore\] lint:ignore tmlint/retrypure directive is missing a reason`
+		//lint:ignore tmlint/retrypure
+		n++ // want `\[retrypure\] non-idempotent \+\+ on captured n`
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,78 @@
+// Package txnescape is golden-test input for the txnescape pass.
+package txnescape
+
+import (
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+type holder struct {
+	x tm.Txn
+}
+
+var global tm.Txn
+
+func use(x tm.Txn) {}
+
+func escapes(x tm.Txn, h *holder) {
+	h.x = x    // want `\[txnescape\] tm\.Txn stored into struct field h\.x`
+	global = x // want `\[txnescape\] tm\.Txn stored into package-level variable global`
+
+	byKey := map[int]tm.Txn{}
+	byKey[0] = x // want `\[txnescape\] tm\.Txn stored into a map`
+
+	slots := make([]tm.Txn, 1)
+	slots[0] = x             // want `\[txnescape\] tm\.Txn stored into a slice`
+	slots = append(slots, x) // want `\[txnescape\] tm\.Txn appended into a slice`
+	_ = []tm.Txn{x}          // want `\[txnescape\] tm\.Txn stored into a composite literal`
+
+	ch := make(chan tm.Txn, 1)
+	ch <- x // want `\[txnescape\] tm\.Txn sent into a channel`
+	<-ch
+}
+
+func crossGoroutine(x tm.Txn) {
+	go use(x)   // want `\[txnescape\] tm\.Txn passed to a goroutine`
+	go func() { // want `\[txnescape\] tm\.Txn x captured by a spawned goroutine`
+		use(x)
+	}()
+}
+
+func leaksPastBlock(m tm.TM) (tm.Txn, error) {
+	var leaked tm.Txn
+	err := tm.Run(m, 0, func(x tm.Txn) error {
+		leaked = x // want `\[txnescape\] tm\.Txn assigned to leaked, declared outside the atomic block`
+		return nil
+	})
+	return leaked, err
+}
+
+// cursor is a short-lived traversal helper; carrying the Txn in a struct
+// literal bound to a local is the same as passing it to a helper call.
+type cursor struct {
+	t tm.Txn
+	n int
+}
+
+// helperPattern must stay silent: passing a Txn to a non-retaining helper
+// or a local cursor struct is legitimate.
+func helperPattern(x tm.Txn) {
+	use(x)
+	c := &cursor{t: x, n: 1}
+	use(c.t)
+}
+
+// timed wraps an inner transaction and is itself a tm.Txn: the
+// wrapper-runtime pattern, which must stay silent.
+type timed struct {
+	inner tm.Txn
+}
+
+func (w *timed) Read(a mem.Addr) (mem.Word, error)  { return w.inner.Read(a) }
+func (w *timed) Write(a mem.Addr, v mem.Word) error { return w.inner.Write(a, v) }
+
+func wrapperPattern(x tm.Txn) tm.Txn {
+	w := &timed{}
+	w.inner = x
+	return w
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// runTxnEscape enforces the single-goroutine, block-scoped lifetime of a
+// transaction (tm.go: "A Txn is used by a single goroutine"). Any value
+// whose static type is the tm.Txn interface is tracked; a finding is
+// produced when one is
+//
+//   - stored into a struct field, package-level variable, map, slice,
+//     channel or composite literal,
+//   - assigned to a variable declared outside the atomic block (the
+//     enclosing function literal), or
+//   - handed to another goroutine, either as a `go` argument or captured
+//     by a `go` function literal.
+//
+// Storing a Txn inside a type that itself implements tm.Txn is exempt:
+// that is the wrapper-runtime pattern (e.g. the cost-model runtime wraps
+// an inner transaction), where the wrapper is the transaction. Passing a
+// Txn to an ordinary helper call is likewise fine — helpers may use it,
+// they just must not retain it.
+func runTxnEscape(p *Package) []Finding {
+	api := resolveTM(p)
+	if api == nil {
+		return nil
+	}
+	var out []Finding
+	report := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:     p.Fset.Position(n.Pos()),
+			Pass:    "txnescape",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range p.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkTxnAssign(p, api, parents, n, report)
+			case *ast.SendStmt:
+				if txnIdent(p, api, n.Value) != nil {
+					report(n, "tm.Txn sent into a channel; a transaction must not leave its goroutine")
+				}
+			case *ast.CompositeLit:
+				checkTxnCompositeLit(p, api, n, report)
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" &&
+					objOf(p.Info, id) == types.Universe.Lookup("append") {
+					for _, arg := range n.Args[1:] {
+						if txnIdent(p, api, arg) != nil {
+							report(arg, "tm.Txn appended into a slice; it escapes its atomic block")
+						}
+					}
+				}
+			case *ast.GoStmt:
+				checkTxnGoStmt(p, api, n, report)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// txnIdent returns the identifier when e is a plain variable of interface
+// type tm.Txn.
+func txnIdent(p *Package, api *tmAPI, e ast.Expr) *ast.Ident {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := objOf(p.Info, id)
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	if !api.isTxn(p.Info.TypeOf(id)) {
+		return nil
+	}
+	return id
+}
+
+// checkTxnAssign flags assignments that let a Txn outlive its block.
+func checkTxnAssign(p *Package, api *tmAPI, parents map[ast.Node]ast.Node,
+	as *ast.AssignStmt, report func(ast.Node, string, ...any)) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // tuple from call: a fresh Txn from Begin does not escape here
+	}
+	for i, rhs := range as.Rhs {
+		id := txnIdent(p, api, rhs)
+		if id == nil {
+			continue
+		}
+		switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+				if api.implementsTxn(p.Info.TypeOf(lhs.X)) {
+					continue // wrapper transaction holding its inner Txn
+				}
+				report(as, "tm.Txn stored into struct field %s; it escapes its atomic block",
+					types.ExprString(lhs))
+				continue
+			}
+			// Qualified identifier: pkg.Var.
+			if obj := objOf(p.Info, lhs.Sel); obj != nil && isPackageLevel(obj) {
+				report(as, "tm.Txn stored into package-level variable %s", types.ExprString(lhs))
+			}
+		case *ast.IndexExpr:
+			base := p.Info.TypeOf(lhs.X)
+			if base == nil {
+				continue
+			}
+			switch base.Underlying().(type) {
+			case *types.Map:
+				report(as, "tm.Txn stored into a map; it escapes its atomic block")
+			case *types.Slice, *types.Array, *types.Pointer:
+				report(as, "tm.Txn stored into a slice; it escapes its atomic block")
+			}
+		case *ast.Ident:
+			obj := objOf(p.Info, lhs)
+			if obj == nil || lhs.Name == "_" {
+				continue
+			}
+			if isPackageLevel(obj) {
+				report(as, "tm.Txn stored into package-level variable %s", lhs.Name)
+				continue
+			}
+			// Assigning to a variable declared outside the enclosing
+			// function literal leaks the Txn past its atomic block.
+			if fn, ok := enclosingFunc(parents, as).(*ast.FuncLit); ok && !declaredWithin(obj, fn) {
+				report(as, "tm.Txn assigned to %s, declared outside the atomic block", lhs.Name)
+			}
+		}
+	}
+}
+
+// checkTxnCompositeLit flags Txn values placed in container literals
+// (map, slice, array). Struct literals are exempt: a short-lived helper
+// struct carrying the Txn through a traversal (the tmds cursor pattern) is
+// the same as passing it to a helper call — allowed as long as the struct
+// itself does not escape, which the assignment checks catch.
+func checkTxnCompositeLit(p *Package, api *tmAPI, lit *ast.CompositeLit,
+	report func(ast.Node, string, ...any)) {
+	litType := p.Info.TypeOf(lit)
+	if litType == nil {
+		return
+	}
+	switch litType.Underlying().(type) {
+	case *types.Map, *types.Slice, *types.Array:
+	default:
+		return
+	}
+	for _, el := range lit.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if txnIdent(p, api, v) != nil {
+			report(v, "tm.Txn stored into a composite literal; it escapes its atomic block")
+		}
+	}
+}
+
+// checkTxnGoStmt flags transactions handed to a new goroutine.
+func checkTxnGoStmt(p *Package, api *tmAPI, g *ast.GoStmt,
+	report func(ast.Node, string, ...any)) {
+	for _, arg := range g.Call.Args {
+		if txnIdent(p, api, arg) != nil {
+			report(arg, "tm.Txn passed to a goroutine; a transaction is single-goroutine")
+			return
+		}
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		captured := ""
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || captured != "" {
+				return captured == ""
+			}
+			obj := p.Info.Uses[id]
+			if _, isVar := obj.(*types.Var); isVar && api.isTxn(obj.Type()) &&
+				!declaredWithin(obj, lit) {
+				captured = id.Name
+			}
+			return true
+		})
+		if captured != "" {
+			report(g, "tm.Txn %s captured by a spawned goroutine; a transaction is single-goroutine",
+				captured)
+		}
+	}
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

@@ -190,13 +190,16 @@ func BenchmarkReadWriteTxn(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = tm.Run(s, 0, func(x tm.Txn) error {
+		err := tm.Run(s, 0, func(x tm.Txn) error {
 			v, err := x.Read(a + mem.Addr(i%64))
 			if err != nil {
 				return err
 			}
 			return x.Write(a+mem.Addr((i+1)%64), v+1)
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

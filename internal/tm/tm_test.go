@@ -142,6 +142,7 @@ func TestRunRetriesAbortFromBody(t *testing.T) {
 	m := &flakyTM{heap: mem.NewHeap(8)}
 	calls := 0
 	err := Run(m, 0, func(x Txn) error {
+		//lint:ignore tmlint/retrypure counting re-executions is the point of this test
 		calls++
 		if calls < 3 {
 			return Abort(ReasonConflict) // e.g. a failed Read propagated

@@ -294,7 +294,7 @@ func WriteSkew(t *testing.T, mk Factory, rounds int) {
 		var wg sync.WaitGroup
 		worker := func(th int, mine, other mem.Addr) {
 			defer wg.Done()
-			_ = tm.Run(m, th, func(x tm.Txn) error {
+			err := tm.Run(m, th, func(x tm.Txn) error {
 				vm, err := x.Read(mine)
 				if err != nil {
 					return err
@@ -308,6 +308,9 @@ func WriteSkew(t *testing.T, mk Factory, rounds int) {
 				}
 				return nil
 			})
+			if err != nil {
+				t.Errorf("worker %d: %v", th, err)
+			}
 		}
 		wg.Add(2)
 		go worker(0, xa, ya)

@@ -26,7 +26,11 @@ func FuzzRBTreeAgainstMap(f *testing.F) {
 		for i := 0; i+1 < len(data) && i < 400; i += 2 {
 			op := data[i] % 3
 			k := mem.Word(data[i+1] % 64)
+			// The oracle map is mutated only after Run commits: a retried
+			// closure would otherwise re-apply the insert/delete per attempt.
+			var inserted, removed bool
 			err := tm.Run(m, 0, func(x tm.Txn) error {
+				inserted, removed = false, false
 				switch op {
 				case 0:
 					ins, err := tr.Insert(x, k, k*3)
@@ -36,9 +40,7 @@ func FuzzRBTreeAgainstMap(f *testing.F) {
 					if _, exists := oracle[k]; ins == exists {
 						t.Fatalf("insert(%d)=%v oracle=%v", k, ins, exists)
 					}
-					if ins {
-						oracle[k] = k * 3
-					}
+					inserted = ins
 				case 1:
 					rem, err := tr.Remove(x, k)
 					if err != nil {
@@ -47,7 +49,7 @@ func FuzzRBTreeAgainstMap(f *testing.F) {
 					if _, exists := oracle[k]; rem != exists {
 						t.Fatalf("remove(%d)=%v oracle=%v", k, rem, exists)
 					}
-					delete(oracle, k)
+					removed = rem
 				case 2:
 					v, ok, err := tr.Find(x, k)
 					if err != nil {
@@ -62,6 +64,12 @@ func FuzzRBTreeAgainstMap(f *testing.F) {
 			})
 			if err != nil {
 				t.Fatal(err)
+			}
+			if inserted {
+				oracle[k] = k * 3
+			}
+			if removed {
+				delete(oracle, k)
 			}
 		}
 		if err := tm.Run(m, 0, func(x tm.Txn) error {

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Pre-merge gate for this repository. Run from anywhere; it operates on
+# the module root. Every step must pass before a change merges:
+#
+#   1. gofmt       — formatting is canonical, no exceptions
+#   2. go build    — the whole module compiles
+#   3. go vet      — stdlib static checks
+#   4. tmlint      — the TM programming-model contracts (internal/lint)
+#   5. go test -race ./internal/...
+#                  — the runtime and analyzer packages under the race
+#                    detector; OCC code is concurrency code, so the race
+#                    lane is not optional
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$badfmt" >&2
+    exit 1
+fi
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== tmlint ./..."
+go run ./cmd/tmlint ./...
+
+echo "== go test -race ./internal/..."
+go test -race ./internal/...
+
+echo "== all checks passed"
