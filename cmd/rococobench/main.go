@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, ablation-window, ablation-sig, ablation-contention, all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, ablation-window, ablation-sig, ablation-contention, all")
 	scaleFlag := flag.String("scale", "medium", "STAMP input scale: small, medium, large")
 	app := flag.String("app", "", "restrict fig10/fig11 to one app")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10 (default 1,4,8,14,28)")
@@ -68,6 +68,9 @@ func main() {
 		case "resources":
 			rep, err := bench.RunResources(nil)
 			emit(rep, err)
+		case "fault":
+			rep, err := bench.RunFaultBench(bench.FaultBenchConfig{})
+			emit(rep, err)
 		case "ablation-window":
 			rep, err := bench.RunWindowAblation(nil, 16, 16, 25)
 			emit(rep, err)
@@ -87,7 +90,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "ablation-window", "ablation-sig", "ablation-contention"} {
+		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "ablation-window", "ablation-sig", "ablation-contention"} {
 			run(name)
 			fmt.Println()
 		}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rococotm/internal/fault"
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/tm"
+)
+
+// FaultBenchConfig parameterizes the degradation experiment: the same
+// RMW workload over the same lossy link, with and without the software
+// fallback.
+type FaultBenchConfig struct {
+	// Threads is the worker count; default 8.
+	Threads int
+	// Duration is the wall-clock run length per arm; default 300ms.
+	Duration time.Duration
+	// Deadline is the per-validation deadline; default 1ms.
+	Deadline time.Duration
+	// Schedule is the injected fault scenario; the zero value selects the
+	// default lossy link (delays past the deadline, dropped verdicts, and
+	// a mid-run crash with repeating outages).
+	Schedule fault.Schedule
+	// Addresses is the shared-counter working set; default 16.
+	Addresses int
+}
+
+func (c *FaultBenchConfig) fill() {
+	if c.Threads == 0 {
+		c.Threads = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = 300 * time.Millisecond
+	}
+	if c.Deadline == 0 {
+		c.Deadline = time.Millisecond
+	}
+	if c.Addresses == 0 {
+		c.Addresses = 16
+	}
+	if c.Schedule == (fault.Schedule{}) {
+		c.Schedule = fault.Schedule{
+			Seed:        1,
+			DelayProb:   0.2,
+			DelayMin:    50 * time.Microsecond,
+			DelayMax:    2 * time.Millisecond,
+			DropProb:    0.02,
+			CrashAfter:  500,
+			DownFor:     2 * time.Millisecond,
+			CrashRepeat: true,
+		}
+	}
+}
+
+// FaultBenchArm is the outcome of one arm.
+type FaultBenchArm struct {
+	Name         string
+	Commits      uint64
+	Aborts       uint64
+	EngineAborts uint64 // tm.ReasonEngine aborts (outage pressure)
+	ThroughputK  float64
+	Fault        rococotm.FaultStats
+	Link         fault.Stats
+}
+
+// FaultBenchReport compares graceful degradation against the
+// deadline-only baseline under an identical fault schedule.
+type FaultBenchReport struct {
+	Threads  int
+	Duration time.Duration
+	Arms     []FaultBenchArm
+}
+
+// RunFaultBench runs both arms.
+func RunFaultBench(cfg FaultBenchConfig) (*FaultBenchReport, error) {
+	cfg.fill()
+	rep := &FaultBenchReport{Threads: cfg.Threads, Duration: cfg.Duration}
+	for _, arm := range []struct {
+		name            string
+		disableFallback bool
+	}{
+		{"fallback", false},
+		{"baseline (no fallback)", true},
+	} {
+		res, err := runFaultArm(cfg, arm.name, arm.disableFallback)
+		if err != nil {
+			return nil, err
+		}
+		rep.Arms = append(rep.Arms, res)
+	}
+	return rep, nil
+}
+
+// runFaultArm drives Threads workers of counter RMWs for Duration against
+// a runtime whose link runs cfg.Schedule. It uses a manual retry loop with
+// a stop flag rather than tm.Run: in the no-fallback arm a dead engine
+// makes transactions unable to ever commit, and the workers must still
+// exit at the deadline instead of retrying forever.
+func runFaultArm(cfg FaultBenchConfig, name string, disableFallback bool) (FaultBenchArm, error) {
+	h := mem.NewHeap(1 << 12)
+	base := h.MustAlloc(cfg.Addresses)
+	var link *fault.Link
+	m := rococotm.New(h, rococotm.Config{
+		MaxThreads:       cfg.Threads + 1,
+		ValidateDeadline: cfg.Deadline,
+		DisableFallback:  disableFallback,
+		ProbeInterval:    200 * time.Microsecond,
+		WrapLink:         fault.Wrapper(cfg.Schedule, &link),
+	})
+	defer m.Close()
+
+	var stopFlag atomic.Bool
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; !stopFlag.Load(); i++ {
+				a := base + mem.Addr((th+i)%cfg.Addresses)
+				x, err := m.Begin(th)
+				if err != nil {
+					return
+				}
+				v, err := x.Read(a)
+				if err == nil {
+					err = x.Write(a, v+1)
+				}
+				if err == nil {
+					err = m.Commit(x)
+				}
+				if err == nil {
+					continue
+				}
+				if _, ok := tm.IsAbort(err); !ok {
+					m.Abort(x)
+					return
+				}
+				runtime.Gosched()
+			}
+		}(th)
+	}
+	time.Sleep(cfg.Duration)
+	stopFlag.Store(true)
+	wg.Wait()
+
+	st := m.Stats()
+	arm := FaultBenchArm{
+		Name:         name,
+		Commits:      st.Commits,
+		Aborts:       st.Aborts,
+		EngineAborts: st.Reasons[tm.ReasonEngine],
+		ThroughputK:  float64(st.Commits) / cfg.Duration.Seconds() / 1e3,
+		Fault:        m.FaultStats(),
+		Link:         link.Stats(),
+	}
+	return arm, nil
+}
+
+// String renders the comparison table.
+func (r *FaultBenchReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fault tolerance: RMW throughput under a lossy engine link, %d threads, %v/arm\n",
+		r.Threads, r.Duration)
+	fmt.Fprintf(&sb, "%-23s %10s %10s %12s %12s %8s %8s\n",
+		"arm", "commits", "ktxn/s", "engineAbort", "deadlnMiss", "degrade", "recover")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&sb, "%-23s %10d %10.1f %12d %12d %8d %8d\n",
+			a.Name, a.Commits, a.ThroughputK, a.EngineAborts,
+			a.Fault.DeadlineMisses, a.Fault.FallbackEntries, a.Fault.FallbackExits)
+	}
+	for _, a := range r.Arms {
+		fmt.Fprintf(&sb, "  %-21s link: %d submits, %d delayed, %d dropped, %d crashes, %d restarts; fallback validations %d, final state %s\n",
+			a.Name, a.Link.Submits, a.Link.Delayed, a.Link.Dropped,
+			a.Link.Crashes, a.Link.Restarts, a.Fault.FallbackValidations, a.Fault.State)
+	}
+	sb.WriteString("(the fallback arm keeps committing through outages; the baseline stalls once the engine dies and never recovers)\n")
+	return sb.String()
+}

@@ -118,6 +118,20 @@ func (w *Window) Reset() {
 	w.rows = [64]uint64{}
 }
 
+// ResetAt empties the window and rebases sequence numbering at next: the
+// next committed transaction receives sequence next, and nothing older is
+// tracked. This is the re-synchronization step after an engine crash loses
+// window state — the caller supplies the host-side commit count so verdicts
+// line up with the global commit order again. Callers must treat every
+// transaction whose snapshot predates next as a window overflow, because
+// the dependencies of [old base, next) have been discarded.
+func (w *Window) ResetAt(next Seq) {
+	w.n = 0
+	w.base = next
+	w.next = next
+	w.rows = [64]uint64{}
+}
+
 // liveMask returns a mask with one bit per occupied slot.
 func (w *Window) liveMask() uint64 {
 	if w.n == 64 {

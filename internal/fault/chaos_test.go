@@ -1,0 +1,271 @@
+package fault_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"rococotm/internal/fault"
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/tm"
+	"rococotm/internal/tm/tmtest"
+)
+
+// The chaos lane (scripts/check.sh runs `go test -race -run Chaos`) drives
+// STAMP-style randomized RMW workloads through a fault-tolerant ROCoCoTM
+// runtime whose engine link misbehaves per a seeded Schedule, and asserts
+// the committed history is serializable with the semantics-package oracle:
+// across every degrade/recover cycle, no committed transaction is lost and
+// none commits twice (the history checker's token chains catch both).
+//
+// Each scenario runs under a fixed seed matrix so failures replay.
+var chaosSeeds = []int64{1, 7, 42}
+
+// chaosConfig is the runtime configuration every chaos scenario shares:
+// deadlines well above the modeled ~600ns round trip but small enough to
+// keep tests fast, and a quick recovery prober.
+func chaosConfig(sched fault.Schedule, link **fault.Link) rococotm.Config {
+	return rococotm.Config{
+		MaxThreads:       8,
+		ValidateDeadline: 1500 * time.Microsecond,
+		ProbeInterval:    200 * time.Microsecond,
+		WrapLink:         fault.Wrapper(sched, link),
+	}
+}
+
+// runChaosHistory runs the serializability workload under sched and
+// returns the fault link and runtime for post-hoc assertions.
+func runChaosHistory(t *testing.T, sched fault.Schedule, seed int64) (*fault.Link, *rococotm.TM) {
+	t.Helper()
+	var link *fault.Link
+	var m *rococotm.TM
+	tmtest.HistorySerializable(t, func() tm.TM {
+		m = rococotm.New(mem.NewHeap(1<<12), chaosConfig(sched, &link))
+		return m
+	}, tmtest.HistoryOptions{
+		Threads:  4,
+		TxnsEach: 50,
+		// Few addresses → real conflicts → the engine path matters.
+		Addresses: 10,
+		Readers:   false,
+		Seed:      seed,
+	})
+	return link, m
+}
+
+// TestChaosDelay: verdicts delayed up to 2× the deadline — a mix of
+// rides-through and deadline misses that flip to the fallback and back.
+func TestChaosDelay(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			link, _ := runChaosHistory(t, fault.Schedule{
+				Seed:      seed,
+				DelayProb: 0.4,
+				DelayMin:  20 * time.Microsecond,
+				DelayMax:  3 * time.Millisecond,
+			}, seed)
+			if link.Stats().Delayed == 0 {
+				t.Error("schedule injected no delays")
+			}
+		})
+	}
+}
+
+// TestChaosDrop: verdicts silently lost — the hole-in-the-commit-order
+// fault that forces abandon + degradation.
+func TestChaosDrop(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			link, m := runChaosHistory(t, fault.Schedule{
+				Seed:     seed,
+				DropProb: 0.08,
+			}, seed)
+			if link.Stats().Dropped == 0 {
+				t.Error("schedule dropped no verdicts")
+			}
+			if fs := m.FaultStats(); fs.FallbackEntries == 0 {
+				t.Errorf("dropped verdicts never tripped degradation: %+v", fs)
+			}
+		})
+	}
+}
+
+// TestChaosDuplicateReorder: verdicts duplicated and delivered out of
+// order — the at-least-once, unordered completion model.
+func TestChaosDuplicateReorder(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			link, _ := runChaosHistory(t, fault.Schedule{
+				Seed:          seed,
+				DuplicateProb: 0.3,
+				ReorderProb:   0.3,
+			}, seed)
+			st := link.Stats()
+			if st.Duplicated == 0 && st.Reordered == 0 {
+				t.Error("schedule injected no duplicates or reorders")
+			}
+		})
+	}
+}
+
+// TestChaosStall: periodic pull-queue stalls longer than the deadline —
+// backpressure the runtime must treat as an outage.
+func TestChaosStall(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			link, _ := runChaosHistory(t, fault.Schedule{
+				Seed:       seed,
+				StallEvery: 25,
+				StallFor:   3 * time.Millisecond,
+			}, seed)
+			if link.Stats().Stalls == 0 {
+				t.Error("schedule injected no stalls")
+			}
+		})
+	}
+}
+
+// TestChaosCrashRestart: the engine crashes repeatedly (losing window
+// state each time) and refuses restarts for an outage window; history must
+// stay serializable across every degrade/recover cycle.
+func TestChaosCrashRestart(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			link, m := runChaosHistory(t, fault.Schedule{
+				Seed:        seed,
+				CrashAfter:  30,
+				DownFor:     time.Millisecond,
+				CrashRepeat: true,
+			}, seed)
+			if link.Stats().Crashes == 0 {
+				t.Error("schedule injected no crashes")
+			}
+			if fs := m.FaultStats(); fs.FallbackEntries == 0 {
+				t.Errorf("crash never tripped degradation: %+v", fs)
+			}
+		})
+	}
+}
+
+// TestChaosEverything: all fault classes at once.
+func TestChaosEverything(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			link, _ := runChaosHistory(t, fault.Schedule{
+				Seed:          seed,
+				DelayProb:     0.2,
+				DelayMin:      10 * time.Microsecond,
+				DelayMax:      2 * time.Millisecond,
+				DropProb:      0.03,
+				DuplicateProb: 0.1,
+				ReorderProb:   0.1,
+				StallEvery:    40,
+				StallFor:      2 * time.Millisecond,
+				CrashAfter:    60,
+				DownFor:       time.Millisecond,
+				CrashRepeat:   true,
+			}, seed)
+			if link.Stats().Submits == 0 {
+				t.Error("no traffic reached the link")
+			}
+		})
+	}
+}
+
+// TestChaosRecoveryRoundTrip drives a single outage end to end with full
+// accounting: healthy → crash → degraded (fallback commits) → recovered
+// (engine commits again), then checks the counter total — every committed
+// increment exactly once — plus entry/exit counters and goroutine
+// hygiene after Close.
+func TestChaosRecoveryRoundTrip(t *testing.T) {
+	for _, seed := range chaosSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			var link *fault.Link
+			sched := fault.Schedule{
+				Seed:       seed,
+				CrashAfter: 25,
+				DownFor:    500 * time.Microsecond,
+			}
+			h := mem.NewHeap(1 << 10)
+			m := rococotm.New(h, chaosConfig(sched, &link))
+			a := h.MustAlloc(1)
+
+			inc := func() {
+				if err := tm.Run(m, 0, func(x tm.Txn) error {
+					v, err := x.Read(a)
+					if err != nil {
+						return err
+					}
+					return x.Write(a, v+1)
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Phase 1: past the crash point, into the fallback.
+			for i := 0; i < 120; i++ {
+				inc()
+			}
+			if link.Stats().Crashes != 1 {
+				t.Fatalf("crashes = %d, want 1", link.Stats().Crashes)
+			}
+			fs := m.FaultStats()
+			if fs.FallbackEntries != 1 {
+				t.Fatalf("FallbackEntries = %d, want 1 (%+v)", fs.FallbackEntries, fs)
+			}
+
+			// Phase 2: the outage window has long expired; wait for the
+			// prober to promote the engine path back.
+			deadline := time.Now().Add(10 * time.Second)
+			for m.FaultStats().State != "healthy" {
+				if time.Now().After(deadline) {
+					t.Fatalf("never recovered: %+v", m.FaultStats())
+				}
+				runtime.Gosched()
+			}
+			if fs := m.FaultStats(); fs.FallbackExits != 1 {
+				t.Fatalf("FallbackExits = %d, want 1 (%+v)", fs.FallbackExits, fs)
+			}
+
+			// Phase 3: commits flow through the restarted engine again.
+			fallbackBefore := m.FaultStats().FallbackValidations
+			for i := 0; i < 40; i++ {
+				inc()
+			}
+			if got := m.FaultStats().FallbackValidations; got != fallbackBefore {
+				t.Errorf("post-recovery commits used the fallback (%d → %d)",
+					fallbackBefore, got)
+			}
+
+			// No committed increment lost, none applied twice.
+			if got := h.Load(a); got != 160 {
+				t.Fatalf("counter = %d, want 160", got)
+			}
+
+			m.Close()
+			settleGoroutines(t, baseline)
+		})
+	}
+}
+
+// settleGoroutines polls until the goroutine count returns to baseline —
+// the leak check for deliver goroutines, engine loops and the prober.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

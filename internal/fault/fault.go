@@ -1,0 +1,329 @@
+// Package fault is a deterministic fault-injection layer for the
+// host↔engine link. It wraps a rococotm.Link (normally the *fpga.Engine
+// itself) and perturbs traffic according to a seeded Schedule: verdicts
+// are delayed, dropped, duplicated or reordered; admission stalls to model
+// a backed-up pull queue; and the whole engine crashes and refuses
+// restarts for a configured outage window, losing its sliding-window
+// state — exactly the failure surface a PCIe/CCI-attached accelerator
+// exposes to the host runtime.
+//
+// All randomized decisions come from one seeded source and are drawn in
+// request-arrival order under a mutex, so a single-threaded request
+// stream replays identically for the same seed. (With concurrent
+// committers the arrival interleaving itself varies, but the decision
+// sequence — which of the first N submissions are dropped, delayed, etc.
+// — is still a pure function of the seed, which is what the chaos-test
+// seed matrix in chaos_test.go pins down.)
+//
+// The layer never violates the link's liveness contract on its own
+// authority beyond what the schedule says: every verdict the inner engine
+// produces is consumed, and a non-dropped verdict is always forwarded to
+// the caller's reply channel with a non-blocking send (the engine-side
+// protocol; reply channels are buffered).
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rococotm/internal/fpga"
+	"rococotm/internal/rococotm"
+)
+
+// Schedule describes one fault scenario. Probabilities are in [0,1] and
+// evaluated independently per submission; zero values disable the
+// corresponding fault, so the zero Schedule is a transparent wrapper.
+type Schedule struct {
+	// Seed drives every randomized decision. Same seed, same decision
+	// sequence.
+	Seed int64
+
+	// DelayProb delays a verdict's delivery by a uniform duration in
+	// [DelayMin, DelayMax] — the slow-link / congested-DMA model.
+	DelayProb float64
+	DelayMin  time.Duration
+	DelayMax  time.Duration
+
+	// DropProb loses a verdict entirely: the engine processed (and may
+	// have committed!) the request, but the host never hears. This is the
+	// nastiest fault — it leaves a hole in the commit order that only the
+	// runtime's degradation machinery can clear.
+	DropProb float64
+
+	// DuplicateProb delivers a verdict twice — the at-least-once DMA
+	// completion model. The runtime must consume exactly one.
+	DuplicateProb float64
+
+	// ReorderProb holds a verdict back until the next verdict (any
+	// request's) is delivered, then releases it — adjacent-completion
+	// reordering. A held verdict is also released on crash and Close.
+	ReorderProb float64
+
+	// StallEvery > 0 stalls admission (TrySubmit returns fpga.ErrFull)
+	// for StallFor after every StallEvery-th submission — the pull queue
+	// backpressure model.
+	StallEvery int
+	StallFor   time.Duration
+
+	// CrashAfter > 0 crashes the engine at the CrashAfter-th submission:
+	// outstanding requests get terminal verdicts, window state is lost,
+	// and Restart is refused until DownFor has elapsed. CrashRepeat
+	// re-arms the countdown after each successful restart, producing
+	// repeated outages.
+	CrashAfter  int
+	DownFor     time.Duration
+	CrashRepeat bool
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Submits         uint64 // submissions offered to the inner link
+	Rejected        uint64 // submissions refused (stall or engine down)
+	Delayed         uint64
+	Dropped         uint64
+	Duplicated      uint64
+	Reordered       uint64
+	Stalls          uint64 // stall windows opened
+	Crashes         uint64 // injected engine crashes
+	Restarts        uint64 // restarts allowed through
+	RestartsRefused uint64 // restarts refused during an outage window
+}
+
+// Link wraps an inner link with fault injection. It implements
+// rococotm.Link.
+type Link struct {
+	inner rococotm.Link
+	sched Schedule
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	submits    int
+	crashAt    int // next submission index that triggers a crash; 0 = armed off
+	stallUntil time.Time
+	downUntil  time.Time
+	held       *heldVerdict // verdict parked by a reorder fault
+
+	wg sync.WaitGroup // deliver goroutines
+
+	nSubmits, nRejected, nDelayed, nDropped    atomic.Uint64
+	nDuplicated, nReordered, nStalls, nCrashes atomic.Uint64
+	nRestarts, nRestartsRefused                atomic.Uint64
+}
+
+type heldVerdict struct {
+	v     fpga.Verdict
+	reply chan<- fpga.Verdict
+}
+
+// fate is the per-submission fault decision, drawn under the mutex so the
+// decision sequence is deterministic in arrival order.
+type fate struct {
+	drop, duplicate, reorder bool
+	delay                    time.Duration
+}
+
+// Wrap builds a fault-injecting link around inner.
+func Wrap(inner rococotm.Link, sched Schedule) *Link {
+	l := &Link{
+		inner: inner,
+		sched: sched,
+		rng:   rand.New(rand.NewSource(sched.Seed)),
+	}
+	if sched.CrashAfter > 0 {
+		l.crashAt = sched.CrashAfter
+	}
+	return l
+}
+
+// Wrapper returns a rococotm.Config.WrapLink hook for sched, and a slot
+// through which the caller can reach the created Link (for Stats) once
+// the runtime is built.
+func Wrapper(sched Schedule, out **Link) func(rococotm.Link) rococotm.Link {
+	return func(inner rococotm.Link) rococotm.Link {
+		l := Wrap(inner, sched)
+		if out != nil {
+			*out = l
+		}
+		return l
+	}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (l *Link) Stats() Stats {
+	return Stats{
+		Submits:         l.nSubmits.Load(),
+		Rejected:        l.nRejected.Load(),
+		Delayed:         l.nDelayed.Load(),
+		Dropped:         l.nDropped.Load(),
+		Duplicated:      l.nDuplicated.Load(),
+		Reordered:       l.nReordered.Load(),
+		Stalls:          l.nStalls.Load(),
+		Crashes:         l.nCrashes.Load(),
+		Restarts:        l.nRestarts.Load(),
+		RestartsRefused: l.nRestartsRefused.Load(),
+	}
+}
+
+// TrySubmit implements rococotm.Link: it applies admission faults, then
+// forwards the request to the inner link through a proxy reply channel so
+// the verdict can be perturbed on the way back.
+func (l *Link) TrySubmit(r fpga.Request) error {
+	l.mu.Lock()
+	now := time.Now()
+	if now.Before(l.stallUntil) {
+		l.nRejected.Add(1)
+		l.mu.Unlock()
+		return fpga.ErrFull
+	}
+	l.submits++
+	l.nSubmits.Add(1)
+	if l.crashAt > 0 && l.submits >= l.crashAt {
+		// Injected crash: this submission is the casualty that notices.
+		l.crashAt = 0
+		l.downUntil = now.Add(l.sched.DownFor)
+		l.nCrashes.Add(1)
+		l.releaseHeldLocked()
+		l.mu.Unlock()
+		l.inner.Crash()
+		return fpga.ErrClosed
+	}
+	if l.sched.StallEvery > 0 && l.submits%l.sched.StallEvery == 0 {
+		l.stallUntil = now.Add(l.sched.StallFor)
+		l.nStalls.Add(1)
+	}
+	f := l.drawFateLocked()
+	l.mu.Unlock()
+
+	proxy := make(chan fpga.Verdict, 1)
+	inner := r
+	inner.Reply = proxy
+	if err := l.inner.TrySubmit(inner); err != nil {
+		return err
+	}
+	l.wg.Add(1)
+	go l.deliver(proxy, r.Reply, f)
+	return nil
+}
+
+// drawFateLocked draws the fault decision for one accepted submission.
+func (l *Link) drawFateLocked() fate {
+	var f fate
+	s := &l.sched
+	if s.DropProb > 0 && l.rng.Float64() < s.DropProb {
+		f.drop = true
+		return f
+	}
+	if s.DelayProb > 0 && l.rng.Float64() < s.DelayProb {
+		f.delay = s.DelayMin
+		if d := s.DelayMax - s.DelayMin; d > 0 {
+			f.delay += time.Duration(l.rng.Int63n(int64(d) + 1))
+		}
+	}
+	if s.DuplicateProb > 0 && l.rng.Float64() < s.DuplicateProb {
+		f.duplicate = true
+	}
+	if s.ReorderProb > 0 && l.rng.Float64() < s.ReorderProb {
+		f.reorder = true
+	}
+	return f
+}
+
+// deliver consumes the inner verdict and forwards it (or not) per the
+// fault decision. Sends are non-blocking, matching the engine-side
+// protocol for buffered reply channels.
+func (l *Link) deliver(proxy <-chan fpga.Verdict, reply chan<- fpga.Verdict, f fate) {
+	defer l.wg.Done()
+	v := <-proxy
+	if f.drop {
+		l.nDropped.Add(1)
+		return
+	}
+	if f.delay > 0 {
+		l.nDelayed.Add(1)
+		time.Sleep(f.delay)
+	}
+	if f.reorder {
+		l.mu.Lock()
+		if l.held == nil {
+			// Park this verdict; the next delivery (or a crash/Close)
+			// releases it after itself.
+			l.held = &heldVerdict{v: v, reply: reply}
+			l.nReordered.Add(1)
+			l.mu.Unlock()
+			return
+		}
+		l.mu.Unlock()
+	}
+	send(reply, v)
+	if f.duplicate {
+		l.nDuplicated.Add(1)
+		send(reply, v)
+	}
+	// Release a parked verdict behind us: the pair is now observably
+	// reordered.
+	l.mu.Lock()
+	l.releaseHeldLocked()
+	l.mu.Unlock()
+}
+
+// releaseHeldLocked flushes a parked reorder verdict, if any.
+func (l *Link) releaseHeldLocked() {
+	if l.held != nil {
+		send(l.held.reply, l.held.v)
+		l.held = nil
+	}
+}
+
+func send(reply chan<- fpga.Verdict, v fpga.Verdict) {
+	select {
+	case reply <- v:
+	default:
+	}
+}
+
+// Restart implements rococotm.Link, refusing while the injected outage
+// window is open.
+func (l *Link) Restart(next uint64) error {
+	l.mu.Lock()
+	if time.Now().Before(l.downUntil) {
+		l.mu.Unlock()
+		l.nRestartsRefused.Add(1)
+		return errors.New("fault: engine down (injected outage)")
+	}
+	l.releaseHeldLocked()
+	l.mu.Unlock()
+	if err := l.inner.Restart(next); err != nil {
+		return err
+	}
+	l.nRestarts.Add(1)
+	if l.sched.CrashRepeat && l.sched.CrashAfter > 0 {
+		l.mu.Lock()
+		l.crashAt = l.submits + l.sched.CrashAfter
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+// Crash implements rococotm.Link.
+func (l *Link) Crash() {
+	l.mu.Lock()
+	l.releaseHeldLocked()
+	l.mu.Unlock()
+	l.inner.Crash()
+}
+
+// Close implements rococotm.Link: it shuts the inner link down and joins
+// every deliver goroutine (each is bounded: the inner engine guarantees a
+// terminal verdict per accepted request, and delays are finite).
+func (l *Link) Close() {
+	l.mu.Lock()
+	l.releaseHeldLocked()
+	l.mu.Unlock()
+	l.inner.Close()
+	l.wg.Wait()
+}
+
+var _ rococotm.Link = (*Link)(nil)

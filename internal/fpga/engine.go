@@ -22,15 +22,51 @@
 // cycle atomicity. A latency/occupancy model (see model.go) accounts the
 // cycles a real 200 MHz pipeline and the ~600 ns CCI round trip would cost,
 // so the timing harness can charge them without the host actually sleeping.
+//
+// # Failure semantics
+//
+// A production accelerator sits at the far end of a link that stalls, drops
+// packets and resets, so the engine models an explicit failure contract:
+//
+//   - Close/Crash stop the engine and deliver a terminal ReasonClosed
+//     verdict to every request already accepted into the pull queue — no
+//     submitted request is ever silently stranded;
+//   - Restart brings a crashed engine back with an *empty* window rebased
+//     at a caller-supplied sequence (crash loses window state; the host
+//     supplies its commit count so verdicts re-align with the global commit
+//     order). Transactions whose snapshots predate the rebased window abort
+//     with a window verdict, which keeps serializability across the gap;
+//   - TrySubmit is the non-blocking admission path (ErrFull models CCI
+//     backpressure, ErrClosed a dead engine) that hosts with validation
+//     deadlines use instead of the blocking Submit.
 package fpga
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rococotm/internal/core"
 	"rococotm/internal/sig"
+)
+
+// Verdict reasons. An engine verdict carries exactly one of these when
+// !OK; ReasonClosed additionally marks the terminal verdicts delivered to
+// requests stranded by Close/Crash.
+const (
+	ReasonCycle  = "cycle"  // ROCoCo validation found a dependency cycle
+	ReasonWindow = "window" // snapshot predates the tracked window (§4.2)
+	ReasonClosed = "closed" // engine stopped before validating the request
+)
+
+// Admission errors returned by Submit/TrySubmit.
+var (
+	// ErrClosed reports that the engine is not running.
+	ErrClosed = errors.New("fpga: engine closed")
+	// ErrFull reports pull-queue backpressure (TrySubmit only).
+	ErrFull = errors.New("fpga: pull queue full")
 )
 
 // Config parameterizes the engine.
@@ -44,7 +80,9 @@ type Config struct {
 	// use the same seed for its eager-detection signatures.
 	SigSeed uint64
 	// QueueDepth is the pull-queue buffering; default 64 (one slot per
-	// window entry, like the hardware).
+	// window entry, like the hardware). Must be at least W when set
+	// explicitly: a pull queue shallower than the window cannot keep a
+	// full window of validations outstanding.
 	QueueDepth int
 	// CycleLevel selects the cycle-accurate RTL pipeline (rtl.go) as the
 	// engine backend instead of the serial behavioral validator. Verdicts
@@ -70,6 +108,28 @@ func (c *Config) fill() {
 	c.Model.fill()
 }
 
+// Validate rejects configurations that would misbehave at runtime with a
+// descriptive error. Zero fields are legal (they select defaults).
+func (c Config) Validate() error {
+	if c.W < 0 || c.W > 64 {
+		return fmt.Errorf("fpga: window size W=%d out of range [1,64] (0 selects the default %d)", c.W, core.DefaultW)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("fpga: QueueDepth %d is negative", c.QueueDepth)
+	}
+	w := c.W
+	if w == 0 {
+		w = core.DefaultW
+	}
+	if c.QueueDepth > 0 && c.QueueDepth < w {
+		return fmt.Errorf("fpga: QueueDepth %d shallower than window W=%d: the pull queue needs one slot per window entry so a full window of validations can be outstanding", c.QueueDepth, w)
+	}
+	if c.Model.ClockMHz < 0 || c.Model.PipelineDepth < 0 || c.Model.AddrsPerBeat < 0 {
+		return fmt.Errorf("fpga: negative latency-model parameter (%+v)", c.Model)
+	}
+	return nil
+}
+
 // Request asks the engine to validate one read-write transaction.
 type Request struct {
 	// Token is echoed in the verdict (callers use it to sanity-check
@@ -81,6 +141,11 @@ type Request struct {
 	// ReadAddrs and WriteAddrs are the transaction's footprint.
 	ReadAddrs  []uint64
 	WriteAddrs []uint64
+	// Probe marks a health-check request: it traverses the queues and the
+	// pipeline like any validation but commits nothing and consumes no
+	// sequence number. Hosts use probes to decide when a recovered engine
+	// is answering again.
+	Probe bool
 	// Reply receives exactly one verdict. Must have capacity ≥ 1.
 	Reply chan Verdict
 }
@@ -91,8 +156,10 @@ type Verdict struct {
 	// OK means the transaction may commit as sequence Seq.
 	OK  bool
 	Seq core.Seq
-	// Reason is "cycle" or "window" when !OK.
+	// Reason is ReasonCycle, ReasonWindow or ReasonClosed when !OK.
 	Reason string
+	// Probe echoes Request.Probe.
+	Probe bool
 	// ModelNanos is the modeled FPGA residency of this request (pipeline
 	// cycles at the configured clock), excluding the CCI round trip.
 	ModelNanos uint64
@@ -104,48 +171,63 @@ type Stats struct {
 	Commits      uint64
 	CycleAborts  uint64
 	WindowAborts uint64
+	// Probes counts health-check requests answered.
+	Probes uint64
 	// ModelCycles is the total modeled pipeline occupancy.
 	ModelCycles uint64
+	// Restarts counts crash/recover cycles (Engine only; a Restart resets
+	// the window but keeps cumulative counters).
+	Restarts uint64
 }
 
-// Engine is the running validation pipeline. Create with Start, shut down
-// with Close.
+// port is one incarnation of the engine's queue pair. Crash closes done
+// and drains pull; Restart installs a fresh port, so verdict waiters from
+// a previous incarnation are never confused with the new one.
+type port struct {
+	pull   chan Request
+	done   chan struct{}
+	exited chan struct{} // closed when the loop goroutine has returned
+}
+
+func newPort(depth int) *port {
+	return &port{
+		pull:   make(chan Request, depth),
+		done:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+}
+
+// Engine is the running validation pipeline. Create with Start, stop with
+// Close or Crash, bring back with Restart.
 type Engine struct {
 	cfg    Config
 	hasher *sig.Hasher
-	pull   chan Request
-	done   chan struct{}
+	port   atomic.Pointer[port]
 
-	mu      sync.Mutex // guards state below and serializes direct Process calls
-	win     *core.Window
-	history []entry // ring: history[i] describes window slot i
-	stats   Stats
+	life sync.Mutex // serializes Crash/Restart/Close transitions
+
+	mu       sync.Mutex // guards pl (and serializes direct Process calls)
+	pl       *Pipeline
+	restarts uint64
+	rtlBase  core.Seq // window base for the next RTL incarnation
 }
 
-// entry is the detector bookkeeping for one committed transaction: exactly
-// what the hardware stores — two signatures per transaction (§5.3), so the
-// resource bound is known a priori — plus set cardinalities for the
-// empty-set fast path.
-type entry struct {
-	readSig  sig.Sig
-	writeSig sig.Sig
-	reads    int
-	writes   int
-	seq      core.Seq
-}
-
-// Start launches the engine goroutine.
-func Start(cfg Config) *Engine {
-	cfg.fill()
-	e := &Engine{
-		cfg:    cfg,
-		hasher: sig.NewHasher(cfg.Sig, cfg.SigSeed),
-		pull:   make(chan Request, cfg.QueueDepth),
-		done:   make(chan struct{}),
-		win:    core.NewWindow(cfg.W),
+// Start launches the engine goroutine. It fails if the configuration is
+// invalid (see Config.Validate).
+func Start(cfg Config) (*Engine, error) {
+	pl, err := NewPipeline(cfg)
+	if err != nil {
+		return nil, err
 	}
-	go e.loop()
-	return e
+	e := &Engine{
+		cfg:    pl.Config(),
+		hasher: pl.Hasher(),
+		pl:     pl,
+	}
+	p := newPort(e.cfg.QueueDepth)
+	e.port.Store(p)
+	go e.loop(p)
+	return e, nil
 }
 
 // Config returns the engine's (filled) configuration.
@@ -158,91 +240,221 @@ func (e *Engine) Hasher() *sig.Hasher { return e.hasher }
 // Submit enqueues a validation request (the pull queue). It blocks only
 // when the queue is full, which models back pressure on the CCI channel.
 func (e *Engine) Submit(r Request) error {
+	return e.submitOn(e.port.Load(), r)
+}
+
+func (e *Engine) submitOn(p *port, r Request) error {
 	if r.Reply == nil || cap(r.Reply) < 1 {
 		return fmt.Errorf("fpga: request needs a buffered reply channel")
 	}
 	select {
-	case <-e.done:
-		return fmt.Errorf("fpga: engine closed")
+	case <-p.done:
+		return ErrClosed
 	default:
 	}
 	select {
-	case <-e.done:
-		return fmt.Errorf("fpga: engine closed")
-	case e.pull <- r:
+	case <-p.done:
+		return ErrClosed
+	case p.pull <- r:
+		e.recheck(p)
 		return nil
 	}
 }
 
-// Validate is the synchronous convenience wrapper: submit and wait.
+// TrySubmit offers a request without blocking: ErrFull models a saturated
+// (or stalled) pull queue, ErrClosed a stopped engine. Hosts that enforce
+// validation deadlines poll TrySubmit so backpressure cannot exceed the
+// deadline.
+func (e *Engine) TrySubmit(r Request) error {
+	if r.Reply == nil || cap(r.Reply) < 1 {
+		return fmt.Errorf("fpga: request needs a buffered reply channel")
+	}
+	p := e.port.Load()
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case p.pull <- r:
+		e.recheck(p)
+		return nil
+	default:
+		return ErrFull
+	}
+}
+
+// recheck covers the submit/stop race: if the port stopped while (or right
+// after) we enqueued, the loop may never see the request — sweep the queue
+// so it still receives its terminal verdict. At most one party's sweep
+// observes any given request, so verdicts are never duplicated.
+func (e *Engine) recheck(p *port) {
+	select {
+	case <-p.done:
+		sweep(p)
+	default:
+	}
+}
+
+// sweep drains whatever sits in a stopped port's pull queue, answering
+// each request with a terminal closed verdict.
+func sweep(p *port) {
+	for {
+		select {
+		case r := <-p.pull:
+			v := Verdict{Token: r.Token, Reason: ReasonClosed, Probe: r.Probe}
+			select {
+			case r.Reply <- v:
+			default:
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Validate is the synchronous convenience wrapper: submit and wait. If the
+// engine stops before answering, it returns ErrClosed (the request's
+// terminal verdict, if one was produced, is preferred over the error).
 func (e *Engine) Validate(r Request) (Verdict, error) {
 	if r.Reply == nil {
 		r.Reply = make(chan Verdict, 1)
 	}
-	if err := e.Submit(r); err != nil {
+	p := e.port.Load()
+	if err := e.submitOn(p, r); err != nil {
 		return Verdict{}, err
 	}
-	return <-r.Reply, nil
+	select {
+	case v := <-r.Reply:
+		return v, nil
+	case <-p.done:
+		// Prefer a verdict that raced with the shutdown.
+		select {
+		case v := <-r.Reply:
+			return v, nil
+		default:
+			return Verdict{}, ErrClosed
+		}
+	}
 }
 
-// Close drains and stops the engine.
-func (e *Engine) Close() {
-	select {
-	case <-e.done:
-		return
-	default:
-	}
-	close(e.done)
+// Close stops the engine. Every request already accepted into the pull
+// queue (or in flight in the pipeline) receives a terminal ReasonClosed
+// verdict before Close returns; subsequent submits fail with ErrClosed.
+func (e *Engine) Close() { e.Crash() }
+
+// Crash models the engine being reset out from under the host: identical
+// to Close (the link cannot distinguish them), it stops the loop and
+// delivers terminal verdicts to everything outstanding. Window state is
+// lost; Restart rebases it.
+func (e *Engine) Crash() {
+	e.life.Lock()
+	defer e.life.Unlock()
+	e.crashLocked()
 }
+
+func (e *Engine) crashLocked() {
+	p := e.port.Load()
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+	<-p.exited // the loop swept its in-flight work on the way out
+	sweep(p)   // catch requests that raced past the loop's final sweep
+}
+
+// Restart brings the engine (back) up with an empty window rebased at
+// next: the caller supplies its commit count so future sequence numbers
+// line up with the global commit order. Cumulative statistics survive;
+// window contents do not — crash recovery is indistinguishable from a
+// power cycle. Restart of a running engine crashes it first.
+func (e *Engine) Restart(next uint64) error {
+	e.life.Lock()
+	defer e.life.Unlock()
+	e.crashLocked()
+
+	e.mu.Lock()
+	e.pl.ResetAt(core.Seq(next))
+	e.rtlBase = core.Seq(next)
+	e.restarts++
+	e.mu.Unlock()
+
+	p := newPort(e.cfg.QueueDepth)
+	e.port.Store(p)
+	go e.loop(p)
+	return nil
+}
+
+// Done returns a channel closed when the engine's current incarnation
+// stops; verdict waiters select on it alongside their reply channel.
+func (e *Engine) Done() <-chan struct{} { return e.port.Load().done }
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	st := e.pl.Stats()
+	st.Restarts = e.restarts
+	return st
 }
 
 // BaseSeq returns the oldest tracked commit sequence (for tests).
 func (e *Engine) BaseSeq() core.Seq {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.win.BaseSeq()
+	return e.pl.BaseSeq()
 }
 
 // NextSeq returns the sequence the next commit will receive.
 func (e *Engine) NextSeq() core.Seq {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.win.NextSeq()
+	return e.pl.NextSeq()
 }
 
-func (e *Engine) loop() {
+func (e *Engine) loop(p *port) {
+	defer close(p.exited)
 	if e.cfg.CycleLevel {
-		e.loopRTL()
+		e.loopRTL(p)
 		return
 	}
 	for {
 		select {
-		case <-e.done:
+		case <-p.done:
+			sweep(p)
 			return
-		case r := <-e.pull:
+		case r := <-p.pull:
 			v := e.Process(r)
 			r.Reply <- v
 		}
 	}
 }
 
+// Process validates one request against the window synchronously. It is
+// exported for deterministic unit tests; the runtime path goes through
+// Submit and the engine goroutine.
+func (e *Engine) Process(r Request) Verdict {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pl.Process(r)
+}
+
 // loopRTL drives the cycle-level pipeline: requests drain from the pull
 // queue into the pipeline as they arrive, overlapping in flight, and the
 // model ticks while anything is outstanding.
-func (e *Engine) loopRTL() {
+func (e *Engine) loopRTL(p *port) {
 	rtl := NewRTL(e.cfg)
+	e.mu.Lock()
+	rtl.ResetAt(e.rtlBase)
+	e.mu.Unlock()
 	for {
 		if rtl.InFlight() == 0 {
 			select {
-			case <-e.done:
+			case <-p.done:
+				sweep(p)
 				return
-			case r := <-e.pull:
+			case r := <-p.pull:
 				e.admitRTL(rtl, r)
 			}
 		}
@@ -250,7 +462,7 @@ func (e *Engine) loopRTL() {
 		// advance the pipeline one cycle.
 		for {
 			select {
-			case r := <-e.pull:
+			case r := <-p.pull:
 				e.admitRTL(rtl, r)
 				continue
 			default:
@@ -261,14 +473,16 @@ func (e *Engine) loopRTL() {
 		rtl.Tick()
 		if d := rtl.Retired() - before; d > 0 {
 			e.mu.Lock()
-			e.stats.Requests += d
+			e.pl.stats.Requests += d
 			e.mu.Unlock()
 		}
 		// Let requesters and committers run between cycles (single-CPU
 		// hosts would otherwise starve them against this loop).
 		runtime.Gosched()
 		select {
-		case <-e.done:
+		case <-p.done:
+			rtl.Flush()
+			sweep(p)
 			return
 		default:
 		}
@@ -276,13 +490,25 @@ func (e *Engine) loopRTL() {
 }
 
 // admitRTL wraps the caller's reply so engine statistics stay consistent
-// with the behavioral backend.
+// with the behavioral backend. Probes answer immediately: the RTL pipeline
+// has no side-effect-free path, and a probe's job is only to prove the
+// queues and the loop are alive.
 func (e *Engine) admitRTL(rtl *RTL, r Request) {
+	if r.Probe {
+		e.mu.Lock()
+		e.pl.stats.Probes++
+		e.mu.Unlock()
+		select {
+		case r.Reply <- Verdict{Token: r.Token, OK: true, Probe: true}:
+		default:
+		}
+		return
+	}
 	inner := r.Reply
 	proxy := make(chan Verdict, 1)
 	r.Reply = proxy
 	if err := rtl.Offer(r); err != nil {
-		inner <- Verdict{Token: r.Token, Reason: "cycle"}
+		inner <- Verdict{Token: r.Token, Reason: ReasonCycle}
 		return
 	}
 	go func() {
@@ -290,111 +516,19 @@ func (e *Engine) admitRTL(rtl *RTL, r Request) {
 		e.mu.Lock()
 		switch {
 		case v.OK:
-			e.stats.Commits++
-			e.stats.ModelCycles += e.cfg.Model.requestCycles(len(r.ReadAddrs), len(r.WriteAddrs))
-		case v.Reason == "window":
-			e.stats.WindowAborts++
+			e.pl.stats.Commits++
+			e.pl.stats.ModelCycles += e.cfg.Model.requestCycles(len(r.ReadAddrs), len(r.WriteAddrs))
+		case v.Reason == ReasonWindow:
+			e.pl.stats.WindowAborts++
+		case v.Reason == ReasonClosed:
+			// Crash flush: neither a commit nor a validation abort.
 		default:
-			e.stats.CycleAborts++
+			e.pl.stats.CycleAborts++
 		}
 		e.mu.Unlock()
-		inner <- v
+		select {
+		case inner <- v:
+		default:
+		}
 	}()
-}
-
-// Process validates one request against the window synchronously. It is
-// exported for deterministic unit tests; the runtime path goes through
-// Submit and the engine goroutine.
-func (e *Engine) Process(r Request) Verdict {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats.Requests++
-
-	cycles := e.cfg.Model.requestCycles(len(r.ReadAddrs), len(r.WriteAddrs))
-	e.stats.ModelCycles += cycles
-	nanos := e.cfg.Model.cyclesToNanos(cycles)
-
-	// Window-overflow rule (§4.2): if unseen commits have already been
-	// evicted, the transaction neglects updates of t_{k-W} and must abort.
-	if e.win.Count() > 0 && core.Seq(r.ValidTS) < e.win.BaseSeq() {
-		e.stats.WindowAborts++
-		return Verdict{Token: r.Token, Reason: "window", ModelNanos: nanos}
-	}
-
-	// Detector: build the transaction's signatures once, then derive the
-	// f/b adjacency vectors against each history entry.
-	rs := sig.New(e.cfg.Sig)
-	ws := sig.New(e.cfg.Sig)
-	for _, a := range r.ReadAddrs {
-		rs.Insert(e.hasher, a)
-	}
-	for _, a := range r.WriteAddrs {
-		ws.Insert(e.hasher, a)
-	}
-
-	var f, b uint64
-	for i := 0; i < e.win.Count(); i++ {
-		h := &e.history[i]
-		seen := h.seq < core.Seq(r.ValidTS)
-		if seen {
-			// Any dependence with a visible commit points backward.
-			if e.overlap(r.ReadAddrs, rs, h.writeSig, h.writes) ||
-				e.overlap(r.WriteAddrs, ws, h.readSig, h.reads) ||
-				e.overlap(r.WriteAddrs, ws, h.writeSig, h.writes) {
-				b |= 1 << uint(i)
-			}
-			continue
-		}
-		// Unseen commit: a stale read orders the transaction before it
-		// (forward edge); WAR/WAW order it after (backward edge).
-		if e.overlap(r.ReadAddrs, rs, h.writeSig, h.writes) {
-			f |= 1 << uint(i)
-		}
-		if e.overlap(r.WriteAddrs, ws, h.readSig, h.reads) ||
-			e.overlap(r.WriteAddrs, ws, h.writeSig, h.writes) {
-			b |= 1 << uint(i)
-		}
-	}
-
-	// Manager: ROCoCo reachability validation and commit.
-	seq, ok := e.win.Insert(f, b)
-	if !ok {
-		e.stats.CycleAborts++
-		return Verdict{Token: r.Token, Reason: "cycle", ModelNanos: nanos}
-	}
-	// Bookkeep the new commit; slide the history ring with the window.
-	ent := entry{
-		readSig: rs, writeSig: ws,
-		reads: len(r.ReadAddrs), writes: len(r.WriteAddrs),
-		seq: seq,
-	}
-	if len(e.history) == e.cfg.W {
-		copy(e.history, e.history[1:])
-		e.history[len(e.history)-1] = ent
-	} else {
-		e.history = append(e.history, ent)
-	}
-	e.stats.Commits++
-	return Verdict{Token: r.Token, OK: true, Seq: seq, ModelNanos: nanos}
-}
-
-// overlap reports whether the transaction's address set (with its
-// signature) may intersect a history entry's set: a cheap signature
-// intersection first, refined by per-address membership queries against
-// the history signature on a hit — the paper's rationale for shipping
-// addresses (not signatures) to the FPGA (§5.3). Residual false positives
-// are those of the query operation, far below intersection's.
-func (e *Engine) overlap(addrs []uint64, s sig.Sig, hist sig.Sig, histCount int) bool {
-	if len(addrs) == 0 || histCount == 0 {
-		return false
-	}
-	if !s.Intersects(hist) {
-		return false
-	}
-	for _, a := range addrs {
-		if hist.Query(e.hasher, a) {
-			return true
-		}
-	}
-	return false
 }

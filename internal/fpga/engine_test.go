@@ -10,7 +10,10 @@ import (
 
 func startTest(t *testing.T, cfg Config) *Engine {
 	t.Helper()
-	e := Start(cfg)
+	e, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(e.Close)
 	return e
 }
@@ -170,9 +173,12 @@ func TestConcurrentSubmitters(t *testing.T) {
 }
 
 func TestSubmitAfterClose(t *testing.T) {
-	e := Start(Config{})
+	e, err := Start(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.Close()
-	err := e.Submit(Request{Reply: make(chan Verdict, 1)})
+	err = e.Submit(Request{Reply: make(chan Verdict, 1)})
 	if err == nil {
 		t.Fatal("Submit after Close succeeded")
 	}
@@ -247,7 +253,10 @@ func TestResourceModelMatchesPaperDesignPoint(t *testing.T) {
 }
 
 func BenchmarkEngineValidate(b *testing.B) {
-	e := Start(Config{})
+	e, err := Start(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer e.Close()
 	reads := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
 	writes := []uint64{11, 12, 13, 14}

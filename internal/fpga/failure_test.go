@@ -1,0 +1,244 @@
+package fpga
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rococotm/internal/core"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring; empty means valid
+	}{
+		{"zero value", Config{}, ""},
+		{"paper deployment", Config{W: 64, QueueDepth: 64}, ""},
+		{"small window", Config{W: 4}, ""},
+		{"negative W", Config{W: -1}, "out of range"},
+		{"oversized W", Config{W: 65}, "out of range"},
+		{"negative queue", Config{QueueDepth: -1}, "negative"},
+		{"queue shallower than window", Config{W: 16, QueueDepth: 8}, "shallower"},
+		{"queue shallower than default window", Config{QueueDepth: 32}, "shallower"},
+		{"queue equals window", Config{W: 16, QueueDepth: 16}, ""},
+		{"negative clock", Config{Model: LatencyModel{ClockMHz: -1}}, "latency-model"},
+		{"negative depth", Config{Model: LatencyModel{PipelineDepth: -2}}, "latency-model"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestStartRejectsInvalidConfig(t *testing.T) {
+	if _, err := Start(Config{W: 65}); err == nil {
+		t.Fatal("Start accepted W=65")
+	}
+	if _, err := Start(Config{W: 16, QueueDepth: 4}); err == nil {
+		t.Fatal("Start accepted QueueDepth < W")
+	}
+}
+
+// settleGoroutines waits for the goroutine count to drop back to the
+// baseline (background runtime goroutines may fluctuate, so poll with a
+// deadline rather than comparing once).
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShutdownMidValidation closes the engine while many validations are
+// in flight: every outstanding request must resolve — a verdict (terminal
+// ReasonClosed counts) or a definite error — and no goroutine may be left
+// behind.
+func TestShutdownMidValidation(t *testing.T) {
+	for _, cycleLevel := range []bool{false, true} {
+		name := "behavioral"
+		if cycleLevel {
+			name = "cycle-level"
+		}
+		t.Run(name, func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			e, err := Start(Config{W: 4, QueueDepth: 4, CycleLevel: cycleLevel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 24
+			results := make(chan error, n)
+			var started sync.WaitGroup
+			started.Add(n)
+			for i := 0; i < n; i++ {
+				go func(i int) {
+					started.Done()
+					for j := 0; ; j++ {
+						v, err := e.Validate(Request{
+							Token:     uint64(i),
+							ValidTS:   uint64(e.NextSeq()),
+							ReadAddrs: []uint64{uint64(i)}, WriteAddrs: []uint64{uint64(100 + i)},
+						})
+						if err != nil {
+							if !errors.Is(err, ErrClosed) {
+								results <- err
+								return
+							}
+							results <- nil // definite error: resolved
+							return
+						}
+						if v.Reason == ReasonClosed {
+							results <- nil // terminal verdict: resolved
+							return
+						}
+						// Normal verdict; keep the engine busy until the
+						// close lands.
+						_ = j
+					}
+				}(i)
+			}
+			started.Wait()
+			time.Sleep(time.Millisecond) // let validations pile into the queue
+			e.Close()
+			for i := 0; i < n; i++ {
+				select {
+				case err := <-results:
+					if err != nil {
+						t.Fatal(err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatalf("request %d never resolved after Close", i)
+				}
+			}
+			settleGoroutines(t, baseline)
+		})
+	}
+}
+
+// TestCrashDeliversTerminalVerdicts parks requests in the pull queue of a
+// crashed engine and checks each gets its ReasonClosed verdict.
+func TestCrashDeliversTerminalVerdicts(t *testing.T) {
+	e, err := Start(Config{W: 4, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Crash()
+	// Submissions after the crash fail definitively…
+	if err := e.Submit(Request{Reply: make(chan Verdict, 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit on crashed engine = %v, want ErrClosed", err)
+	}
+	if err := e.TrySubmit(Request{Reply: make(chan Verdict, 1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TrySubmit on crashed engine = %v, want ErrClosed", err)
+	}
+}
+
+// TestRestartRebasesWindow drives the crash/recover protocol: a restarted
+// engine starts with an empty window rebased at the host's commit count,
+// aborts stale snapshots with a window verdict, and accepts fresh ones at
+// the rebased sequence.
+func TestRestartRebasesWindow(t *testing.T) {
+	e, err := Start(Config{W: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 5; i++ {
+		v, err := e.Validate(req(uint64(i), nil, []uint64{uint64(10 * i)}))
+		if err != nil || !v.OK {
+			t.Fatalf("seed commit %d: %+v, %v", i, v, err)
+		}
+	}
+	e.Crash()
+	if err := e.Restart(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.BaseSeq(); got != 5 {
+		t.Fatalf("BaseSeq after Restart(5) = %d", got)
+	}
+	// A snapshot that predates the rebase depends on lost history: even
+	// though the window is empty, the engine must abort it.
+	v, err := e.Validate(req(2, []uint64{1}, []uint64{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK || v.Reason != ReasonWindow {
+		t.Fatalf("stale snapshot after restart: %+v", v)
+	}
+	// A current snapshot commits at the rebased sequence.
+	v, err = e.Validate(req(5, []uint64{1}, []uint64{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK || v.Seq != 5 {
+		t.Fatalf("fresh snapshot after restart: %+v", v)
+	}
+	if st := e.Stats(); st.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", st.Restarts)
+	}
+}
+
+// TestProbeCommitsNothing checks that probe requests answer OK without
+// consuming a sequence number or touching the window.
+func TestProbeCommitsNothing(t *testing.T) {
+	for _, cycleLevel := range []bool{false, true} {
+		name := "behavioral"
+		if cycleLevel {
+			name = "cycle-level"
+		}
+		t.Run(name, func(t *testing.T) {
+			e, err := Start(Config{W: 8, CycleLevel: cycleLevel})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			if v, _ := e.Validate(req(0, nil, []uint64{1})); !v.OK {
+				t.Fatal("seed commit rejected")
+			}
+			v, err := e.Validate(Request{Probe: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.OK || !v.Probe {
+				t.Fatalf("probe verdict: %+v", v)
+			}
+			// The next real commit takes sequence 1: the probe consumed
+			// nothing.
+			v, err = e.Validate(req(1, nil, []uint64{2}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.OK || v.Seq != core.Seq(1) {
+				t.Fatalf("commit after probe: %+v", v)
+			}
+			if st := e.Stats(); st.Probes == 0 {
+				t.Fatal("probe not counted")
+			}
+		})
+	}
+}

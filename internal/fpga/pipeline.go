@@ -1,0 +1,175 @@
+package fpga
+
+import (
+	"rococotm/internal/core"
+	"rococotm/internal/sig"
+)
+
+// Pipeline is the serial behavioral model of the Detector/Manager dataflow:
+// the window, the per-slot signature bookkeeping and the ROCoCo validation,
+// with no queues or goroutines around it. It exists as a standalone type so
+// the same validator can run in two places — inside Engine behind the
+// asynchronous pull/push queues (the normal deployment), and directly under
+// a host-side mutex as the software fallback path when the engine is
+// unhealthy (rococotm's graceful-degradation mode validates against an
+// identical Pipeline so verdicts keep the exact hardware semantics).
+//
+// Pipeline is not safe for concurrent use; callers serialize Process, which
+// is the software equivalent of the one-verdict-per-cycle manager.
+type Pipeline struct {
+	cfg     Config
+	hasher  *sig.Hasher
+	win     *core.Window
+	history []entry // ring: history[i] describes window slot i
+	stats   Stats
+}
+
+// entry is the detector bookkeeping for one committed transaction: exactly
+// what the hardware stores — two signatures per transaction (§5.3), so the
+// resource bound is known a priori — plus set cardinalities for the
+// empty-set fast path.
+type entry struct {
+	readSig  sig.Sig
+	writeSig sig.Sig
+	reads    int
+	writes   int
+	seq      core.Seq
+}
+
+// NewPipeline builds a validator for the given (validated, filled)
+// configuration.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fill()
+	return &Pipeline{
+		cfg:    cfg,
+		hasher: sig.NewHasher(cfg.Sig, cfg.SigSeed),
+		win:    core.NewWindow(cfg.W),
+	}, nil
+}
+
+// Config returns the pipeline's (filled) configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Hasher returns the signature hasher shared with the CPU side.
+func (p *Pipeline) Hasher() *sig.Hasher { return p.hasher }
+
+// Stats returns a copy of the counters.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// BaseSeq returns the oldest tracked commit sequence.
+func (p *Pipeline) BaseSeq() core.Seq { return p.win.BaseSeq() }
+
+// NextSeq returns the sequence the next commit will receive.
+func (p *Pipeline) NextSeq() core.Seq { return p.win.NextSeq() }
+
+// ResetAt discards all window state and rebases sequence numbering at next
+// — the crash/recovery semantics: whatever the validator knew about the
+// last W commits is gone, so transactions with snapshots older than next
+// will abort with a window verdict until they refresh.
+func (p *Pipeline) ResetAt(next core.Seq) {
+	p.win.ResetAt(next)
+	p.history = p.history[:0]
+}
+
+// Process validates one request against the window.
+func (p *Pipeline) Process(r Request) Verdict {
+	if r.Probe {
+		p.stats.Probes++
+		return Verdict{Token: r.Token, OK: true, Probe: true}
+	}
+	p.stats.Requests++
+
+	cycles := p.cfg.Model.requestCycles(len(r.ReadAddrs), len(r.WriteAddrs))
+	p.stats.ModelCycles += cycles
+	nanos := p.cfg.Model.cyclesToNanos(cycles)
+
+	// Window-overflow rule (§4.2): if unseen commits have already been
+	// evicted — by sliding, or wholesale by a crash/ResetAt — the
+	// transaction neglects updates of t_{k-W} and must abort. The check
+	// deliberately does not require a non-empty window: after ResetAt the
+	// window is empty but BaseSeq records how much history was lost.
+	if core.Seq(r.ValidTS) < p.win.BaseSeq() {
+		p.stats.WindowAborts++
+		return Verdict{Token: r.Token, Reason: ReasonWindow, ModelNanos: nanos}
+	}
+
+	// Detector: build the transaction's signatures once, then derive the
+	// f/b adjacency vectors against each history entry.
+	rs := sig.New(p.cfg.Sig)
+	ws := sig.New(p.cfg.Sig)
+	for _, a := range r.ReadAddrs {
+		rs.Insert(p.hasher, a)
+	}
+	for _, a := range r.WriteAddrs {
+		ws.Insert(p.hasher, a)
+	}
+
+	var f, b uint64
+	for i := 0; i < p.win.Count(); i++ {
+		h := &p.history[i]
+		seen := h.seq < core.Seq(r.ValidTS)
+		if seen {
+			// Any dependence with a visible commit points backward.
+			if p.overlap(r.ReadAddrs, rs, h.writeSig, h.writes) ||
+				p.overlap(r.WriteAddrs, ws, h.readSig, h.reads) ||
+				p.overlap(r.WriteAddrs, ws, h.writeSig, h.writes) {
+				b |= 1 << uint(i)
+			}
+			continue
+		}
+		// Unseen commit: a stale read orders the transaction before it
+		// (forward edge); WAR/WAW order it after (backward edge).
+		if p.overlap(r.ReadAddrs, rs, h.writeSig, h.writes) {
+			f |= 1 << uint(i)
+		}
+		if p.overlap(r.WriteAddrs, ws, h.readSig, h.reads) ||
+			p.overlap(r.WriteAddrs, ws, h.writeSig, h.writes) {
+			b |= 1 << uint(i)
+		}
+	}
+
+	// Manager: ROCoCo reachability validation and commit.
+	seq, ok := p.win.Insert(f, b)
+	if !ok {
+		p.stats.CycleAborts++
+		return Verdict{Token: r.Token, Reason: ReasonCycle, ModelNanos: nanos}
+	}
+	// Bookkeep the new commit; slide the history ring with the window.
+	ent := entry{
+		readSig: rs, writeSig: ws,
+		reads: len(r.ReadAddrs), writes: len(r.WriteAddrs),
+		seq: seq,
+	}
+	if len(p.history) == p.cfg.W {
+		copy(p.history, p.history[1:])
+		p.history[len(p.history)-1] = ent
+	} else {
+		p.history = append(p.history, ent)
+	}
+	p.stats.Commits++
+	return Verdict{Token: r.Token, OK: true, Seq: seq, ModelNanos: nanos}
+}
+
+// overlap reports whether the transaction's address set (with its
+// signature) may intersect a history entry's set: a cheap signature
+// intersection first, refined by per-address membership queries against
+// the history signature on a hit — the paper's rationale for shipping
+// addresses (not signatures) to the FPGA (§5.3). Residual false positives
+// are those of the query operation, far below intersection's.
+func (p *Pipeline) overlap(addrs []uint64, s sig.Sig, hist sig.Sig, histCount int) bool {
+	if len(addrs) == 0 || histCount == 0 {
+		return false
+	}
+	if !s.Intersects(hist) {
+		return false
+	}
+	for _, a := range addrs {
+		if hist.Query(p.hasher, a) {
+			return true
+		}
+	}
+	return false
+}

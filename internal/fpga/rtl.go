@@ -58,6 +58,28 @@ func NewRTL(cfg Config) *RTL {
 	}
 }
 
+// ResetAt discards window state and rebases sequence numbering at seq —
+// the same crash/recovery semantics as Pipeline.ResetAt. In-flight
+// transactions are flushed with terminal closed verdicts.
+func (r *RTL) ResetAt(seq core.Seq) {
+	r.Flush()
+	r.win.ResetAt(seq)
+	r.hist = nil
+}
+
+// Flush delivers a terminal ReasonClosed verdict to every in-flight
+// transaction and empties the pipeline — the crash path: nothing that
+// entered the pipeline is ever silently stranded.
+func (r *RTL) Flush() {
+	for _, t := range r.inflight {
+		select {
+		case t.req.Reply <- Verdict{Token: t.req.Token, Reason: ReasonClosed, Probe: t.req.Probe}:
+		default:
+		}
+	}
+	r.inflight = nil
+}
+
 // Cycles returns the number of ticks executed.
 func (r *RTL) Cycles() uint64 { return r.cycles }
 
@@ -195,8 +217,8 @@ func (r *RTL) retire(t *rtlTxn) {
 	cycles := r.cfg.Model.requestCycles(t.nReads, len(t.addrs)-t.nReads)
 	v.ModelNanos = r.cfg.Model.cyclesToNanos(cycles)
 
-	if r.win.Count() > 0 && core.Seq(t.req.ValidTS) < r.win.BaseSeq() {
-		v.Reason = "window"
+	if core.Seq(t.req.ValidTS) < r.win.BaseSeq() {
+		v.Reason = ReasonWindow
 		t.req.Reply <- v
 		r.retired++
 		return
@@ -214,7 +236,7 @@ func (r *RTL) retire(t *rtlTxn) {
 	}
 	seq, ok := r.win.Insert(f, b)
 	if !ok {
-		v.Reason = "cycle"
+		v.Reason = ReasonCycle
 		t.req.Reply <- v
 		r.retired++
 		return

@@ -42,7 +42,10 @@ func randRequests(n int, seed int64) []Request {
 func TestRTLEquivalentToBehavioralEngine(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 4, 5} {
 		cfg := Config{W: 16, SigSeed: 99}
-		eng := Start(cfg)
+		eng, err := Start(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rtl := NewRTL(cfg)
 
 		reqs := randRequests(400, seed)

@@ -32,6 +32,7 @@
 package rococotm
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -72,6 +73,34 @@ type Config struct {
 	// transactions can eventually commit, irrevocability may be
 	// required"). 0 disables it.
 	IrrevocableAfter int
+
+	// ValidateDeadline, when > 0, enables fault-tolerant mode: every
+	// blocking step of an engine validation (queue admission, verdict
+	// wait, commit-turn wait) is bounded by this duration, and misses feed
+	// the degradation state machine in degrade.go. 0 (the default) keeps
+	// the original trusting commit path that blocks indefinitely on the
+	// engine. Choose a deadline comfortably above the modeled round trip
+	// (hundreds of microseconds to milliseconds), or healthy queueing
+	// will be misread as an outage.
+	ValidateDeadline time.Duration
+	// FallbackAfter is the number of consecutive deadline misses that
+	// trips degradation to the software validator; default 1. Engine
+	// errors (a closed link) always trip it immediately.
+	FallbackAfter int
+	// DisableFallback keeps deadline enforcement but never degrades:
+	// commits that miss abort with tm.ReasonEngine and retry against the
+	// engine forever. This is the "hanging baseline" for experiments.
+	DisableFallback bool
+	// ProbeInterval is the recovery prober's period while degraded;
+	// default 500µs.
+	ProbeInterval time.Duration
+	// ProbeCount is how many consecutive probe verdicts must arrive in
+	// deadline before the runtime promotes back to the engine; default 3.
+	ProbeCount int
+	// WrapLink, when set, wraps the engine link before the runtime uses
+	// it — the hook the fault-injection layer (internal/fault) attaches
+	// to. It only takes effect in fault-tolerant mode.
+	WrapLink func(Link) Link
 }
 
 func (c *Config) fill() {
@@ -89,6 +118,15 @@ func (c *Config) fill() {
 	}
 	if c.ReadSpinLimit == 0 {
 		c.ReadSpinLimit = 64
+	}
+	if c.FallbackAfter == 0 {
+		c.FallbackAfter = 1
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Microsecond
+	}
+	if c.ProbeCount == 0 {
+		c.ProbeCount = 3
 	}
 }
 
@@ -131,12 +169,46 @@ type TM struct {
 	consec []int32 // consecutive conflict aborts per thread (owner-only)
 
 	cnt tm.Counters
+
+	// Fault-tolerant mode state (degrade.go). link is the possibly-wrapped
+	// engine connection; ftEnabled caches ValidateDeadline > 0.
+	link      Link
+	ftEnabled bool
+	// state is the degradation state machine (stateHealthy/Draining/
+	// Degraded); missStreak counts consecutive deadline misses toward
+	// FallbackAfter; engineInflight counts committers that may still claim
+	// or hold an engine-issued commit sequence — degradation quiesces on
+	// it before the fallback reissues sequence numbers.
+	state          atomic.Uint32
+	missStreak     atomic.Int32
+	engineInflight atomic.Int64
+	// fbMu serializes the software fallback validator (and promotion).
+	fbMu sync.Mutex
+	fbPl *fpga.Pipeline
+	fc   faultCounters
+	stop chan struct{}
+	once sync.Once
+	// bg tracks the drain/recover goroutine so Close can join it before
+	// tearing the link down (its prober submits probes to the link).
+	bg sync.WaitGroup
+}
+
+// faultCounters backs FaultStats.
+type faultCounters struct {
+	deadlineMisses, engineErrors, abandoned             atomic.Uint64
+	fallbackEntries, fallbackExits, fallbackValidations atomic.Uint64
+	probes, probeFailures                               atomic.Uint64
 }
 
 // New starts a ROCoCoTM runtime (including its FPGA engine) over heap.
+// Like fill, it panics on an invalid engine configuration — construction
+// problems are deployment bugs, not runtime conditions.
 func New(heap *mem.Heap, cfg Config) *TM {
 	cfg.fill()
-	eng := fpga.Start(cfg.Engine)
+	eng, err := fpga.Start(cfg.Engine)
+	if err != nil {
+		panic("rococotm: " + err.Error())
+	}
 	r := &TM{
 		heap:    heap,
 		cfg:     cfg,
@@ -153,6 +225,22 @@ func New(heap *mem.Heap, cfg Config) *TM {
 		r.updates[i].words = make([]atomic.Uint64, sigWords)
 	}
 	r.consec = make([]int32, cfg.MaxThreads)
+	r.stop = make(chan struct{})
+	r.link = eng
+	r.ftEnabled = cfg.ValidateDeadline > 0
+	if r.ftEnabled {
+		if cfg.WrapLink != nil {
+			r.link = cfg.WrapLink(r.link)
+		}
+		// The fallback validator shares the engine's exact configuration
+		// (window, signature geometry, hash seed), so software verdicts
+		// are bit-identical to hardware ones.
+		fb, err := fpga.NewPipeline(eng.Config())
+		if err != nil {
+			panic("rococotm: " + err.Error())
+		}
+		r.fbPl = fb
+	}
 	return r
 }
 
@@ -172,8 +260,14 @@ func (r *TM) Engine() *fpga.Engine { return r.eng }
 // transactions).
 func (r *TM) GlobalTS() uint64 { return r.globalTS.Load() }
 
-// Close shuts down the FPGA engine.
-func (r *TM) Close() { r.eng.Close() }
+// Close shuts down the recovery prober and the FPGA engine. The prober is
+// joined first: it submits probes to the link, which must not race with
+// the link's own teardown.
+func (r *TM) Close() {
+	r.once.Do(func() { close(r.stop) })
+	r.bg.Wait()
+	r.link.Close()
+}
 
 type txn struct {
 	r           *TM
@@ -240,7 +334,11 @@ func (x *txn) abort(reason string) error {
 		// Only reachable through pathological paths (e.g. commit-queue
 		// overflow with a tiny ring); release the gate.
 		x.r.gate.Unlock()
-	} else if reason != tm.ReasonExplicit {
+	} else if reason != tm.ReasonExplicit && reason != tm.ReasonEngine {
+		// Engine-unavailability aborts say nothing about contention, so
+		// they must not escalate a thread toward irrevocability — an
+		// irrevocable transaction would freeze all commits while itself
+		// waiting out the outage.
 		x.r.consec[x.thread]++
 	}
 	x.r.cnt.OnAbort(reason)
@@ -495,7 +593,7 @@ func (r *TM) Commit(t tm.Txn) error {
 	if r.cfg.MeasureValidation {
 		t0 = time.Now()
 	}
-	verdict, err := r.eng.Validate(fpga.Request{
+	verdict, viaEngine, err := r.validate(fpga.Request{
 		Token:      uint64(x.thread),
 		ValidTS:    x.validTS,
 		ReadAddrs:  x.readAddrs,
@@ -504,17 +602,31 @@ func (r *TM) Commit(t tm.Txn) error {
 	if r.cfg.MeasureValidation {
 		r.cnt.AddValidation(time.Since(t0))
 	}
-	// Modeled latency as the CPU would see it: CCI round trip + pipeline
-	// residency.
-	r.cnt.AddModelValidation(r.eng.Config().Model.RoundTripNanos + verdict.ModelNanos)
+	if viaEngine {
+		// Modeled latency as the CPU would see it: CCI round trip +
+		// pipeline residency. The software fallback has no modeled
+		// hardware component.
+		r.cnt.AddModelValidation(r.eng.Config().Model.RoundTripNanos + verdict.ModelNanos)
+	}
 	if err != nil {
+		if errors.Is(err, errUnavailable) {
+			return x.abort(tm.ReasonEngine)
+		}
 		x.dead = true
 		return fmt.Errorf("rococotm: engine: %w", err)
 	}
 	if !verdict.OK {
+		// In FT mode engineValidate already released the inflight
+		// reference for !OK verdicts and converted ReasonClosed into a
+		// degradation trigger, so only window/cycle verdicts arrive here.
 		switch verdict.Reason {
-		case "window":
+		case fpga.ReasonWindow:
 			return x.abort(tm.ReasonWindow)
+		case fpga.ReasonClosed:
+			// Legacy (non-FT) mode only: a terminal verdict from a dying
+			// engine is a hard runtime error, matching Validate's ErrClosed.
+			x.dead = true
+			return fmt.Errorf("rococotm: engine: %w", fpga.ErrClosed)
 		default:
 			return x.abort(tm.ReasonCycle)
 		}
@@ -528,9 +640,11 @@ func (r *TM) Commit(t tm.Txn) error {
 	}
 	u.active.Store(1)
 
-	// Wait for our turn in the global commit order.
-	for r.globalTS.Load() != seq {
-		runtime.Gosched()
+	// Wait for our turn in the global commit order (bounded in FT mode:
+	// a lost verdict below us leaves a permanent hole only degradation
+	// can clear).
+	if err := r.awaitTurn(x, seq, viaEngine); err != nil {
+		return err
 	}
 
 	// Publish the write signature in the commit queue.
@@ -547,6 +661,9 @@ func (r *TM) Commit(t tm.Txn) error {
 	}
 	r.globalTS.Store(seq + 1)
 	u.active.Store(0)
+	if r.ftEnabled && viaEngine {
+		r.engineInflight.Add(-1)
+	}
 
 	x.dead = true
 	if x.irrevocable {

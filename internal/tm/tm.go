@@ -29,6 +29,7 @@ const (
 	ReasonCapacity = "capacity"   // HTM cache-capacity overflow
 	ReasonSpurious = "spurious"   // HTM micro-architectural abort
 	ReasonFallback = "fallback"   // HTM aborted because the fallback lock was taken
+	ReasonEngine   = "engine"     // validation engine unavailable (deadline miss, crash, recovery)
 	ReasonExplicit = "user-abort" // application requested abort
 )
 
@@ -117,7 +118,8 @@ type Counters struct {
 	modelValNanos                               atomic.Uint64
 	reasonConflict, reasonCycle, reasonWindow   atomic.Uint64
 	reasonCapacity, reasonSpurious              atomic.Uint64
-	reasonFallback, reasonExplicit              atomic.Uint64
+	reasonFallback, reasonEngine                atomic.Uint64
+	reasonExplicit                              atomic.Uint64
 }
 
 // OnStart records a transaction attempt.
@@ -147,6 +149,8 @@ func (c *Counters) OnAbort(reason string) {
 		c.reasonSpurious.Add(1)
 	case ReasonFallback:
 		c.reasonFallback.Add(1)
+	case ReasonEngine:
+		c.reasonEngine.Add(1)
 	default:
 		c.reasonExplicit.Add(1)
 	}
@@ -178,6 +182,7 @@ func (c *Counters) Snapshot() Stats {
 			ReasonCapacity: c.reasonCapacity.Load(),
 			ReasonSpurious: c.reasonSpurious.Load(),
 			ReasonFallback: c.reasonFallback.Load(),
+			ReasonEngine:   c.reasonEngine.Load(),
 			ReasonExplicit: c.reasonExplicit.Load(),
 		},
 		ValidationNanos:      c.valNanos.Load(),
@@ -185,11 +190,98 @@ func (c *Counters) Snapshot() Stats {
 	}
 }
 
+// BackoffPolicy shapes the contention management of the Run retry loop:
+// how long to wait between attempts, as a function of the abort reason and
+// the attempt count. All waits are bounded exponentials with full jitter
+// (the retry wave after a conflict or an engine outage must decorrelate,
+// or every loser retries in lockstep and collides again).
+//
+// Abort reasons fall in two classes:
+//
+//   - soft (conflict, cycle, HTM capacity/spurious/fallback): the conflict
+//     partner is another transaction that finishes in microseconds, so the
+//     loop spins briefly and yields the processor;
+//   - hard (window, engine): the transaction fell behind the sliding
+//     window or the validation engine is unavailable — retrying
+//     immediately hits the same wall, so the loop sleeps, doubling up to
+//     SleepCap, giving a degraded engine time to fail over or recover.
+type BackoffPolicy struct {
+	// SpinBase is the busy-wait quantum for soft aborts; the k-th retry
+	// spins a random amount up to SpinBase<<k (capped at SpinCap).
+	// Default 32.
+	SpinBase int
+	// SpinCap bounds a single soft-abort spin. Default 4096.
+	SpinCap int
+	// SleepBase is the first sleep for hard aborts; the k-th consecutive
+	// hard abort sleeps a random duration up to SleepBase<<k (capped at
+	// SleepCap). Default 20µs.
+	SleepBase time.Duration
+	// SleepCap bounds a single hard-abort sleep. Default 2ms — the scale
+	// of an engine crash/recover cycle, so a retrying writer re-probes a
+	// few times per outage instead of thousands. Default 2ms.
+	SleepCap time.Duration
+}
+
+// DefaultBackoff is the policy Run uses.
+var DefaultBackoff = BackoffPolicy{}
+
+func (p *BackoffPolicy) fill() {
+	if p.SpinBase == 0 {
+		p.SpinBase = 32
+	}
+	if p.SpinCap == 0 {
+		p.SpinCap = 4096
+	}
+	if p.SleepBase == 0 {
+		p.SleepBase = 20 * time.Microsecond
+	}
+	if p.SleepCap == 0 {
+		p.SleepCap = 2 * time.Millisecond
+	}
+}
+
+// hardReason reports whether an abort reason indicates a condition that
+// immediate retry cannot improve.
+func hardReason(reason string) bool {
+	return reason == ReasonWindow || reason == ReasonEngine
+}
+
+// wait blocks between attempt k (1-based count of consecutive aborts) and
+// the next try.
+func (p BackoffPolicy) wait(reason string, attempt int) {
+	if hardReason(reason) {
+		d := p.SleepBase << uint(min(attempt-1, 16))
+		if d > p.SleepCap || d <= 0 {
+			d = p.SleepCap
+		}
+		// Full jitter over (0, d]: decorrelate the retry wave.
+		time.Sleep(time.Duration(1 + rand.Int63n(int64(d))))
+		return
+	}
+	if attempt == 1 {
+		return // first conflict retry is immediate: the winner is gone
+	}
+	for y := 0; y < attempt && y < 8; y++ {
+		runtime.Gosched()
+	}
+	n := p.SpinBase << uint(min(attempt, 12))
+	if n > p.SpinCap || n <= 0 {
+		n = p.SpinCap
+	}
+	spin(rand.Intn(n))
+}
+
 // Run executes fn as a transaction on the given thread, retrying until it
 // commits or fn fails with a non-transactional error. It implements the
-// STAMP-style retry loop with bounded randomized backoff.
+// STAMP-style retry loop with DefaultBackoff contention management.
 func Run(m TM, thread int, fn func(Txn) error) error {
-	backoff := 0
+	return RunBackoff(m, thread, DefaultBackoff, fn)
+}
+
+// RunBackoff is Run with an explicit backoff policy.
+func RunBackoff(m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
+	pol.fill()
+	attempt := 0
 	for {
 		t, err := m.Begin(thread)
 		if err != nil {
@@ -202,21 +294,16 @@ func Run(m TM, thread int, fn func(Txn) error) error {
 				return nil
 			}
 		}
-		if _, ok := IsAbort(err); !ok {
+		reason, ok := IsAbort(err)
+		if !ok {
 			// Application failure: roll back and propagate.
 			m.Abort(t)
 			return err
 		}
-		// Conflict abort: the runtime already rolled back. Back off under
-		// repeated contention (randomized exponential, plus yielding the
-		// processor so a conflicting winner can finish) before retrying —
-		// the contention-management role of STAMP's retry loop.
-		if backoff++; backoff > 1 {
-			for y := 0; y < backoff && y < 8; y++ {
-				runtime.Gosched()
-			}
-			spin(rand.Intn(1 << uint(min(4+backoff, 12))))
-		}
+		// Transactional abort: the runtime already rolled back. Back off
+		// by reason class before retrying.
+		attempt++
+		pol.wait(reason, attempt)
 	}
 }
 

@@ -63,7 +63,8 @@ func TestCountersSnapshot(t *testing.T) {
 func TestCountersAllReasons(t *testing.T) {
 	var c Counters
 	reasons := []string{ReasonConflict, ReasonCycle, ReasonWindow,
-		ReasonCapacity, ReasonSpurious, ReasonFallback, ReasonExplicit, "other"}
+		ReasonCapacity, ReasonSpurious, ReasonFallback, ReasonEngine,
+		ReasonExplicit, "other"}
 	for _, r := range reasons {
 		c.OnAbort(r)
 	}
@@ -71,9 +72,55 @@ func TestCountersAllReasons(t *testing.T) {
 	if s.Aborts != uint64(len(reasons)) {
 		t.Fatalf("aborts = %d", s.Aborts)
 	}
+	if s.Reasons[ReasonEngine] != 1 {
+		t.Fatalf("engine = %d", s.Reasons[ReasonEngine])
+	}
 	// "other" folds into explicit.
 	if s.Reasons[ReasonExplicit] != 2 {
 		t.Fatalf("explicit = %d", s.Reasons[ReasonExplicit])
+	}
+}
+
+func TestBackoffReasonClasses(t *testing.T) {
+	if !hardReason(ReasonWindow) || !hardReason(ReasonEngine) {
+		t.Fatal("window/engine must back off hard")
+	}
+	for _, r := range []string{ReasonConflict, ReasonCycle, ReasonCapacity,
+		ReasonSpurious, ReasonFallback} {
+		if hardReason(r) {
+			t.Fatalf("%s must not back off hard", r)
+		}
+	}
+	// Hard-reason waits sleep a bounded, non-zero duration even at huge
+	// attempt counts (the shift must not overflow into zero or negative).
+	var p BackoffPolicy
+	p.fill()
+	for _, attempt := range []int{1, 5, 20, 63, 1000} {
+		start := time.Now()
+		p.wait(ReasonEngine, attempt)
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("attempt %d slept %v, cap is %v", attempt, d, p.SleepCap)
+		}
+	}
+	// Soft-reason waits never sleep; they spin at most SpinCap.
+	start := time.Now()
+	for attempt := 1; attempt <= 40; attempt++ {
+		p.wait(ReasonConflict, attempt)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("soft backoff took %v", d)
+	}
+}
+
+func TestRunBackoffCustomPolicy(t *testing.T) {
+	m := &flakyTM{heap: mem.NewHeap(8), failLeft: 2}
+	pol := BackoffPolicy{SpinBase: 1, SpinCap: 2,
+		SleepBase: time.Microsecond, SleepCap: 2 * time.Microsecond}
+	if err := RunBackoff(m, 0, pol, func(x Txn) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if m.begins != 3 {
+		t.Fatalf("begins = %d, want 3", m.begins)
 	}
 }
 

@@ -6,7 +6,13 @@
 #   2. go build    — the whole module compiles
 #   3. go vet      — stdlib static checks
 #   4. tmlint      — the TM programming-model contracts (internal/lint)
-#   5. go test -race ./internal/...
+#   5. chaos lane  — go test -race -run Chaos ./internal/fault/... : the
+#                    fault-injection scenarios (delay/drop/duplicate/
+#                    reorder/stall/crash-restart) over their fixed seed
+#                    matrix, repeated to shake out interleavings; asserts
+#                    the committed history stays serializable across
+#                    degrade/recover cycles
+#   6. go test -race ./internal/...
 #                  — the runtime and analyzer packages under the race
 #                    detector; OCC code is concurrency code, so the race
 #                    lane is not optional
@@ -30,6 +36,9 @@ go vet ./...
 
 echo "== tmlint ./..."
 go run ./cmd/tmlint ./...
+
+echo "== chaos lane: go test -race -run Chaos -count=2 ./internal/fault/..."
+go test -race -run Chaos -count=2 ./internal/fault/...
 
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
