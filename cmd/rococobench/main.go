@@ -2,17 +2,22 @@
 //
 // Usage:
 //
-//	rococobench -exp fig7|fig9|fig10|fig11|resources|ablation-window|ablation-sig|all
+//	rococobench -exp fig7|fig9|fig10|fig11|resources|transport|ablation-window|ablation-sig|all
 //	            [-scale small|medium|large] [-app name] [-threads list]
+//	            [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints a paper-style text table; EXPERIMENTS.md records
-// the paper-vs-measured comparison.
+// the paper-vs-measured comparison. The profile flags capture pprof data
+// over whichever experiments run — the workflow behind the transport
+// optimization (profile, fix the hot allocation/probe, re-measure).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -21,10 +26,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, ablation-window, ablation-sig, ablation-contention, all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, transport, ablation-window, ablation-sig, ablation-contention, all")
 	scaleFlag := flag.String("scale", "medium", "STAMP input scale: small, medium, large")
 	app := flag.String("app", "", "restrict fig10/fig11 to one app")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10 (default 1,4,8,14,28)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	scale, err := parseScale(*scaleFlag)
@@ -34,6 +41,31 @@ func main() {
 	threads, err := parseThreads(*threadsFlag)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocation state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	run := func(name string) {
@@ -71,6 +103,16 @@ func main() {
 		case "fault":
 			rep, err := bench.RunFaultBench(bench.FaultBenchConfig{})
 			emit(rep, err)
+		case "transport":
+			cfg := bench.TransportBenchConfig{Scale: scale}
+			if *app != "" {
+				cfg.App = *app
+			}
+			if len(threads) > 0 {
+				cfg.Threads = threads[0]
+			}
+			rep, err := bench.RunTransportBench(cfg)
+			emit(rep, err)
 		case "ablation-window":
 			rep, err := bench.RunWindowAblation(nil, 16, 16, 25)
 			emit(rep, err)
@@ -90,7 +132,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "ablation-window", "ablation-sig", "ablation-contention"} {
+		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "transport", "ablation-window", "ablation-sig", "ablation-contention"} {
 			run(name)
 			fmt.Println()
 		}

@@ -18,8 +18,9 @@
 // The layer never violates the link's liveness contract on its own
 // authority beyond what the schedule says: every verdict the inner engine
 // produces is consumed, and a non-dropped verdict is always forwarded to
-// the caller's reply channel with a non-blocking send (the engine-side
-// protocol; reply channels are buffered).
+// the caller's verdict sink — slot or buffered reply channel — through
+// Request.Deliver, whose at-most-once semantics absorb duplicates and
+// late deliveries exactly like the engine-side protocol.
 package fault
 
 import (
@@ -114,8 +115,8 @@ type Link struct {
 }
 
 type heldVerdict struct {
-	v     fpga.Verdict
-	reply chan<- fpga.Verdict
+	v   fpga.Verdict
+	req fpga.Request // original request, carrying the caller's sink
 }
 
 // fate is the per-submission fault decision, drawn under the mutex so the
@@ -197,14 +198,19 @@ func (l *Link) TrySubmit(r fpga.Request) error {
 	f := l.drawFateLocked()
 	l.mu.Unlock()
 
+	// The inner engine answers on a proxy channel so the verdict can be
+	// perturbed before it reaches the caller's real sink (slot or reply
+	// channel), which stays on the original request.
 	proxy := make(chan fpga.Verdict, 1)
 	inner := r
+	inner.Slot = nil
+	inner.Gen = 0
 	inner.Reply = proxy
 	if err := l.inner.TrySubmit(inner); err != nil {
 		return err
 	}
 	l.wg.Add(1)
-	go l.deliver(proxy, r.Reply, f)
+	go l.deliver(proxy, r, f)
 	return nil
 }
 
@@ -232,9 +238,10 @@ func (l *Link) drawFateLocked() fate {
 }
 
 // deliver consumes the inner verdict and forwards it (or not) per the
-// fault decision. Sends are non-blocking, matching the engine-side
-// protocol for buffered reply channels.
-func (l *Link) deliver(proxy <-chan fpga.Verdict, reply chan<- fpga.Verdict, f fate) {
+// fault decision. Forwarding goes through Request.Deliver: at-most-once,
+// never blocking, so duplicates and late deliveries are absorbed by the
+// sink's own protocol.
+func (l *Link) deliver(proxy <-chan fpga.Verdict, orig fpga.Request, f fate) {
 	defer l.wg.Done()
 	v := <-proxy
 	if f.drop {
@@ -250,17 +257,17 @@ func (l *Link) deliver(proxy <-chan fpga.Verdict, reply chan<- fpga.Verdict, f f
 		if l.held == nil {
 			// Park this verdict; the next delivery (or a crash/Close)
 			// releases it after itself.
-			l.held = &heldVerdict{v: v, reply: reply}
+			l.held = &heldVerdict{v: v, req: orig}
 			l.nReordered.Add(1)
 			l.mu.Unlock()
 			return
 		}
 		l.mu.Unlock()
 	}
-	send(reply, v)
+	orig.Deliver(v)
 	if f.duplicate {
 		l.nDuplicated.Add(1)
-		send(reply, v)
+		orig.Deliver(v)
 	}
 	// Release a parked verdict behind us: the pair is now observably
 	// reordered.
@@ -272,15 +279,8 @@ func (l *Link) deliver(proxy <-chan fpga.Verdict, reply chan<- fpga.Verdict, f f
 // releaseHeldLocked flushes a parked reorder verdict, if any.
 func (l *Link) releaseHeldLocked() {
 	if l.held != nil {
-		send(l.held.reply, l.held.v)
+		l.held.req.Deliver(l.held.v)
 		l.held = nil
-	}
-}
-
-func send(reply chan<- fpga.Verdict, v fpga.Verdict) {
-	select {
-	case reply <- v:
-	default:
 	}
 }
 

@@ -23,6 +23,21 @@
 // cycles a real 200 MHz pipeline and the ~600 ns CCI round trip would cost,
 // so the timing harness can charge them without the host actually sleeping.
 //
+// # Transport
+//
+// The host↔engine transport exists in two shapes, selected by
+// Config.Transport:
+//
+//   - TransportRing (the default) is the batched, allocation-free path
+//     modeled on the paper's §5.3 async pull/push queues: submissions land
+//     in a fixed-size atomic ring (ring.go), the engine loop drains them
+//     in groups, validates the whole batch under one pipeline acquisition,
+//     and publishes the verdicts in bulk to the committers' VerdictSlots
+//     (slot.go). Nothing on this path allocates in steady state.
+//   - TransportChannel is the legacy per-request Go channel path (one
+//     buffered Reply channel per validation), kept as the measurable
+//     baseline for the `-exp transport` A/B experiment.
+//
 // # Failure semantics
 //
 // A production accelerator sits at the far end of a link that stalls, drops
@@ -69,6 +84,27 @@ var (
 	ErrFull = errors.New("fpga: pull queue full")
 )
 
+// Transport selects the host↔engine queue implementation.
+type Transport int
+
+const (
+	// TransportRing is the batched path: an atomic MPMC submission ring
+	// drained in groups by the engine loop, verdicts published to
+	// per-committer VerdictSlots. The default.
+	TransportRing Transport = iota
+	// TransportChannel is the legacy path: a Go channel pull queue and one
+	// buffered Reply channel per request.
+	TransportChannel
+)
+
+// String implements fmt.Stringer.
+func (t Transport) String() string {
+	if t == TransportChannel {
+		return "channel"
+	}
+	return "ring"
+}
+
 // Config parameterizes the engine.
 type Config struct {
 	// W is the sliding-window capacity; 1..64 (the fast-path matrix is one
@@ -84,6 +120,9 @@ type Config struct {
 	// explicitly: a pull queue shallower than the window cannot keep a
 	// full window of validations outstanding.
 	QueueDepth int
+	// Transport selects the submission/verdict path; the zero value is
+	// TransportRing.
+	Transport Transport
 	// CycleLevel selects the cycle-accurate RTL pipeline (rtl.go) as the
 	// engine backend instead of the serial behavioral validator. Verdicts
 	// are identical (rtl_test.go proves equivalence); the RTL backend
@@ -117,6 +156,9 @@ func (c Config) Validate() error {
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("fpga: QueueDepth %d is negative", c.QueueDepth)
 	}
+	if c.Transport != TransportRing && c.Transport != TransportChannel {
+		return fmt.Errorf("fpga: unknown transport %d", c.Transport)
+	}
 	w := c.W
 	if w == 0 {
 		w = core.DefaultW
@@ -138,7 +180,10 @@ type Request struct {
 	// ValidTS is the transaction's validated snapshot: commits with
 	// sequence < ValidTS were visible to its reads.
 	ValidTS uint64
-	// ReadAddrs and WriteAddrs are the transaction's footprint.
+	// ReadAddrs and WriteAddrs are the transaction's footprint. The engine
+	// only reads them; it releases its references once the verdict is
+	// delivered, so callers that reuse the backing arrays must not do so
+	// before then.
 	ReadAddrs  []uint64
 	WriteAddrs []uint64
 	// Probe marks a health-check request: it traverses the queues and the
@@ -146,8 +191,45 @@ type Request struct {
 	// sequence number. Hosts use probes to decide when a recovered engine
 	// is answering again.
 	Probe bool
-	// Reply receives exactly one verdict. Must have capacity ≥ 1.
+	// Slot, when non-nil, receives the verdict: the caller armed it with
+	// Prepare and carries the returned generation in Gen. This is the
+	// allocation-free push-queue path.
+	Slot *VerdictSlot
+	Gen  uint64
+	// Reply receives exactly one verdict when Slot is nil. Must have
+	// capacity ≥ 1.
 	Reply chan Verdict
+}
+
+// Deliver routes v to the request's verdict sink — the armed slot
+// generation when Slot is set, the buffered Reply channel otherwise. It
+// reports whether the sink accepted the verdict; false means the verdict
+// is late or duplicated (the waiter already got one, or abandoned the
+// generation) and has been dropped, which is the transport's at-most-once
+// contract.
+func (r *Request) Deliver(v Verdict) bool {
+	if r.Slot != nil {
+		return r.Slot.publish(r.Gen, v)
+	}
+	if r.Reply != nil {
+		select {
+		case r.Reply <- v:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// checkSink validates the request's verdict sink at admission.
+func (r *Request) checkSink() error {
+	if r.Slot != nil {
+		return nil
+	}
+	if r.Reply == nil || cap(r.Reply) < 1 {
+		return fmt.Errorf("fpga: request needs a verdict slot or a buffered reply channel")
+	}
+	return nil
 }
 
 // Verdict is the engine's decision for one request.
@@ -178,22 +260,115 @@ type Stats struct {
 	// Restarts counts crash/recover cycles (Engine only; a Restart resets
 	// the window but keeps cumulative counters).
 	Restarts uint64
+	// Batches counts drain groups on the ring transport; Requests+Probes
+	// over Batches is the mean batch occupancy. MaxBatch is the largest
+	// single group. Zero on the channel transport.
+	Batches  uint64
+	MaxBatch uint64
 }
 
-// port is one incarnation of the engine's queue pair. Crash closes done
-// and drains pull; Restart installs a fresh port, so verdict waiters from
-// a previous incarnation are never confused with the new one.
+// port is one incarnation of the engine's queue pair. Exactly one of ring
+// and pull is non-nil, per Config.Transport. Crash closes done and drains
+// the queue; Restart installs a fresh port, so verdict waiters from a
+// previous incarnation are never confused with the new one.
 type port struct {
-	pull   chan Request
+	ring *ring        // TransportRing
+	pull chan Request // TransportChannel
+
 	done   chan struct{}
 	exited chan struct{} // closed when the loop goroutine has returned
+
+	// sleeping/wakeup implement the ring consumer's spin-then-park: the
+	// loop raises sleeping before blocking on wakeup, producers that see
+	// it raised drop a token in. One-token capacity suffices — a wakeup is
+	// a hint to re-scan, not a message.
+	sleeping atomic.Uint32
+	wakeup   chan struct{}
 }
 
-func newPort(depth int) *port {
-	return &port{
-		pull:   make(chan Request, depth),
+func newPort(depth int, tr Transport) *port {
+	p := &port{
 		done:   make(chan struct{}),
 		exited: make(chan struct{}),
+		wakeup: make(chan struct{}, 1),
+	}
+	if tr == TransportChannel {
+		p.pull = make(chan Request, depth)
+	} else {
+		p.ring = newRing(depth)
+	}
+	return p
+}
+
+// tryRecv takes one request without blocking.
+func (p *port) tryRecv() (Request, bool) {
+	if p.ring != nil {
+		return p.ring.tryPop()
+	}
+	select {
+	case r := <-p.pull:
+		return r, true
+	default:
+		return Request{}, false
+	}
+}
+
+// recvSpin is how many empty scans the ring consumer burns (yielding each
+// time) before parking.
+const recvSpin = 128
+
+// recvBlock takes one request, blocking until one arrives or the port
+// stops (ok=false).
+func (p *port) recvBlock() (Request, bool) {
+	if p.pull != nil {
+		select {
+		case <-p.done:
+			return Request{}, false
+		case r := <-p.pull:
+			return r, true
+		}
+	}
+	for spin := 0; ; spin++ {
+		if r, ok := p.ring.tryPop(); ok {
+			return r, true
+		}
+		select {
+		case <-p.done:
+			return Request{}, false
+		default:
+		}
+		if spin < recvSpin {
+			runtime.Gosched()
+			continue
+		}
+		// Park: publish intent, drain a stale token, re-check, sleep.
+		p.sleeping.Store(1)
+		select {
+		case <-p.wakeup:
+		default:
+		}
+		if r, ok := p.ring.tryPop(); ok {
+			p.sleeping.Store(0)
+			return r, true
+		}
+		select {
+		case <-p.wakeup:
+		case <-p.done:
+			p.sleeping.Store(0)
+			return Request{}, false
+		}
+		p.sleeping.Store(0)
+		spin = 0
+	}
+}
+
+// wake unparks the ring consumer if it is (or is about to be) sleeping.
+func (p *port) wake() {
+	if p.ring != nil && p.sleeping.Load() != 0 {
+		select {
+		case p.wakeup <- struct{}{}:
+		default:
+		}
 	}
 }
 
@@ -224,7 +399,7 @@ func Start(cfg Config) (*Engine, error) {
 		hasher: pl.Hasher(),
 		pl:     pl,
 	}
-	p := newPort(e.cfg.QueueDepth)
+	p := newPort(e.cfg.QueueDepth, e.cfg.Transport)
 	e.port.Store(p)
 	go e.loop(p)
 	return e, nil
@@ -244,8 +419,23 @@ func (e *Engine) Submit(r Request) error {
 }
 
 func (e *Engine) submitOn(p *port, r Request) error {
-	if r.Reply == nil || cap(r.Reply) < 1 {
-		return fmt.Errorf("fpga: request needs a buffered reply channel")
+	if err := r.checkSink(); err != nil {
+		return err
+	}
+	if p.ring != nil {
+		for {
+			select {
+			case <-p.done:
+				return ErrClosed
+			default:
+			}
+			if p.ring.tryPush(r) {
+				p.wake()
+				e.recheck(p)
+				return nil
+			}
+			runtime.Gosched() // full: wait out the consumer
+		}
 	}
 	select {
 	case <-p.done:
@@ -266,14 +456,22 @@ func (e *Engine) submitOn(p *port, r Request) error {
 // validation deadlines poll TrySubmit so backpressure cannot exceed the
 // deadline.
 func (e *Engine) TrySubmit(r Request) error {
-	if r.Reply == nil || cap(r.Reply) < 1 {
-		return fmt.Errorf("fpga: request needs a buffered reply channel")
+	if err := r.checkSink(); err != nil {
+		return err
 	}
 	p := e.port.Load()
 	select {
 	case <-p.done:
 		return ErrClosed
 	default:
+	}
+	if p.ring != nil {
+		if !p.ring.tryPush(r) {
+			return ErrFull
+		}
+		p.wake()
+		e.recheck(p)
+		return nil
 	}
 	select {
 	case p.pull <- r:
@@ -286,8 +484,9 @@ func (e *Engine) TrySubmit(r Request) error {
 
 // recheck covers the submit/stop race: if the port stopped while (or right
 // after) we enqueued, the loop may never see the request — sweep the queue
-// so it still receives its terminal verdict. At most one party's sweep
-// observes any given request, so verdicts are never duplicated.
+// so it still receives its terminal verdict. Sinks reject duplicate
+// deliveries, and the ring dequeue is CAS-based, so concurrent sweeps are
+// safe.
 func (e *Engine) recheck(p *port) {
 	select {
 	case <-p.done:
@@ -296,29 +495,41 @@ func (e *Engine) recheck(p *port) {
 	}
 }
 
-// sweep drains whatever sits in a stopped port's pull queue, answering
-// each request with a terminal closed verdict.
+// sweep drains whatever sits in a stopped port's queue, answering each
+// request with a terminal closed verdict.
 func sweep(p *port) {
 	for {
-		select {
-		case r := <-p.pull:
-			v := Verdict{Token: r.Token, Reason: ReasonClosed, Probe: r.Probe}
-			select {
-			case r.Reply <- v:
-			default:
-			}
-		default:
+		r, ok := p.tryRecv()
+		if !ok {
 			return
 		}
+		r.Deliver(Verdict{Token: r.Token, Reason: ReasonClosed, Probe: r.Probe})
 	}
 }
 
-// Validate is the synchronous convenience wrapper: submit and wait. If the
-// engine stops before answering, it returns ErrClosed (the request's
-// terminal verdict, if one was produced, is preferred over the error).
+// Validate is the synchronous convenience wrapper: submit and wait. A
+// request without a sink borrows a pooled VerdictSlot, so the wrapper is
+// allocation-free in steady state. If the engine stops before answering,
+// the request's terminal ReasonClosed verdict is returned; ErrClosed is
+// returned only when the request was never accepted.
 func (e *Engine) Validate(r Request) (Verdict, error) {
+	if r.Slot != nil {
+		if err := e.submitOn(e.port.Load(), r); err != nil {
+			return Verdict{}, err
+		}
+		return r.Slot.Wait(r.Gen), nil
+	}
 	if r.Reply == nil {
-		r.Reply = make(chan Verdict, 1)
+		s := slotPool.Get().(*VerdictSlot)
+		r.Slot = s
+		r.Gen = s.Prepare()
+		if err := e.submitOn(e.port.Load(), r); err != nil {
+			slotPool.Put(s)
+			return Verdict{}, err
+		}
+		v := s.Wait(r.Gen)
+		slotPool.Put(s)
+		return v, nil
 	}
 	p := e.port.Load()
 	if err := e.submitOn(p, r); err != nil {
@@ -360,6 +571,7 @@ func (e *Engine) crashLocked() {
 	default:
 		close(p.done)
 	}
+	p.wake()   // unpark a sleeping ring consumer so it can exit
 	<-p.exited // the loop swept its in-flight work on the way out
 	sweep(p)   // catch requests that raced past the loop's final sweep
 }
@@ -380,7 +592,7 @@ func (e *Engine) Restart(next uint64) error {
 	e.restarts++
 	e.mu.Unlock()
 
-	p := newPort(e.cfg.QueueDepth)
+	p := newPort(e.cfg.QueueDepth, e.cfg.Transport)
 	e.port.Store(p)
 	go e.loop(p)
 	return nil
@@ -419,14 +631,56 @@ func (e *Engine) loop(p *port) {
 		e.loopRTL(p)
 		return
 	}
+	if p.ring != nil {
+		e.loopRing(p)
+		return
+	}
 	for {
-		select {
-		case <-p.done:
+		r, ok := p.recvBlock()
+		if !ok {
 			sweep(p)
 			return
-		case r := <-p.pull:
-			v := e.Process(r)
-			r.Reply <- v
+		}
+		v := e.Process(r)
+		r.Deliver(v)
+	}
+}
+
+// loopRing is the batched drain loop: grab everything queued, validate the
+// whole group under one pipeline acquisition (the hardware equivalent: the
+// pipeline ingests back-to-back beats without re-arbitrating the link per
+// request), then publish all verdicts. Publishing happens outside the
+// pipeline lock so woken committers never contend with the next batch.
+func (e *Engine) loopRing(p *port) {
+	batch := make([]Request, 0, e.cfg.QueueDepth)
+	verdicts := make([]Verdict, 0, e.cfg.QueueDepth)
+	for {
+		r, ok := p.recvBlock()
+		if !ok {
+			sweep(p)
+			return
+		}
+		batch = append(batch[:0], r)
+		for len(batch) < cap(batch) {
+			r, ok := p.ring.tryPop()
+			if !ok {
+				break
+			}
+			batch = append(batch, r)
+		}
+		verdicts = verdicts[:0]
+		e.mu.Lock()
+		for i := range batch {
+			verdicts = append(verdicts, e.pl.Process(batch[i]))
+		}
+		e.pl.stats.Batches++
+		if n := uint64(len(batch)); n > e.pl.stats.MaxBatch {
+			e.pl.stats.MaxBatch = n
+		}
+		e.mu.Unlock()
+		for i := range batch {
+			batch[i].Deliver(verdicts[i])
+			batch[i] = Request{} // release footprint references promptly
 		}
 	}
 }
@@ -450,24 +704,21 @@ func (e *Engine) loopRTL(p *port) {
 	e.mu.Unlock()
 	for {
 		if rtl.InFlight() == 0 {
-			select {
-			case <-p.done:
+			r, ok := p.recvBlock()
+			if !ok {
 				sweep(p)
 				return
-			case r := <-p.pull:
-				e.admitRTL(rtl, r)
 			}
+			e.admitRTL(rtl, r)
 		}
 		// Absorb any further queued requests without blocking, then
 		// advance the pipeline one cycle.
 		for {
-			select {
-			case r := <-p.pull:
-				e.admitRTL(rtl, r)
-				continue
-			default:
+			r, ok := p.tryRecv()
+			if !ok {
+				break
 			}
-			break
+			e.admitRTL(rtl, r)
 		}
 		before := rtl.Retired()
 		rtl.Tick()
@@ -489,35 +740,41 @@ func (e *Engine) loopRTL(p *port) {
 	}
 }
 
-// admitRTL wraps the caller's reply so engine statistics stay consistent
-// with the behavioral backend. Probes answer immediately: the RTL pipeline
-// has no side-effect-free path, and a probe's job is only to prove the
-// queues and the loop are alive.
+// rtlProxyPool recycles the one-verdict channels admitRTL interposes
+// between the RTL pipeline and the caller's sink; a proxy is always empty
+// when returned (its collector consumed the single verdict).
+var rtlProxyPool = sync.Pool{New: func() any { return make(chan Verdict, 1) }}
+
+// admitRTL interposes a pooled proxy on the caller's sink so engine
+// statistics stay consistent with the behavioral backend. Probes answer
+// immediately: the RTL pipeline has no side-effect-free path, and a
+// probe's job is only to prove the queues and the loop are alive.
 func (e *Engine) admitRTL(rtl *RTL, r Request) {
 	if r.Probe {
 		e.mu.Lock()
 		e.pl.stats.Probes++
 		e.mu.Unlock()
-		select {
-		case r.Reply <- Verdict{Token: r.Token, OK: true, Probe: true}:
-		default:
-		}
+		r.Deliver(Verdict{Token: r.Token, OK: true, Probe: true})
 		return
 	}
-	inner := r.Reply
-	proxy := make(chan Verdict, 1)
+	orig := r
+	proxy := rtlProxyPool.Get().(chan Verdict)
+	r.Slot = nil
+	r.Gen = 0
 	r.Reply = proxy
 	if err := rtl.Offer(r); err != nil {
-		inner <- Verdict{Token: r.Token, Reason: ReasonCycle}
+		rtlProxyPool.Put(proxy)
+		orig.Deliver(Verdict{Token: r.Token, Reason: ReasonCycle})
 		return
 	}
 	go func() {
 		v := <-proxy
+		rtlProxyPool.Put(proxy)
 		e.mu.Lock()
 		switch {
 		case v.OK:
 			e.pl.stats.Commits++
-			e.pl.stats.ModelCycles += e.cfg.Model.requestCycles(len(r.ReadAddrs), len(r.WriteAddrs))
+			e.pl.stats.ModelCycles += e.cfg.Model.requestCycles(len(orig.ReadAddrs), len(orig.WriteAddrs))
 		case v.Reason == ReasonWindow:
 			e.pl.stats.WindowAborts++
 		case v.Reason == ReasonClosed:
@@ -526,9 +783,6 @@ func (e *Engine) admitRTL(rtl *RTL, r Request) {
 			e.pl.stats.CycleAborts++
 		}
 		e.mu.Unlock()
-		select {
-		case inner <- v:
-		default:
-		}
+		orig.Deliver(v)
 	}()
 }

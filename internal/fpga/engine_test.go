@@ -252,8 +252,13 @@ func TestResourceModelMatchesPaperDesignPoint(t *testing.T) {
 	}
 }
 
-func BenchmarkEngineValidate(b *testing.B) {
-	e, err := Start(Config{})
+// benchValidate measures the host round trip through a started engine.
+// The same 8-read/4-write footprint every iteration is the conflict-heavy
+// worst case: the committed window fills with identical write sets, so
+// every validation WAW-overlaps all W history entries.
+func benchValidate(b *testing.B, tr Transport) {
+	b.Helper()
+	e, err := Start(Config{Transport: tr})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -265,6 +270,40 @@ func BenchmarkEngineValidate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _ = e.Validate(req(uint64(i), reads, writes))
 	}
+}
+
+func BenchmarkEngineValidate(b *testing.B)        { benchValidate(b, TransportRing) }
+func BenchmarkEngineValidateChannel(b *testing.B) { benchValidate(b, TransportChannel) }
+
+// benchValidateDisjoint is the low-conflict shape real workloads mostly
+// hit: every transaction touches fresh addresses, so the detector scan
+// short-circuits on signature intersection for nearly every entry.
+func benchValidateDisjoint(b *testing.B, tr Transport) {
+	b.Helper()
+	e, err := Start(Config{Transport: tr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	var reads [8]uint64
+	var writes [4]uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i) * 16
+		for j := range reads {
+			reads[j] = base + uint64(j)
+		}
+		for j := range writes {
+			writes[j] = base + 8 + uint64(j)
+		}
+		_, _ = e.Validate(req(uint64(i), reads[:], writes[:]))
+	}
+}
+
+func BenchmarkEngineValidateDisjoint(b *testing.B) { benchValidateDisjoint(b, TransportRing) }
+func BenchmarkEngineValidateDisjointChannel(b *testing.B) {
+	benchValidateDisjoint(b, TransportChannel)
 }
 
 func TestCycleLevelBackendMatchesBehavioral(t *testing.T) {

@@ -14,14 +14,36 @@ import (
 // unhealthy (rococotm's graceful-degradation mode validates against an
 // identical Pipeline so verdicts keep the exact hardware semantics).
 //
+// All state is preallocated at construction — the history is a ring of W
+// entries with resident signatures, and per-request signatures are scratch
+// fields — so Process performs no heap allocation, mirroring the hardware's
+// fixed register/BRAM budget (§5.1: every structure is sized a priori).
+//
 // Pipeline is not safe for concurrent use; callers serialize Process, which
 // is the software equivalent of the one-verdict-per-cycle manager.
 type Pipeline struct {
-	cfg     Config
-	hasher  *sig.Hasher
-	win     *core.Window
-	history []entry // ring: history[i] describes window slot i
-	stats   Stats
+	cfg    Config
+	hasher *sig.Hasher
+	win    *core.Window
+
+	// history is a ring of W detector entries, slot-aligned with the
+	// window: the window's slot i is history[(hBase+i)%W]. Entries own
+	// their signatures for the pipeline's lifetime; commits copy signature
+	// words in place instead of allocating.
+	history []entry
+	hBase   int // ring index of window slot 0 (the oldest entry)
+	hLen    int // live entries; always equals win.Count()
+
+	rs, ws sig.Sig // per-request scratch signatures
+	k      int     // hash functions per signature (cfg.Sig.K)
+
+	// rBits/wBits hold the k bit positions of every request address,
+	// hashed once per request and probed against all W history entries —
+	// the software analogue of the hardware hashing each address exactly
+	// once as it streams in (§5.3). Grown amortized; steady state reuses.
+	rBits, wBits []int32
+
+	stats Stats
 }
 
 // entry is the detector bookkeeping for one committed transaction: exactly
@@ -43,11 +65,22 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		return nil, err
 	}
 	cfg.fill()
-	return &Pipeline{
-		cfg:    cfg,
-		hasher: sig.NewHasher(cfg.Sig, cfg.SigSeed),
-		win:    core.NewWindow(cfg.W),
-	}, nil
+	p := &Pipeline{
+		cfg:     cfg,
+		hasher:  sig.NewHasher(cfg.Sig, cfg.SigSeed),
+		win:     core.NewWindow(cfg.W),
+		history: make([]entry, cfg.W),
+		rs:      sig.New(cfg.Sig),
+		ws:      sig.New(cfg.Sig),
+		k:       cfg.Sig.K,
+		rBits:   make([]int32, 0, 64),
+		wBits:   make([]int32, 0, 64),
+	}
+	for i := range p.history {
+		p.history[i].readSig = sig.New(cfg.Sig)
+		p.history[i].writeSig = sig.New(cfg.Sig)
+	}
+	return p, nil
 }
 
 // Config returns the pipeline's (filled) configuration.
@@ -71,7 +104,27 @@ func (p *Pipeline) NextSeq() core.Seq { return p.win.NextSeq() }
 // will abort with a window verdict until they refresh.
 func (p *Pipeline) ResetAt(next core.Seq) {
 	p.win.ResetAt(next)
-	p.history = p.history[:0]
+	p.hBase, p.hLen = 0, 0
+}
+
+// overlapBits reports whether the transaction's address set (signature s,
+// per-address bit positions bits, k per address) may intersect a history
+// entry's set: a cheap signature intersection first, refined by
+// per-address membership probes against the history signature on a hit —
+// the paper's rationale for shipping addresses (not signatures) to the
+// FPGA (§5.3). The addresses were hashed once per request (AppendBits), so
+// the refinement is pure bit probes. Residual false positives are those of
+// the query operation, far below intersection's.
+func overlapBits(s, hist sig.Sig, bits []int32, k int) bool {
+	if len(bits) == 0 || !s.Intersects(hist) {
+		return false
+	}
+	for off := 0; off+k <= len(bits); off += k {
+		if hist.QueryBits(bits[off : off+k]) {
+			return true
+		}
+	}
+	return false
 }
 
 // Process validates one request against the window.
@@ -96,37 +149,44 @@ func (p *Pipeline) Process(r Request) Verdict {
 		return Verdict{Token: r.Token, Reason: ReasonWindow, ModelNanos: nanos}
 	}
 
-	// Detector: build the transaction's signatures once, then derive the
-	// f/b adjacency vectors against each history entry.
-	rs := sig.New(p.cfg.Sig)
-	ws := sig.New(p.cfg.Sig)
-	for _, a := range r.ReadAddrs {
-		rs.Insert(p.hasher, a)
-	}
-	for _, a := range r.WriteAddrs {
-		ws.Insert(p.hasher, a)
-	}
+	// Detector: hash the transaction's addresses exactly once — into the
+	// scratch signatures and into per-address bit-position scratch — then
+	// derive the f/b adjacency vectors against each history entry. The
+	// W-entry scan itself performs no hashing, only signature intersections
+	// and precomputed bit probes.
+	p.rs.Reset()
+	p.ws.Reset()
+	p.rBits = p.hasher.AppendBits(p.rBits[:0], r.ReadAddrs)
+	p.wBits = p.hasher.AppendBits(p.wBits[:0], r.WriteAddrs)
+	p.rs.InsertBits(p.rBits)
+	p.ws.InsertBits(p.wBits)
 
 	var f, b uint64
-	for i := 0; i < p.win.Count(); i++ {
-		h := &p.history[i]
-		seen := h.seq < core.Seq(r.ValidTS)
-		if seen {
-			// Any dependence with a visible commit points backward.
-			if p.overlap(r.ReadAddrs, rs, h.writeSig, h.writes) ||
-				p.overlap(r.WriteAddrs, ws, h.readSig, h.reads) ||
-				p.overlap(r.WriteAddrs, ws, h.writeSig, h.writes) {
+	validSeq := core.Seq(r.ValidTS)
+	idx := p.hBase
+	for i := 0; i < p.hLen; i++ {
+		h := &p.history[idx]
+		if idx++; idx == p.cfg.W {
+			idx = 0
+		}
+		if h.seq < validSeq {
+			// Any dependence with a visible commit points backward. WAW
+			// first: the write set is the smallest, so it is the cheapest
+			// test and the likeliest to short-circuit under contention.
+			if (h.writes > 0 && overlapBits(p.ws, h.writeSig, p.wBits, p.k)) ||
+				(h.reads > 0 && overlapBits(p.ws, h.readSig, p.wBits, p.k)) ||
+				(h.writes > 0 && overlapBits(p.rs, h.writeSig, p.rBits, p.k)) {
 				b |= 1 << uint(i)
 			}
 			continue
 		}
 		// Unseen commit: a stale read orders the transaction before it
 		// (forward edge); WAR/WAW order it after (backward edge).
-		if p.overlap(r.ReadAddrs, rs, h.writeSig, h.writes) {
+		if h.writes > 0 && overlapBits(p.rs, h.writeSig, p.rBits, p.k) {
 			f |= 1 << uint(i)
 		}
-		if p.overlap(r.WriteAddrs, ws, h.readSig, h.reads) ||
-			p.overlap(r.WriteAddrs, ws, h.writeSig, h.writes) {
+		if (h.reads > 0 && overlapBits(p.ws, h.readSig, p.wBits, p.k)) ||
+			(h.writes > 0 && overlapBits(p.ws, h.writeSig, p.wBits, p.k)) {
 			b |= 1 << uint(i)
 		}
 	}
@@ -137,39 +197,22 @@ func (p *Pipeline) Process(r Request) Verdict {
 		p.stats.CycleAborts++
 		return Verdict{Token: r.Token, Reason: ReasonCycle, ModelNanos: nanos}
 	}
-	// Bookkeep the new commit; slide the history ring with the window.
-	ent := entry{
-		readSig: rs, writeSig: ws,
-		reads: len(r.ReadAddrs), writes: len(r.WriteAddrs),
-		seq: seq,
-	}
-	if len(p.history) == p.cfg.W {
-		copy(p.history, p.history[1:])
-		p.history[len(p.history)-1] = ent
+	// Bookkeep the new commit in place: advance the ring with the window
+	// (reuse the evicted slot when full) and copy the scratch signatures
+	// into the slot's resident ones.
+	var ent *entry
+	if p.hLen == p.cfg.W {
+		ent = &p.history[p.hBase]
+		p.hBase = (p.hBase + 1) % p.cfg.W
 	} else {
-		p.history = append(p.history, ent)
+		ent = &p.history[(p.hBase+p.hLen)%p.cfg.W]
+		p.hLen++
 	}
+	copy(ent.readSig.Words(), p.rs.Words())
+	copy(ent.writeSig.Words(), p.ws.Words())
+	ent.reads = len(r.ReadAddrs)
+	ent.writes = len(r.WriteAddrs)
+	ent.seq = seq
 	p.stats.Commits++
 	return Verdict{Token: r.Token, OK: true, Seq: seq, ModelNanos: nanos}
-}
-
-// overlap reports whether the transaction's address set (with its
-// signature) may intersect a history entry's set: a cheap signature
-// intersection first, refined by per-address membership queries against
-// the history signature on a hit — the paper's rationale for shipping
-// addresses (not signatures) to the FPGA (§5.3). Residual false positives
-// are those of the query operation, far below intersection's.
-func (p *Pipeline) overlap(addrs []uint64, s sig.Sig, hist sig.Sig, histCount int) bool {
-	if len(addrs) == 0 || histCount == 0 {
-		return false
-	}
-	if !s.Intersects(hist) {
-		return false
-	}
-	for _, a := range addrs {
-		if hist.Query(p.hasher, a) {
-			return true
-		}
-	}
-	return false
 }

@@ -1,0 +1,97 @@
+package fpga
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ring is the submission side of the batched transport: a bounded MPMC
+// queue of Requests in the style of Vyukov's array queue. Producers are
+// the committers (many), the consumer is normally the engine loop (one) —
+// but dequeue is also CAS-based because crash/close sweeps run concurrently
+// with the loop's final drain, and both sides must be able to drain the
+// same ring without double-delivering a terminal verdict.
+//
+// Each cell carries a sequence word: seq == pos means the cell is free for
+// the producer of ticket pos, seq == pos+1 means it holds that ticket's
+// request, and after consumption seq becomes pos+mask+1 (free for the next
+// lap). The sequence store is the release that publishes the request copy;
+// the load observing it is the matching acquire, so cell payloads need no
+// further synchronization.
+type ring struct {
+	mask  uint64
+	cells []ringCell
+	_     [6]uint64
+	enq   atomic.Uint64
+	_     [7]uint64
+	deq   atomic.Uint64
+	_     [7]uint64
+}
+
+type ringCell struct {
+	seq atomic.Uint64
+	req Request
+}
+
+// newRing builds a ring with capacity depth rounded up to a power of two.
+func newRing(depth int) *ring {
+	n := 1
+	for n < depth {
+		n <<= 1
+	}
+	r := &ring{mask: uint64(n - 1), cells: make([]ringCell, n)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush enqueues req; false means the ring is full (CCI backpressure).
+func (r *ring) tryPush(req Request) bool {
+	for {
+		pos := r.enq.Load()
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				cell.req = req
+				cell.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos:
+			return false // a full lap behind: no free cell
+		default:
+			// Another producer took this ticket; reload and retry.
+		}
+	}
+}
+
+// tryPop dequeues the oldest request; false means the ring is empty. If a
+// producer has claimed a ticket but not yet published its cell, tryPop
+// waits the (tiny) publication window out rather than reporting empty, so
+// sweeps never strand an accepted request.
+func (r *ring) tryPop() (Request, bool) {
+	for {
+		pos := r.deq.Load()
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				req := cell.req
+				cell.req = Request{} // drop footprint references
+				cell.seq.Store(pos + r.mask + 1)
+				return req, true
+			}
+		case seq < pos+1:
+			if r.enq.Load() == pos {
+				return Request{}, false
+			}
+			// Ticket pos is claimed but not yet published.
+			runtime.Gosched()
+		default:
+			// Another consumer beat us to this ticket; reload and retry.
+		}
+	}
+}

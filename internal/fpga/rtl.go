@@ -1,8 +1,6 @@
 package fpga
 
 import (
-	"fmt"
-
 	"rococotm/internal/core"
 	"rococotm/internal/sig"
 )
@@ -72,10 +70,7 @@ func (r *RTL) ResetAt(seq core.Seq) {
 // entered the pipeline is ever silently stranded.
 func (r *RTL) Flush() {
 	for _, t := range r.inflight {
-		select {
-		case t.req.Reply <- Verdict{Token: t.req.Token, Reason: ReasonClosed, Probe: t.req.Probe}:
-		default:
-		}
+		t.req.Deliver(Verdict{Token: t.req.Token, Reason: ReasonClosed, Probe: t.req.Probe})
 	}
 	r.inflight = nil
 }
@@ -90,11 +85,11 @@ func (r *RTL) Retired() uint64 { return r.retired }
 func (r *RTL) InFlight() int { return len(r.inflight) }
 
 // Offer inserts a request into the pipeline. The request must carry a
-// buffered Reply channel (capacity ≥ 1); its verdict is delivered when the
-// transaction retires.
+// verdict sink (a prepared Slot or a buffered Reply channel); its verdict
+// is delivered when the transaction retires.
 func (r *RTL) Offer(req Request) error {
-	if req.Reply == nil || cap(req.Reply) < 1 {
-		return fmt.Errorf("fpga: rtl request needs a buffered reply channel")
+	if err := req.checkSink(); err != nil {
+		return err
 	}
 	t := &rtlTxn{
 		req:    req,
@@ -219,7 +214,7 @@ func (r *RTL) retire(t *rtlTxn) {
 
 	if core.Seq(t.req.ValidTS) < r.win.BaseSeq() {
 		v.Reason = ReasonWindow
-		t.req.Reply <- v
+		t.req.Deliver(v)
 		r.retired++
 		return
 	}
@@ -237,7 +232,7 @@ func (r *RTL) retire(t *rtlTxn) {
 	seq, ok := r.win.Insert(f, b)
 	if !ok {
 		v.Reason = ReasonCycle
-		t.req.Reply <- v
+		t.req.Deliver(v)
 		r.retired++
 		return
 	}
@@ -265,7 +260,7 @@ func (r *RTL) retire(t *rtlTxn) {
 			}
 		}
 	}
-	t.req.Reply <- v
+	t.req.Deliver(v)
 	r.retired++
 }
 

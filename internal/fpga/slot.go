@@ -1,0 +1,153 @@
+package fpga
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// VerdictSlot is the push-queue endpoint of the batched transport: a
+// single-owner, reusable mailbox one verdict wide. A committer owns a slot
+// for the lifetime of its thread, arms it with Prepare before every
+// submission, and busy-polls (or parks on) it for the verdict — no Reply
+// channel is allocated, and successive validations on the same thread reuse
+// the same cache line, which is the software shape of the hardware's
+// per-AFU push-queue doorbell.
+//
+// The slot's state word encodes a generation counter and a phase:
+//
+//	state = gen<<2 | phase     phase ∈ {idle, pending, writing, ready}
+//
+// Prepare bumps the generation and arms phase=pending; the publisher CASes
+// pending→writing for its own generation only, copies the verdict, then
+// releases writing→ready. A verdict for an abandoned generation (the owner
+// timed out and re-armed) fails the CAS and is dropped, which is exactly
+// the at-most-once delivery the old buffered-channel protocol provided via
+// non-blocking sends — late and duplicate verdicts are rejected by
+// construction instead of by channel capacity.
+//
+// Owner-side waiting is spin-then-park: Wait burns a bounded number of
+// polls (a verdict in the healthy engine arrives in microseconds), then
+// raises the parked flag and sleeps on a one-token wake channel. The
+// publisher stores ready before loading parked and the waiter stores parked
+// before re-loading state, so with sequentially consistent atomics at least
+// one side observes the other (the Dekker handshake) and wakeups are never
+// lost.
+type VerdictSlot struct {
+	_      [8]uint64 // keep neighboring slots off this cache line
+	state  atomic.Uint64
+	parked atomic.Uint32
+	wake   chan struct{}
+	v      Verdict
+	_      [4]uint64
+}
+
+// Slot phases (low two bits of the state word).
+const (
+	slotIdle uint64 = iota
+	slotPending
+	slotWriting
+	slotReady
+)
+
+// slotSpin is how many polls a waiter burns before parking. The healthy
+// round trip is a handful of scheduler quanta; parking earlier would put a
+// goroutine wakeup on every verdict.
+const slotSpin = 256
+
+// Prepare arms the slot for one request and returns the generation the
+// caller must carry in Request.Gen. Only the owner calls Prepare, and only
+// when no Wait is outstanding.
+func (s *VerdictSlot) Prepare() uint64 {
+	if s.wake == nil {
+		s.wake = make(chan struct{}, 1)
+	}
+	for {
+		st := s.state.Load()
+		if st&3 == slotWriting {
+			// A stale publisher is mid-copy; it releases promptly.
+			runtime.Gosched()
+			continue
+		}
+		gen := (st >> 2) + 1
+		if s.state.CompareAndSwap(st, gen<<2|slotPending) {
+			return gen
+		}
+	}
+}
+
+// publish delivers v for generation gen. It reports false when the slot
+// has moved on (duplicate delivery, or the owner abandoned the generation
+// and re-armed).
+func (s *VerdictSlot) publish(gen uint64, v Verdict) bool {
+	if !s.state.CompareAndSwap(gen<<2|slotPending, gen<<2|slotWriting) {
+		return false
+	}
+	s.v = v
+	s.state.Store(gen<<2 | slotReady)
+	if s.parked.Load() != 0 {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// TryTake polls for generation gen's verdict without blocking.
+func (s *VerdictSlot) TryTake(gen uint64) (Verdict, bool) {
+	if s.state.Load() == gen<<2|slotReady {
+		return s.v, true
+	}
+	return Verdict{}, false
+}
+
+// Wait blocks until generation gen's verdict arrives. Safe only for
+// requests accepted by the engine, whose terminal-verdict guarantee bounds
+// the wait; deadline-driven hosts use WaitUntil instead.
+func (s *VerdictSlot) Wait(gen uint64) Verdict {
+	for i := 0; i < slotSpin; i++ {
+		if v, ok := s.TryTake(gen); ok {
+			return v
+		}
+		if i > 32 {
+			runtime.Gosched()
+		}
+	}
+	s.parked.Store(1)
+	defer s.parked.Store(0)
+	for {
+		if v, ok := s.TryTake(gen); ok {
+			return v
+		}
+		<-s.wake // tokens can be stale; re-check on every wake
+	}
+}
+
+// WaitUntil polls for generation gen's verdict until deadline. It never
+// parks — the fault-tolerant host bounds every blocking step and a timer
+// per validation is exactly the allocation this transport removes — but
+// yields the processor between polls so publishers and other committers
+// run.
+func (s *VerdictSlot) WaitUntil(gen uint64, deadline time.Time) (Verdict, bool) {
+	for i := 0; i < slotSpin; i++ {
+		if v, ok := s.TryTake(gen); ok {
+			return v, true
+		}
+	}
+	for i := 1; ; i++ {
+		if v, ok := s.TryTake(gen); ok {
+			return v, true
+		}
+		runtime.Gosched()
+		if i&63 == 0 && time.Now().After(deadline) {
+			return Verdict{}, false
+		}
+	}
+}
+
+// slotPool backs Engine.Validate for callers that pass neither a slot nor
+// a reply channel (tests, probes, one-shot validations): borrowed slots
+// make the convenience path allocation-free in steady state too.
+var slotPool = sync.Pool{New: func() any { return new(VerdictSlot) }}

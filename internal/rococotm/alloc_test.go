@@ -1,0 +1,91 @@
+//go:build !race
+
+// Steady-state allocation tests for the commit hot path. Excluded from
+// race builds: the race runtime instruments allocations and makes
+// AllocsPerRun meaningless there (the CI race lane still runs every
+// functional test in this package).
+package rococotm
+
+import (
+	"testing"
+	"time"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// runAllocProbe measures the warmed Begin/Read/Write/Commit cycle on the
+// given runtime and fails if it allocates.
+func runAllocProbe(t *testing.T, m *TM) {
+	t.Helper()
+	a := m.Heap().MustAlloc(4)
+	b := m.Heap().MustAlloc(4)
+	cycle := func() {
+		x, err := m.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := x.Read(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := x.Write(b, v+1); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Commit(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm: first iterations grow the redo map, sub-signature spares, the
+	// address scratch slices and the engine's batch buffers.
+	for i := 0; i < 128; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("commit cycle allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestCommitPathZeroAllocs pins the headline CPU-side guarantee of the
+// batched transport: a warmed single-thread read-modify-write transaction
+// commits through the engine with zero heap allocations.
+func TestCommitPathZeroAllocs(t *testing.T) {
+	m := New(mem.NewHeap(1<<10), Config{MaxThreads: 2})
+	defer m.Close()
+	runAllocProbe(t, m)
+}
+
+// TestCommitPathZeroAllocsFaultTolerant: the fault-tolerant wait path
+// (deadline-bounded WaitUntil, probe machinery armed) must stay
+// allocation-free too — no timer or channel per validation.
+func TestCommitPathZeroAllocsFaultTolerant(t *testing.T) {
+	m := New(mem.NewHeap(1<<10), Config{
+		MaxThreads:       2,
+		ValidateDeadline: time.Second,
+		ProbeInterval:    time.Hour, // keep the prober quiet during the probe
+	})
+	defer m.Close()
+	runAllocProbe(t, m)
+}
+
+// TestReadOnlyPathZeroAllocs: read-only transactions never touch the
+// engine; their whole lifecycle must be allocation-free once warm.
+func TestReadOnlyPathZeroAllocs(t *testing.T) {
+	m := New(mem.NewHeap(1<<10), Config{MaxThreads: 2})
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+	cycle := func() {
+		if err := tm.Run(m, 0, func(x tm.Txn) error {
+			_, err := x.Read(a)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("read-only cycle allocates %.2f objects/op, want 0", avg)
+	}
+}

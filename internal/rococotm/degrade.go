@@ -132,19 +132,34 @@ func (r *TM) FaultStats() FaultStats {
 	return st
 }
 
+// armSink attaches the thread's verdict sink to req: the per-thread
+// verdict slot on the batched transport (allocation-free), or a fresh
+// buffered Reply channel on the legacy channel transport.
+func (r *TM) armSink(x *txn, req *fpga.Request) *fpga.VerdictSlot {
+	if r.useSlots {
+		s := &r.slots[x.thread]
+		req.Slot = s
+		req.Gen = s.Prepare()
+		return s
+	}
+	req.Reply = make(chan fpga.Verdict, 1)
+	return nil
+}
+
 // validate obtains a verdict for req, routing by health state. viaEngine
 // reports which path answered; when true and the verdict is OK, the caller
 // owns one engineInflight reference and must release it after committing
 // or abandoning.
-func (r *TM) validate(req fpga.Request) (v fpga.Verdict, viaEngine bool, err error) {
+func (r *TM) validate(x *txn, req fpga.Request) (v fpga.Verdict, viaEngine bool, err error) {
 	if !r.ftEnabled {
+		r.armSink(x, &req)
 		v, err := r.eng.Validate(req)
 		return v, true, err
 	}
 	for {
 		switch r.state.Load() {
 		case stateHealthy:
-			if v, ok := r.engineValidate(req); ok {
+			if v, ok := r.engineValidate(x, req); ok {
 				return v, true, nil
 			}
 			if r.state.Load() == stateHealthy {
@@ -170,12 +185,14 @@ func (r *TM) validate(req fpga.Request) (v fpga.Verdict, viaEngine bool, err err
 // degradation observed); counters and degradation triggers have already
 // been recorded. On ok verdicts that are !OK the inflight reference is
 // already released; on OK verdicts the caller holds it.
-func (r *TM) engineValidate(req fpga.Request) (fpga.Verdict, bool) {
-	req.Reply = make(chan fpga.Verdict, 1)
+func (r *TM) engineValidate(x *txn, req fpga.Request) (fpga.Verdict, bool) {
+	slot := r.armSink(x, &req)
 	r.engineInflight.Add(1)
 	deadline := time.Now().Add(r.cfg.ValidateDeadline)
 
-	// Admission: poll past backpressure, bounded by the deadline.
+	// Admission: poll past backpressure, bounded by the deadline. The
+	// request has not been accepted yet, so a miss here leaves no
+	// reference to the transaction's footprint behind.
 	for {
 		if r.state.Load() != stateHealthy {
 			r.engineInflight.Add(-1)
@@ -201,28 +218,44 @@ func (r *TM) engineValidate(req fpga.Request) (fpga.Verdict, bool) {
 		runtime.Gosched()
 	}
 
-	// Verdict wait, bounded by the remainder of the deadline.
-	timer := time.NewTimer(time.Until(deadline))
-	defer timer.Stop()
-	select {
-	case v := <-req.Reply:
-		if v.Reason == fpga.ReasonClosed {
-			r.fc.engineErrors.Add(1)
+	// Verdict wait, bounded by the remainder of the deadline. A timeout
+	// after admission orphans the descriptor: the engine (or the fault
+	// layer) may still hold the request, so its footprint slices must not
+	// be reused until the slot generation (or reply channel) retires it.
+	var v fpga.Verdict
+	if slot != nil {
+		var ok bool
+		if v, ok = slot.WaitUntil(req.Gen, deadline); !ok {
+			x.orphaned = true
+			r.fc.deadlineMisses.Add(1)
 			r.engineInflight.Add(-1)
-			r.degrade()
+			r.maybeDegrade()
 			return fpga.Verdict{}, false
 		}
-		r.missStreak.Store(0)
-		if !v.OK {
-			r.engineInflight.Add(-1) // no sequence claimed
+	} else {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		select {
+		case v = <-req.Reply:
+		case <-timer.C:
+			x.orphaned = true
+			r.fc.deadlineMisses.Add(1)
+			r.engineInflight.Add(-1)
+			r.maybeDegrade()
+			return fpga.Verdict{}, false
 		}
-		return v, true
-	case <-timer.C:
-		r.fc.deadlineMisses.Add(1)
+	}
+	if v.Reason == fpga.ReasonClosed {
+		r.fc.engineErrors.Add(1)
 		r.engineInflight.Add(-1)
-		r.maybeDegrade()
+		r.degrade()
 		return fpga.Verdict{}, false
 	}
+	r.missStreak.Store(0)
+	if !v.OK {
+		r.engineInflight.Add(-1) // no sequence claimed
+	}
+	return v, true
 }
 
 // fallbackValidate issues one verdict from the serialized software
@@ -319,8 +352,15 @@ func (r *TM) recoverLoop() {
 // all answered OK within the deadline.
 func (r *TM) probeHealthy() bool {
 	for i := 0; i < r.cfg.ProbeCount; i++ {
-		rep := make(chan fpga.Verdict, 1)
-		preq := fpga.Request{Probe: true, Reply: rep}
+		preq := fpga.Request{Probe: true}
+		if r.useSlots {
+			// The prober is a single goroutine, so one dedicated slot
+			// serves every probe allocation-free.
+			preq.Slot = &r.probeSlot
+			preq.Gen = r.probeSlot.Prepare()
+		} else {
+			preq.Reply = make(chan fpga.Verdict, 1)
+		}
 		deadline := time.Now().Add(r.cfg.ValidateDeadline)
 		for {
 			err := r.link.TrySubmit(preq)
@@ -332,9 +372,16 @@ func (r *TM) probeHealthy() bool {
 			}
 			runtime.Gosched()
 		}
+		if r.useSlots {
+			v, ok := r.probeSlot.WaitUntil(preq.Gen, deadline)
+			if !ok || !v.OK {
+				return false
+			}
+			continue
+		}
 		timer := time.NewTimer(time.Until(deadline))
 		select {
-		case v := <-rep:
+		case v := <-preq.Reply:
 			timer.Stop()
 			if !v.OK {
 				return false

@@ -52,11 +52,7 @@ func (s *stubLink) TrySubmit(r fpga.Request) error {
 		return fpga.ErrClosed
 	default:
 		// Serve synchronously. Single-threaded tests only; no locking.
-		v := s.pl.Process(r)
-		select {
-		case r.Reply <- v:
-		default:
-		}
+		r.Deliver(s.pl.Process(r))
 		return nil
 	}
 }

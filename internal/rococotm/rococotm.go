@@ -168,6 +168,18 @@ type TM struct {
 	gate   sync.RWMutex
 	consec []int32 // consecutive conflict aborts per thread (owner-only)
 
+	// Transport hot-path reuse. scratch holds each thread's recycled
+	// transaction descriptor (owner-only: nil while the thread's txn is
+	// live); slots are the per-thread verdict mailboxes of the push-queue
+	// transport; probeSlot serves the single recovery prober. useSlots is
+	// false on the legacy channel transport, which allocates a Reply
+	// channel per validation (the measurable baseline for the transport
+	// A/B experiment).
+	scratch   []*txn
+	slots     []fpga.VerdictSlot
+	probeSlot fpga.VerdictSlot
+	useSlots  bool
+
 	cnt tm.Counters
 
 	// Fault-tolerant mode state (degrade.go). link is the possibly-wrapped
@@ -225,6 +237,9 @@ func New(heap *mem.Heap, cfg Config) *TM {
 		r.updates[i].words = make([]atomic.Uint64, sigWords)
 	}
 	r.consec = make([]int32, cfg.MaxThreads)
+	r.scratch = make([]*txn, cfg.MaxThreads)
+	r.slots = make([]fpga.VerdictSlot, cfg.MaxThreads)
+	r.useSlots = eng.Config().Transport != fpga.TransportChannel
 	r.stop = make(chan struct{})
 	r.link = eng
 	r.ftEnabled = cfg.ValidateDeadline > 0
@@ -250,8 +265,15 @@ func (r *TM) Name() string { return "rococotm" }
 // Heap implements tm.TM.
 func (r *TM) Heap() *mem.Heap { return r.heap }
 
-// Stats implements tm.TM.
-func (r *TM) Stats() tm.Stats { return r.cnt.Snapshot() }
+// Stats implements tm.TM; batch-occupancy fields come from the engine's
+// transport counters.
+func (r *TM) Stats() tm.Stats {
+	s := r.cnt.Snapshot()
+	es := r.eng.Stats()
+	s.ValidationBatches = es.Batches
+	s.ValidationBatchMax = es.MaxBatch
+	return s
+}
 
 // Engine exposes the FPGA pipeline (stats, tests).
 func (r *TM) Engine() *fpga.Engine { return r.eng }
@@ -280,6 +302,7 @@ type txn struct {
 
 	readSig   sig.Sig   // whole-read-set signature
 	subSigs   []sig.Sig // one per SubSigAddrs reads, for precise re-checks
+	subUsed   int       // sub-signatures live this attempt (rest are spares)
 	subCount  int       // addresses in the newest sub-signature
 	readAddrs []uint64
 	readSeen  map[mem.Addr]bool
@@ -287,12 +310,53 @@ type txn struct {
 	writeSig   sig.Sig
 	redo       map[mem.Addr]mem.Word
 	writeOrder []mem.Addr
+	writeAddrs []uint64 // scratch for the shipped write footprint
 
 	missSig sig.Sig // MissSet
 	missAny bool
 	tempSig sig.Sig // scratch TempSet
 	oneSig  sig.Sig // scratch for one commit-queue entry
 	sigCfg  sig.Config
+
+	// orphaned marks a descriptor whose footprint slices may still be
+	// referenced by an engine request that timed out after admission; the
+	// next reset drops those slices instead of reusing their backing
+	// arrays, so a late validation never reads a recycled footprint.
+	orphaned bool
+}
+
+// reset rearms a recycled descriptor for a new attempt at snapshot ts. All
+// signatures and logs are cleared in place; address slices keep their
+// backing arrays unless a previous engine request may still hold them.
+func (x *txn) reset(ts uint64) {
+	x.dead = false
+	x.localTS, x.validTS = ts, ts
+	x.readSig.Reset()
+	x.writeSig.Reset()
+	x.missSig.Reset()
+	x.missAny = false
+	x.subUsed = 0
+	x.subCount = 0
+	if x.orphaned {
+		x.orphaned = false
+		x.readAddrs = nil
+		x.writeAddrs = nil
+	} else {
+		x.readAddrs = x.readAddrs[:0]
+		x.writeAddrs = x.writeAddrs[:0]
+	}
+	clear(x.readSeen)
+	clear(x.redo)
+	x.writeOrder = x.writeOrder[:0]
+}
+
+// recycle parks a dead descriptor for reuse by the thread's next Begin.
+// Only the owning thread calls it (txns are single-goroutine), so the
+// scratch slot needs no synchronization.
+func (r *TM) recycle(x *txn) {
+	if r.scratch[x.thread] == nil {
+		r.scratch[x.thread] = x
+	}
 }
 
 // Begin implements tm.TM.
@@ -309,8 +373,14 @@ func (r *TM) Begin(thread int) (tm.Txn, error) {
 		// and its validation is trivially acyclic.
 		r.gate.Lock()
 	}
-	scfg := r.eng.Config().Sig
 	ts := r.globalTS.Load()
+	if x := r.scratch[thread]; x != nil {
+		r.scratch[thread] = nil
+		x.irrevocable = irrevocable
+		x.reset(ts)
+		return x, nil
+	}
+	scfg := r.eng.Config().Sig
 	return &txn{
 		r:           r,
 		irrevocable: irrevocable,
@@ -342,6 +412,7 @@ func (x *txn) abort(reason string) error {
 		x.r.consec[x.thread]++
 	}
 	x.r.cnt.OnAbort(reason)
+	x.r.recycle(x)
 	return tm.Abort(reason)
 }
 
@@ -470,16 +541,23 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 		x.validTS = x.localTS
 	}
 
-	// Line 20: record the read.
+	// Line 20: record the read. Sub-signatures are recycled across
+	// attempts: subUsed counts the live ones, spares beyond it are reset
+	// in place instead of reallocated.
 	if !x.readSeen[a] {
 		x.readSeen[a] = true
 		x.readAddrs = append(x.readAddrs, addr)
 		x.readSig.Insert(x.r.hasher, addr)
 		if x.subCount == 0 || x.subCount == x.r.cfg.SubSigAddrs {
-			x.subSigs = append(x.subSigs, sig.New(x.sigCfg))
+			if x.subUsed < len(x.subSigs) {
+				x.subSigs[x.subUsed].Reset()
+			} else {
+				x.subSigs = append(x.subSigs, sig.New(x.sigCfg))
+			}
+			x.subUsed++
 			x.subCount = 0
 		}
-		x.subSigs[len(x.subSigs)-1].Insert(x.r.hasher, addr)
+		x.subSigs[x.subUsed-1].Insert(x.r.hasher, addr)
 		x.subCount++
 	}
 	return v, nil
@@ -500,7 +578,7 @@ func (x *txn) readSetOverlaps(commit sig.Sig) bool {
 		return false
 	}
 	n := x.r.cfg.SubSigAddrs
-	for i, s := range x.subSigs {
+	for i, s := range x.subSigs[:x.subUsed] {
 		if !s.Intersects(commit) {
 			continue
 		}
@@ -545,6 +623,7 @@ func (r *TM) Commit(t tm.Txn) error {
 		}
 		r.consec[x.thread] = 0
 		r.cnt.OnCommit(true)
+		r.recycle(x)
 		return nil
 	}
 	if !x.irrevocable {
@@ -585,19 +664,22 @@ func (r *TM) Commit(t tm.Txn) error {
 	}
 
 	// Ship the footprint and snapshot to the FPGA and wait for a verdict.
-	writeAddrs := make([]uint64, len(x.writeOrder))
-	for i, a := range x.writeOrder {
-		writeAddrs[i] = uint64(a)
+	// The write footprint reuses the descriptor's scratch slice; the
+	// engine releases its references once the verdict is delivered, and
+	// the orphaning rule in reset covers requests that outlive a deadline.
+	x.writeAddrs = x.writeAddrs[:0]
+	for _, a := range x.writeOrder {
+		x.writeAddrs = append(x.writeAddrs, uint64(a))
 	}
 	var t0 time.Time
 	if r.cfg.MeasureValidation {
 		t0 = time.Now()
 	}
-	verdict, viaEngine, err := r.validate(fpga.Request{
+	verdict, viaEngine, err := r.validate(x, fpga.Request{
 		Token:      uint64(x.thread),
 		ValidTS:    x.validTS,
 		ReadAddrs:  x.readAddrs,
-		WriteAddrs: writeAddrs,
+		WriteAddrs: x.writeAddrs,
 	})
 	if r.cfg.MeasureValidation {
 		r.cnt.AddValidation(time.Since(t0))
@@ -671,6 +753,7 @@ func (r *TM) Commit(t tm.Txn) error {
 	}
 	r.consec[x.thread] = 0
 	r.cnt.OnCommit(false)
+	r.recycle(x)
 	return nil
 }
 
@@ -684,6 +767,7 @@ func (r *TM) Abort(t tm.Txn) {
 			r.gate.Unlock()
 		}
 		r.cnt.OnAbort(tm.ReasonExplicit)
+		r.recycle(x)
 	}
 }
 

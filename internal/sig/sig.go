@@ -59,6 +59,7 @@ var Default512 = Config{M: 512, K: 4}
 type Hasher struct {
 	cfg   Config
 	shift uint
+	pb    int // cached cfg.PartitionBits(); Indices/Insert/Query are hot
 	a     []uint64
 	b     []uint64
 }
@@ -72,6 +73,7 @@ func NewHasher(cfg Config, seed uint64) *Hasher {
 	h := &Hasher{
 		cfg:   cfg,
 		shift: uint(64 - bits.TrailingZeros(uint(cfg.PartitionBits()))),
+		pb:    cfg.PartitionBits(),
 		a:     make([]uint64, cfg.K),
 		b:     make([]uint64, cfg.K),
 	}
@@ -98,12 +100,28 @@ func (h *Hasher) Config() Config { return h.cfg }
 // signature) for addr into out, which must have length ≥ k, and returns
 // out[:k].
 func (h *Hasher) Indices(addr uint64, out []int) []int {
-	pb := h.cfg.PartitionBits()
-	for i := 0; i < h.cfg.K; i++ {
+	base := 0
+	for i := 0; i < len(h.a); i++ {
 		idx := int((h.a[i]*addr + h.b[i]) >> h.shift)
-		out[i] = i*pb + idx
+		out[i] = base + idx
+		base += h.pb
 	}
-	return out[:h.cfg.K]
+	return out[:len(h.a)]
+}
+
+// AppendBits appends the k bit positions of every address in addrs to out
+// and returns the extended slice (k*len(addrs) entries, grouped per
+// address). It is the batch form of Indices for hot paths that probe the
+// same addresses against many signatures: hash once, probe with QueryBits.
+func (h *Hasher) AppendBits(out []int32, addrs []uint64) []int32 {
+	for _, addr := range addrs {
+		base := int32(0)
+		for i := 0; i < len(h.a); i++ {
+			out = append(out, base+int32((h.a[i]*addr+h.b[i])>>h.shift))
+			base += int32(h.pb)
+		}
+	}
+	return out
 }
 
 // Sig is one bloom-filter signature. The zero value is not usable;
@@ -156,17 +174,43 @@ func (s Sig) OnesCount() int {
 
 // Insert adds addr to the signature.
 func (s Sig) Insert(h *Hasher, addr uint64) {
-	var buf [16]int
-	for _, bit := range h.Indices(addr, buf[:]) {
+	base := 0
+	for i := 0; i < len(h.a); i++ {
+		bit := base + int((h.a[i]*addr+h.b[i])>>h.shift)
 		s.w[bit>>6] |= 1 << uint(bit&63)
+		base += h.pb
 	}
 }
 
 // Query reports whether addr may be in the set (false positives possible,
-// false negatives impossible).
+// false negatives impossible). The hash for partition i+1 is only computed
+// if partition i hits, which makes the common miss cheap.
 func (s Sig) Query(h *Hasher, addr uint64) bool {
-	var buf [16]int
-	for _, bit := range h.Indices(addr, buf[:]) {
+	base := 0
+	for i := 0; i < len(h.a); i++ {
+		bit := base + int((h.a[i]*addr+h.b[i])>>h.shift)
+		if s.w[bit>>6]&(1<<uint(bit&63)) == 0 {
+			return false
+		}
+		base += h.pb
+	}
+	return true
+}
+
+// InsertBits sets the precomputed bit positions (from AppendBits) in the
+// signature. Inserting a batch of addresses this way is equivalent to
+// calling Insert for each.
+func (s Sig) InsertBits(bits []int32) {
+	for _, bit := range bits {
+		s.w[bit>>6] |= 1 << uint(bit&63)
+	}
+}
+
+// QueryBits reports whether the address whose k precomputed bit positions
+// are bits (one address's group from AppendBits) may be in the set. It is
+// Query with the hashing hoisted out.
+func (s Sig) QueryBits(bits []int32) bool {
+	for _, bit := range bits {
 		if s.w[bit>>6]&(1<<uint(bit&63)) == 0 {
 			return false
 		}
@@ -190,15 +234,21 @@ func (s Sig) Union(o Sig) {
 // Jeffrey & Steffan that ROCoCoTM's detector implements.
 func (s Sig) Intersects(o Sig) bool {
 	s.sameLen(o)
-	for p := 0; p < len(s.w); p += s.pw {
-		hit := false
-		for i := p; i < p+s.pw; i++ {
-			if s.w[i]&o.w[i] != 0 {
-				hit = true
-				break
+	w, ow := s.w, o.w
+	if s.pw == 2 { // the common geometry: 128-bit partitions
+		for p := 0; p+1 < len(w); p += 2 {
+			if w[p]&ow[p]|w[p+1]&ow[p+1] == 0 {
+				return false
 			}
 		}
-		if !hit {
+		return true
+	}
+	for p := 0; p < len(w); p += s.pw {
+		acc := uint64(0)
+		for i := p; i < p+s.pw; i++ {
+			acc |= w[i] & ow[i]
+		}
+		if acc == 0 {
 			return false
 		}
 	}

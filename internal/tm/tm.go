@@ -13,7 +13,6 @@ package tm
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -101,6 +100,13 @@ type Stats struct {
 	// latency (pipeline cycles + CCI round trip) where a runtime offloads
 	// validation; zero for pure-software runtimes.
 	ModelValidationNanos uint64
+	// ValidationBatches and ValidationBatchMax describe the validation
+	// transport's drain-group occupancy where a runtime batches requests
+	// to its engine: how many groups the engine drained and the largest
+	// single group. Zero for runtimes (or transports) that submit one
+	// request at a time.
+	ValidationBatches  uint64
+	ValidationBatchMax uint64
 }
 
 // AbortRate returns Aborts / Starts.
@@ -246,16 +252,51 @@ func hardReason(reason string) bool {
 	return reason == ReasonWindow || reason == ReasonEngine
 }
 
+// rng is a per-retry-loop xorshift64* generator for backoff jitter. The
+// global math/rand source funnels every backing-off thread through one
+// locked state word — exactly the cross-thread coupling a contention
+// manager must not reintroduce — so each Run loop carries its own.
+type rng uint64
+
+// rngSeq spaces seeds; splitmix64's increment guarantees well-mixed,
+// distinct streams per loop without coordination.
+var rngSeq atomic.Uint64
+
+func newRNG() rng {
+	z := rngSeq.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return rng(z)
+}
+
+// next returns a uniform uint64 (xorshift64*, never zero state).
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+// int63n returns a uniform int64 in [0, n); the modulo bias is far below
+// what jittered backoff can observe.
+func (r *rng) int63n(n int64) int64 { return int64(r.next() % uint64(n)) }
+
 // wait blocks between attempt k (1-based count of consecutive aborts) and
-// the next try.
-func (p BackoffPolicy) wait(reason string, attempt int) {
+// the next try, drawing jitter from the loop-local generator.
+func (p BackoffPolicy) wait(rg *rng, reason string, attempt int) {
 	if hardReason(reason) {
 		d := p.SleepBase << uint(min(attempt-1, 16))
 		if d > p.SleepCap || d <= 0 {
 			d = p.SleepCap
 		}
 		// Full jitter over (0, d]: decorrelate the retry wave.
-		time.Sleep(time.Duration(1 + rand.Int63n(int64(d))))
+		time.Sleep(time.Duration(1 + rg.int63n(int64(d))))
 		return
 	}
 	if attempt == 1 {
@@ -268,7 +309,7 @@ func (p BackoffPolicy) wait(reason string, attempt int) {
 	if n > p.SpinCap || n <= 0 {
 		n = p.SpinCap
 	}
-	spin(rand.Intn(n))
+	spin(int(rg.int63n(int64(n))))
 }
 
 // Run executes fn as a transaction on the given thread, retrying until it
@@ -282,6 +323,7 @@ func Run(m TM, thread int, fn func(Txn) error) error {
 func RunBackoff(m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
 	pol.fill()
 	attempt := 0
+	rg := newRNG()
 	for {
 		t, err := m.Begin(thread)
 		if err != nil {
@@ -303,7 +345,7 @@ func RunBackoff(m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
 		// Transactional abort: the runtime already rolled back. Back off
 		// by reason class before retrying.
 		attempt++
-		pol.wait(reason, attempt)
+		pol.wait(&rg, reason, attempt)
 	}
 }
 

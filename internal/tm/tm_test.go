@@ -95,9 +95,10 @@ func TestBackoffReasonClasses(t *testing.T) {
 	// attempt counts (the shift must not overflow into zero or negative).
 	var p BackoffPolicy
 	p.fill()
+	rg := newRNG()
 	for _, attempt := range []int{1, 5, 20, 63, 1000} {
 		start := time.Now()
-		p.wait(ReasonEngine, attempt)
+		p.wait(&rg, ReasonEngine, attempt)
 		if d := time.Since(start); d > time.Second {
 			t.Fatalf("attempt %d slept %v, cap is %v", attempt, d, p.SleepCap)
 		}
@@ -105,7 +106,7 @@ func TestBackoffReasonClasses(t *testing.T) {
 	// Soft-reason waits never sleep; they spin at most SpinCap.
 	start := time.Now()
 	for attempt := 1; attempt <= 40; attempt++ {
-		p.wait(ReasonConflict, attempt)
+		p.wait(&rg, ReasonConflict, attempt)
 	}
 	if d := time.Since(start); d > time.Second {
 		t.Fatalf("soft backoff took %v", d)

@@ -16,6 +16,10 @@
 #                  — the runtime and analyzer packages under the race
 #                    detector; OCC code is concurrency code, so the race
 #                    lane is not optional
+#   7. bench smoke — every benchmark compiles and survives one iteration
+#                    (benchtime=1x), so perf lanes cannot silently rot;
+#                    the non-race run also picks up the AllocsPerRun
+#                    zero-allocation tests excluded from lane 6
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,5 +46,8 @@ go test -race -run Chaos -count=2 ./internal/fault/...
 
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
+
+echo "== bench smoke: go test -run=NONE -bench=. -benchtime=1x ./internal/..."
+go test -run='ZeroAllocs' -bench=. -benchtime=1x ./internal/...
 
 echo "== all checks passed"
