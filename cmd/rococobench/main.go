@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	rococobench -exp fig7|fig9|fig10|fig11|resources|transport|ablation-window|ablation-sig|all
-//	            [-scale small|medium|large] [-app name] [-threads list]
+//	rococobench -exp fig7|fig9|fig10|fig11|resources|fault|soak|transport|ablation-window|ablation-sig|all
+//	            [-scale small|medium|large] [-app name] [-threads list] [-dur duration]
 //	            [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints a paper-style text table; EXPERIMENTS.md records
@@ -20,16 +20,18 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"rococotm/internal/bench"
 	"rococotm/internal/stamp"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, transport, ablation-window, ablation-sig, ablation-contention, all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, soak, transport, ablation-window, ablation-sig, ablation-contention, all")
 	scaleFlag := flag.String("scale", "medium", "STAMP input scale: small, medium, large")
 	app := flag.String("app", "", "restrict fig10/fig11 to one app")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10 (default 1,4,8,14,28)")
+	dur := flag.Duration("dur", 0, "wall-clock duration for -exp soak (default 60s; \"all\" uses 5s)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -103,6 +105,16 @@ func main() {
 		case "fault":
 			rep, err := bench.RunFaultBench(bench.FaultBenchConfig{})
 			emit(rep, err)
+		case "soak":
+			d := *dur
+			if d == 0 && *exp == "all" {
+				d = 5 * time.Second // keep the full sweep tractable
+			}
+			rep, err := bench.RunSoak(bench.SoakConfig{Duration: d})
+			emit(rep, err)
+			if err == nil && rep.AuditErr != nil {
+				fatal(rep.AuditErr)
+			}
 		case "transport":
 			cfg := bench.TransportBenchConfig{Scale: scale}
 			if *app != "" {
@@ -132,7 +144,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "transport", "ablation-window", "ablation-sig", "ablation-contention"} {
+		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "soak", "transport", "ablation-window", "ablation-sig", "ablation-contention"} {
 			run(name)
 			fmt.Println()
 		}

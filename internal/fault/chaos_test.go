@@ -1,11 +1,15 @@
 package fault_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"rococotm/internal/audit"
 	"rococotm/internal/fault"
 	"rococotm/internal/mem"
 	"rococotm/internal/rococotm"
@@ -36,13 +40,20 @@ func chaosConfig(sched fault.Schedule, link **fault.Link) rococotm.Config {
 }
 
 // runChaosHistory runs the serializability workload under sched and
-// returns the fault link and runtime for post-hoc assertions.
+// returns the fault link and runtime for post-hoc assertions. Every
+// scenario is double-checked: the tmtest history oracle inspects observed
+// values from the outside, and the runtime serializability auditor
+// watches the commit stream from the inside — both must agree the
+// history is acyclic.
 func runChaosHistory(t *testing.T, sched fault.Schedule, seed int64) (*fault.Link, *rococotm.TM) {
 	t.Helper()
 	var link *fault.Link
 	var m *rococotm.TM
+	auditor := audit.New(audit.Config{})
 	tmtest.HistorySerializable(t, func() tm.TM {
-		m = rococotm.New(mem.NewHeap(1<<12), chaosConfig(sched, &link))
+		cfg := chaosConfig(sched, &link)
+		cfg.Observer = auditor
+		m = rococotm.New(mem.NewHeap(1<<12), cfg)
 		return m
 	}, tmtest.HistoryOptions{
 		Threads:  4,
@@ -52,6 +63,12 @@ func runChaosHistory(t *testing.T, sched fault.Schedule, seed int64) (*fault.Lin
 		Readers:   false,
 		Seed:      seed,
 	})
+	if err := auditor.Err(); err != nil {
+		t.Errorf("runtime auditor: %v", err)
+	}
+	if st := auditor.Stats(); st.Observed == 0 {
+		t.Error("auditor observed no commits")
+	}
 	return link, m
 }
 
@@ -249,6 +266,153 @@ func TestChaosRecoveryRoundTrip(t *testing.T) {
 			settleGoroutines(t, baseline)
 		})
 	}
+}
+
+// TestChaosAuditSoak is the acceptance soak in miniature: a fault-heavy
+// schedule (drops, duplicates, reorders, crash/restart) plus lifecycle
+// chaos from the host side — cancellations, injected closure panics, and
+// closures that wedge past the watchdog age — while the runtime
+// serializability auditor certifies every committed history window. The
+// auditor's own self-test (a seeded wrong verdict that must be flagged
+// exactly once) gates the run, so "0 violations" is a meaningful verdict
+// and not a dead checker. After Close: no live descriptors, no goroutines.
+func TestChaosAuditSoak(t *testing.T) {
+	dur := 2 * time.Second
+	if testing.Short() {
+		dur = 300 * time.Millisecond
+	}
+	if err := audit.SelfTest(); err != nil {
+		t.Fatalf("auditor self-test failed; its verdicts are not trustworthy: %v", err)
+	}
+
+	baseline := runtime.NumGoroutine()
+	var link *fault.Link
+	auditor := audit.New(audit.Config{})
+	cfg := chaosConfig(fault.Schedule{
+		Seed:          42,
+		DelayProb:     0.15,
+		DelayMin:      10 * time.Microsecond,
+		DelayMax:      2 * time.Millisecond,
+		DropProb:      0.03,
+		DuplicateProb: 0.1,
+		ReorderProb:   0.1,
+		CrashAfter:    80,
+		DownFor:       time.Millisecond,
+		CrashRepeat:   true,
+	}, &link)
+	cfg.Observer = auditor
+	cfg.WatchdogAge = 5 * time.Millisecond
+	cfg.WatchdogInterval = time.Millisecond
+	cfg.Logf = func(string, ...any) {}
+	h := mem.NewHeap(1 << 12)
+	m := rococotm.New(h, cfg)
+	base := h.MustAlloc(16)
+
+	const workers = 6
+	type tally struct{ commits, cancels, panics, stuck uint64 }
+	tallies := make([]tally, workers)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(dur)
+	for th := 0; th < workers; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			tl := &tallies[th]
+			for i := 0; time.Now().Before(stop); i++ {
+				switch {
+				case i%37 == 13:
+					// Cancellation mid-transaction.
+					ctx, cancel := context.WithCancel(context.Background())
+					err := tm.RunCtx(ctx, m, th, func(x tm.Txn) error {
+						cancel()
+						_, err := x.Read(base + mem.Addr(i%16))
+						return err
+					})
+					cancel()
+					if errors.Is(err, context.Canceled) {
+						tl.cancels++
+					}
+				case i%53 == 29:
+					// Injected closure panic: must unwind cleanly.
+					func() {
+						defer func() {
+							if recover() != nil {
+								tl.panics++
+							}
+						}()
+						//lint:ignore tmlint/aborterr the injected panic preempts the return; Run never yields an error here
+						_ = tm.Run(m, th, func(x tm.Txn) error {
+							if err := x.Write(base+mem.Addr(i%16), 1); err != nil {
+								return err
+							}
+							panic("injected")
+						})
+					}()
+				case i%97 == 61:
+					// Wedged closure: parks past the watchdog age, then
+					// retries and commits.
+					stalled := false
+					//lint:ignore tmlint/aborterr soak workload: a failed wedged attempt is tolerated, not propagated
+					if err := tm.Run(m, th, func(x tm.Txn) error {
+						if !stalled {
+							stalled = true
+							time.Sleep(8 * time.Millisecond)
+						}
+						_, err := x.Read(base + mem.Addr(i%16))
+						return err
+					}); err == nil {
+						tl.stuck++
+					}
+				default:
+					// Plain conflicting RMW traffic.
+					if err := tm.Run(m, th, func(x tm.Txn) error {
+						a := base + mem.Addr((i+th)%16)
+						v, err := x.Read(a)
+						if err != nil {
+							return err
+						}
+						return x.Write(a, v+1)
+					}); err != nil {
+						t.Errorf("thread %d: %v", th, err)
+						return
+					}
+					tl.commits++
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	var total tally
+	for _, tl := range tallies {
+		total.commits += tl.commits
+		total.cancels += tl.cancels
+		total.panics += tl.panics
+		total.stuck += tl.stuck
+	}
+	if total.commits == 0 || total.cancels == 0 || total.panics == 0 {
+		t.Fatalf("soak exercised too little: %+v", total)
+	}
+	if err := auditor.Err(); err != nil {
+		t.Errorf("runtime auditor: %v", err)
+	}
+	st := auditor.Stats()
+	if st.Observed == 0 {
+		t.Fatal("auditor observed no commits")
+	}
+	t.Logf("soak: %d commits, %d cancels, %d panics, %d watchdog-retried; "+
+		"audit: %d observed, %d edges, %d back-edges, %d violations; link: %+v",
+		total.commits, total.cancels, total.panics, total.stuck,
+		st.Observed, st.Edges, st.BackEdges, st.Violations, link.Stats())
+
+	if live, _ := m.PoolCheck(); live != 0 {
+		t.Fatalf("live descriptors after soak = %d", live)
+	}
+	m.Close()
+	if live, _ := m.PoolCheck(); live != 0 {
+		t.Fatalf("live descriptors after Close = %d", live)
+	}
+	settleGoroutines(t, baseline)
 }
 
 // settleGoroutines polls until the goroutine count returns to baseline —

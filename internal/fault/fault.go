@@ -301,7 +301,13 @@ func (l *Link) Restart(next uint64) error {
 	l.nRestarts.Add(1)
 	if l.sched.CrashRepeat && l.sched.CrashAfter > 0 {
 		l.mu.Lock()
-		l.crashAt = l.submits + l.sched.CrashAfter
+		if l.crashAt == 0 {
+			// Re-arm only when disarmed: the recovery prober issues a
+			// Restart every probe round plus one at promotion, and each
+			// redundant call must not push the next injected crash
+			// further out (or reschedule one that is still pending).
+			l.crashAt = l.submits + l.sched.CrashAfter
+		}
 		l.mu.Unlock()
 	}
 	return nil

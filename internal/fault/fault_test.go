@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"rococotm/internal/fpga"
+	"rococotm/internal/rococotm"
+)
+
+// echoLink is a minimal inner link: every accepted request is answered OK
+// immediately on its reply channel, and lifecycle calls count.
+type echoLink struct {
+	restarts atomic.Uint64
+	crashes  atomic.Uint64
+}
+
+func (l *echoLink) TrySubmit(r fpga.Request) error {
+	r.Reply <- fpga.Verdict{OK: true}
+	return nil
+}
+func (l *echoLink) Restart(next uint64) error { l.restarts.Add(1); return nil }
+func (l *echoLink) Crash()                    { l.crashes.Add(1) }
+func (l *echoLink) Close()                    {}
+
+var _ rococotm.Link = (*echoLink)(nil)
+
+func submitOK(t *testing.T, l *Link) {
+	t.Helper()
+	if err := l.TrySubmit(fpga.Request{Reply: make(chan fpga.Verdict, 1)}); err != nil {
+		t.Fatalf("TrySubmit: %v", err)
+	}
+}
+
+// A Restart while the crash countdown is still armed must not reschedule
+// the pending crash; only a Restart after the crash consumed the arming
+// re-arms the countdown. (The recovery prober issues redundant Restarts —
+// one per probe round plus one at promotion — and each used to push the
+// next injected crash further out.)
+func TestCrashRepeatRearmsOnlyWhenDisarmed(t *testing.T) {
+	inner := &echoLink{}
+	l := Wrap(inner, Schedule{CrashAfter: 3, CrashRepeat: true})
+	defer l.Close()
+
+	submitOK(t, l)
+	submitOK(t, l)
+	// Countdown is still armed (crash due at submission 3); a redundant
+	// Restart must leave it in place.
+	if err := l.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	err := l.TrySubmit(fpga.Request{Reply: make(chan fpga.Verdict, 1)})
+	if !errors.Is(err, fpga.ErrClosed) {
+		t.Fatalf("3rd submission after redundant Restart = %v, want ErrClosed (injected crash)", err)
+	}
+	if got := l.Stats().Crashes; got != 1 {
+		t.Fatalf("Crashes = %d, want 1", got)
+	}
+
+	// The crash disarmed the countdown; the next Restart re-arms it three
+	// submissions out…
+	if err := l.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	submitOK(t, l) // 4
+	// …and further redundant Restarts leave that new arming alone.
+	if err := l.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	submitOK(t, l) // 5
+	err = l.TrySubmit(fpga.Request{Reply: make(chan fpga.Verdict, 1)})
+	if !errors.Is(err, fpga.ErrClosed) {
+		t.Fatalf("6th submission = %v, want ErrClosed (re-armed crash)", err)
+	}
+	if got := l.Stats().Crashes; got != 2 {
+		t.Fatalf("Crashes = %d, want 2", got)
+	}
+	if got := inner.crashes.Load(); got != 2 {
+		t.Fatalf("inner crashes = %d, want 2", got)
+	}
+}

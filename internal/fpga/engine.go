@@ -580,10 +580,29 @@ func (e *Engine) crashLocked() {
 // next: the caller supplies its commit count so future sequence numbers
 // line up with the global commit order. Cumulative statistics survive;
 // window contents do not — crash recovery is indistinguishable from a
-// power cycle. Restart of a running engine crashes it first.
+// power cycle. Restart of a running engine crashes it first — unless the
+// restart would change nothing: a live engine whose window is already
+// empty and based at next is left untouched (redundant Restarts must be
+// idempotent, or the recovery prober's per-round Restart followed by the
+// promotion Restart would crash a healthy port — killing in-flight
+// probes — and double-reseed the window).
 func (e *Engine) Restart(next uint64) error {
 	e.life.Lock()
 	defer e.life.Unlock()
+	p := e.port.Load()
+	if p != nil && !e.cfg.CycleLevel {
+		select {
+		case <-p.done:
+		default:
+			e.mu.Lock()
+			clean := e.pl.BaseSeq() == e.pl.NextSeq() &&
+				uint64(e.pl.NextSeq()) == next
+			e.mu.Unlock()
+			if clean {
+				return nil
+			}
+		}
+	}
 	e.crashLocked()
 
 	e.mu.Lock()
@@ -592,7 +611,7 @@ func (e *Engine) Restart(next uint64) error {
 	e.restarts++
 	e.mu.Unlock()
 
-	p := newPort(e.cfg.QueueDepth, e.cfg.Transport)
+	p = newPort(e.cfg.QueueDepth, e.cfg.Transport)
 	e.port.Store(p)
 	go e.loop(p)
 	return nil

@@ -203,6 +203,61 @@ func TestRestartRebasesWindow(t *testing.T) {
 	}
 }
 
+// TestRestartIdempotentOnLiveEngine checks that a Restart which would
+// change nothing — live engine, empty window already based at next — is a
+// no-op: the recovery prober issues redundant Restarts (one per probe
+// round plus one at promotion), and each must not crash a healthy port or
+// re-reseed the window.
+func TestRestartIdempotentOnLiveEngine(t *testing.T) {
+	e, err := Start(Config{W: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Crash()
+	if err := e.Restart(5); err != nil {
+		t.Fatal(err)
+	}
+	// Redundant restarts at the same base are elided.
+	for i := 0; i < 3; i++ {
+		if err := e.Restart(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.Stats(); st.Restarts != 1 {
+		t.Fatalf("Restarts after redundant Restart(5) = %d, want 1", st.Restarts)
+	}
+	if got := e.BaseSeq(); got != 5 {
+		t.Fatalf("BaseSeq = %d, want 5", got)
+	}
+	// The elided restart left a fully functional engine.
+	v, err := e.Validate(req(5, nil, []uint64{1}))
+	if err != nil || !v.OK || v.Seq != 5 {
+		t.Fatalf("commit after elided restart: %+v, %v", v, err)
+	}
+	// A rebase to a different count is real…
+	if err := e.Restart(9); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Restarts != 2 {
+		t.Fatalf("Restarts after Restart(9) = %d, want 2", st.Restarts)
+	}
+	if got := e.BaseSeq(); got != 9 {
+		t.Fatalf("BaseSeq = %d, want 9", got)
+	}
+	// …and so is a restart of a window that has accumulated commits, even
+	// at the same next-sequence (it must flush the window contents).
+	if v, _ := e.Validate(req(9, nil, []uint64{2})); !v.OK {
+		t.Fatal("seed commit rejected")
+	}
+	if err := e.Restart(10); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Restarts != 3 {
+		t.Fatalf("Restarts after post-traffic Restart = %d, want 3", st.Restarts)
+	}
+}
+
 // TestProbeCommitsNothing checks that probe requests answer OK without
 // consuming a sequence number or touching the window.
 func TestProbeCommitsNothing(t *testing.T) {

@@ -5,7 +5,7 @@
 // library (go/ast, go/parser, go/types, go/importer) so the module stays
 // dependency-free.
 //
-// Four passes are provided:
+// Five passes are provided:
 //
 //   - aborterr: an error produced by Txn.Read, Txn.Write, TM.Commit or
 //     tm.Run is discarded, never inspected, or caught by a branch that
@@ -22,6 +22,10 @@
 //   - deadtxn: a Txn method is invoked on a transaction after an abort
 //     was already observed on that same transaction; after the first
 //     AbortError the transaction is dead.
+//   - runctx: a closure passed to tm.RunCtx/tm.RunCtxBackoff spins in an
+//     unconditional loop that never crosses a transaction boundary or
+//     consults the context — cancellation (and the watchdog) can never
+//     reach it.
 //
 // A finding may be suppressed by placing
 //
@@ -80,6 +84,11 @@ func Passes() []*Pass {
 			Name: "deadtxn",
 			Doc:  "no Txn use after an observed abort on that transaction",
 			Run:  runDeadTxn,
+		},
+		{
+			Name: "runctx",
+			Doc:  "tm.RunCtx closures must stay cancellable: no boundary-free unconditional loops",
+			Run:  runRunCtx,
 		},
 	}
 }

@@ -9,11 +9,13 @@ import (
 // tmAPI holds the contract-bearing objects of the tm package as resolved
 // for one linted package, or nil when the package never imports it.
 type tmAPI struct {
-	pkg     *types.Package
-	txn     types.Type   // the tm.Txn interface (named)
-	tm      types.Type   // the tm.TM interface (named)
-	run     types.Object // func tm.Run
-	isAbort types.Object // func tm.IsAbort
+	pkg           *types.Package
+	txn           types.Type   // the tm.Txn interface (named)
+	tm            types.Type   // the tm.TM interface (named)
+	run           types.Object // func tm.Run
+	runCtx        types.Object // func tm.RunCtx
+	runCtxBackoff types.Object // func tm.RunCtxBackoff
+	isAbort       types.Object // func tm.IsAbort
 }
 
 // resolveTM locates the tm package among p's imports (or p itself, when
@@ -41,6 +43,8 @@ func resolveTM(p *Package) *tmAPI {
 			a.tm = tmObj.Type()
 		}
 		a.run = scope.Lookup("Run")
+		a.runCtx = scope.Lookup("RunCtx")
+		a.runCtxBackoff = scope.Lookup("RunCtxBackoff")
 		a.isAbort = scope.Lookup("IsAbort")
 		return a
 	}
@@ -112,6 +116,23 @@ func (a *tmAPI) classify(info *types.Info, call *ast.CallExpr) (riskyKind, ast.E
 		}
 	}
 	return kindNone, nil
+}
+
+// isRunCtxCall reports whether call is tm.RunCtx(...) or
+// tm.RunCtxBackoff(...).
+func (a *tmAPI) isRunCtxCall(info *types.Info, call *ast.CallExpr) bool {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	}
+	if obj == nil {
+		return false
+	}
+	return (a.runCtx != nil && obj == a.runCtx) ||
+		(a.runCtxBackoff != nil && obj == a.runCtxBackoff)
 }
 
 // isIsAbortCall reports whether call is tm.IsAbort(...).

@@ -1,0 +1,327 @@
+package rococotm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// The panic-leak regression: a panic inside a tm.Run closure used to
+// unwind past the commit path with the transaction still live — thread
+// slot never retired, descriptor never recycled, an escalated gate never
+// released. The hardened loop must roll all of that back before the panic
+// resumes.
+func TestPanicInsideRunReleasesLifecycleState(t *testing.T) {
+	m := New(mem.NewHeap(1<<12), Config{MaxThreads: 4})
+	defer m.Close()
+	a := m.Heap().MustAlloc(4)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		//lint:ignore tmlint/aborterr the panic under test preempts the return; Run never yields an error
+		_ = tm.Run(m, 0, func(x tm.Txn) error {
+			if _, err := x.Read(a); err != nil {
+				return err
+			}
+			if err := x.Write(a+1, 7); err != nil {
+				return err
+			}
+			panic("closure bug mid-transaction")
+		})
+	}()
+
+	if live, _ := m.PoolCheck(); live != 0 {
+		t.Fatalf("live transactions after panic = %d, want 0", live)
+	}
+	// The thread must be fully reusable: descriptor recycled, no wedged
+	// engine state.
+	for i := 0; i < 5; i++ {
+		if err := tm.Run(m, 0, func(x tm.Txn) error {
+			return x.Write(a, mem.Word(i))
+		}); err != nil {
+			t.Fatalf("commit after panic: %v", err)
+		}
+	}
+	if got := m.Heap().Load(a + 1); got != 0 {
+		t.Fatalf("panicked attempt's write leaked to the heap: %d", got)
+	}
+}
+
+// A panic inside an escalated (irrevocable) transaction must release the
+// exclusive commit gate, or every other thread deadlocks forever.
+func TestPanicInsideEscalatedTurnReleasesGate(t *testing.T) {
+	m := New(mem.NewHeap(1<<12), Config{MaxThreads: 4})
+	defer m.Close()
+	a := m.Heap().MustAlloc(2)
+
+	m.Escalate(0)
+	func() {
+		defer func() { _ = recover() }()
+		//lint:ignore tmlint/aborterr the panic under test preempts the return; Run never yields an error
+		_ = tm.Run(m, 0, func(x tm.Txn) error {
+			if err := x.Write(a, 1); err != nil {
+				return err
+			}
+			panic("irrevocable closure bug")
+		})
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- tm.Run(m, 1, func(x tm.Txn) error { return x.Write(a+1, 2) })
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("commit gate still held after panic in irrevocable transaction")
+	}
+}
+
+func TestEscalateGrantsOneIrrevocableTurn(t *testing.T) {
+	m := New(mem.NewHeap(1<<12), Config{MaxThreads: 4})
+	defer m.Close()
+
+	m.Escalate(3)
+	x1, err := m.Begin(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x1.(*txn).irrevocable {
+		t.Fatal("escalated thread's Begin is not irrevocable")
+	}
+	m.Abort(x1)
+
+	x2, err := m.Begin(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.(*txn).irrevocable {
+		t.Fatal("escalation was not consumed by the first Begin")
+	}
+	m.Abort(x2)
+}
+
+// The watchdog must flag a transaction stuck past WatchdogAge and kill it
+// at its next safe point, without touching healthy successors.
+func TestWatchdogKillsStuckTransaction(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	m := New(mem.NewHeap(1<<12), Config{
+		MaxThreads:       4,
+		WatchdogAge:      3 * time.Millisecond,
+		WatchdogInterval: 500 * time.Microsecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	})
+	defer m.Close()
+	a := m.Heap().MustAlloc(2)
+
+	x, err := m.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // well past WatchdogAge
+
+	_, err = x.Read(a + 1)
+	reason, ok := tm.IsAbort(err)
+	if !ok || reason != tm.ReasonWatchdog {
+		t.Fatalf("stuck read returned (%v); want a %s abort", err, tm.ReasonWatchdog)
+	}
+
+	st := m.Stats()
+	if st.WatchdogFires == 0 || st.WatchdogKills != 1 {
+		t.Fatalf("watchdog fires/kills = %d/%d, want >=1/1", st.WatchdogFires, st.WatchdogKills)
+	}
+	if st.Reasons[tm.ReasonWatchdog] != 1 {
+		t.Fatalf("watchdog abort reason count = %d", st.Reasons[tm.ReasonWatchdog])
+	}
+	mu.Lock()
+	n := len(logged)
+	mu.Unlock()
+	if n == 0 {
+		t.Fatal("watchdog fired without logging")
+	}
+
+	// The kill is scoped to the stuck attempt: the thread's next
+	// transaction commits normally.
+	if err := tm.Run(m, 0, func(x tm.Txn) error { return x.Write(a, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if live, _ := m.PoolCheck(); live != 0 {
+		t.Fatalf("live = %d after kill and commit", live)
+	}
+}
+
+// Watchdog end-to-end through the retry loop: the first attempt stalls
+// past the age and is killed; the retry is prompt and commits.
+func TestWatchdogKillRetriesAndCommits(t *testing.T) {
+	m := New(mem.NewHeap(1<<12), Config{
+		MaxThreads:       4,
+		WatchdogAge:      2 * time.Millisecond,
+		WatchdogInterval: 500 * time.Microsecond,
+		Logf:             func(string, ...any) {},
+	})
+	defer m.Close()
+	a := m.Heap().MustAlloc(1)
+
+	attempt := 0
+	err := tm.Run(m, 0, func(x tm.Txn) error {
+		attempt++ //lint:ignore tmlint/retrypure counting attempts across retries is the point of this test
+		if attempt == 1 {
+			time.Sleep(15 * time.Millisecond) // simulate a wedged closure
+		}
+		if _, err := x.Read(a); err != nil {
+			return err
+		}
+		return x.Write(a, mem.Word(attempt))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempt < 2 {
+		t.Fatalf("attempts = %d; the stuck first attempt should have been killed", attempt)
+	}
+	st := m.Stats()
+	if st.WatchdogKills == 0 {
+		t.Fatal("no watchdog kill recorded")
+	}
+	if st.Commits == 0 {
+		t.Fatal("retry after the kill never committed")
+	}
+}
+
+func TestWatchdogLeavesHealthyTransactionsAlone(t *testing.T) {
+	m := New(mem.NewHeap(1<<12), Config{
+		MaxThreads:       4,
+		WatchdogAge:      time.Second,
+		WatchdogInterval: time.Millisecond,
+	})
+	defer m.Close()
+	a := m.Heap().MustAlloc(8)
+	var wg sync.WaitGroup
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				//lint:ignore tmlint/aborterr load generator: the watchdog counters are asserted after the join
+				_ = tm.Run(m, th, func(x tm.Txn) error {
+					v, err := x.Read(a + mem.Addr(th))
+					if err != nil {
+						return err
+					}
+					return x.Write(a+mem.Addr(th), v+1)
+				})
+			}
+		}(th)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.WatchdogFires != 0 || st.WatchdogKills != 0 {
+		t.Fatalf("watchdog fired on healthy load: fires=%d kills=%d",
+			st.WatchdogFires, st.WatchdogKills)
+	}
+}
+
+// RunCtx against the real runtime: cancellation at each boundary leaves
+// the lifecycle clean (no live transaction, thread reusable).
+func TestRunCtxCancellationLeavesRuntimeClean(t *testing.T) {
+	m := New(mem.NewHeap(1<<12), Config{MaxThreads: 4})
+	defer m.Close()
+	a := m.Heap().MustAlloc(2)
+
+	boundaries := []struct {
+		name string
+		fn   func(ctx context.Context, cancel context.CancelFunc) error
+	}{
+		{"read", func(ctx context.Context, cancel context.CancelFunc) error {
+			return tm.RunCtx(ctx, m, 0, func(x tm.Txn) error {
+				cancel()
+				_, err := x.Read(a)
+				return err
+			})
+		}},
+		{"write", func(ctx context.Context, cancel context.CancelFunc) error {
+			return tm.RunCtx(ctx, m, 0, func(x tm.Txn) error {
+				cancel()
+				return x.Write(a, 9)
+			})
+		}},
+		{"pre-validate", func(ctx context.Context, cancel context.CancelFunc) error {
+			return tm.RunCtx(ctx, m, 0, func(x tm.Txn) error {
+				if err := x.Write(a, 9); err != nil {
+					return err
+				}
+				cancel()
+				return nil
+			})
+		}},
+	}
+	for _, b := range boundaries {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := b.fn(ctx, cancel)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s boundary: err = %v, want context.Canceled", b.name, err)
+		}
+		if live, _ := m.PoolCheck(); live != 0 {
+			t.Fatalf("%s boundary: live = %d after cancellation", b.name, live)
+		}
+	}
+	if got := m.Heap().Load(a); got != 0 {
+		t.Fatalf("canceled attempt's write reached the heap: %d", got)
+	}
+	if st := m.Stats(); st.Commits != 0 {
+		t.Fatalf("commits = %d; every attempt was canceled", st.Commits)
+	}
+	// The thread is fully reusable afterwards.
+	if err := tm.Run(m, 0, func(x tm.Txn) error { return x.Write(a, 1) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolCheckAccountsRecycledDescriptors(t *testing.T) {
+	m := New(mem.NewHeap(1<<12), Config{MaxThreads: 8})
+	defer m.Close()
+	a := m.Heap().MustAlloc(8)
+	var wg sync.WaitGroup
+	for th := 0; th < 8; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				//lint:ignore tmlint/aborterr load generator: the pool accounting is asserted after the join
+				_ = tm.Run(m, th, func(x tm.Txn) error {
+					return x.Write(a+mem.Addr(th), mem.Word(i))
+				})
+			}
+		}(th)
+	}
+	wg.Wait()
+	live, parked := m.PoolCheck()
+	if live != 0 {
+		t.Fatalf("live = %d after all workers joined", live)
+	}
+	if parked == 0 || parked > 8 {
+		t.Fatalf("parked = %d, want 1..8", parked)
+	}
+}

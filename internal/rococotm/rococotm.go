@@ -34,6 +34,7 @@ package rococotm
 import (
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,19 @@ import (
 	"rococotm/internal/sig"
 	"rococotm/internal/tm"
 )
+
+// CommitObserver receives every committed write transaction at its
+// serialization point: ObserveCommit(seq) calls arrive in strictly
+// increasing seq order (the committer for seq holds the global timestamp
+// at seq until it returns). validTS is the snapshot the engine validated
+// the read set against; reads and writes are the transaction's footprint.
+// The slices are the runtime's recycled scratch — an observer must copy
+// what it keeps and must be fast (it runs inside the commit critical
+// section, serializing all committers behind it). The audit recorder in
+// internal/audit is the intended implementation.
+type CommitObserver interface {
+	ObserveCommit(seq, validTS uint64, reads, writes []uint64)
+}
 
 // Config parameterizes the runtime.
 type Config struct {
@@ -101,6 +115,23 @@ type Config struct {
 	// it — the hook the fault-injection layer (internal/fault) attaches
 	// to. It only takes effect in fault-tolerant mode.
 	WrapLink func(Link) Link
+
+	// WatchdogAge, when > 0, starts a per-TM watchdog goroutine that
+	// scans for transactions stuck past this age. A stuck transaction is
+	// logged (Logf), counted in Stats.WatchdogFires, and force-aborted
+	// with tm.ReasonWatchdog at its next safe point (the next Read,
+	// Write, or Commit entry), counted in Stats.WatchdogKills. 0 (the
+	// default) disables the watchdog.
+	WatchdogAge time.Duration
+	// WatchdogInterval is the watchdog's scan period; default
+	// WatchdogAge/4 (at least 100µs).
+	WatchdogInterval time.Duration
+	// Logf receives watchdog diagnostics; default log.Printf.
+	Logf func(format string, args ...any)
+	// Observer, when set, receives every committed write transaction at
+	// its serialization point — the hook the serializability auditor
+	// (internal/audit) attaches to.
+	Observer CommitObserver
 }
 
 func (c *Config) fill() {
@@ -127,6 +158,15 @@ func (c *Config) fill() {
 	}
 	if c.ProbeCount == 0 {
 		c.ProbeCount = 3
+	}
+	if c.WatchdogAge > 0 && c.WatchdogInterval == 0 {
+		c.WatchdogInterval = c.WatchdogAge / 4
+		if c.WatchdogInterval < 100*time.Microsecond {
+			c.WatchdogInterval = 100 * time.Microsecond
+		}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 }
 
@@ -165,8 +205,20 @@ type TM struct {
 	// gate serializes commits against irrevocable execution: regular
 	// commits hold it shared for their validate/write-back span; an
 	// irrevocable transaction holds it exclusively from Begin to Commit.
-	gate   sync.RWMutex
-	consec []int32 // consecutive conflict aborts per thread (owner-only)
+	gate      sync.RWMutex
+	consec    []int32 // consecutive conflict aborts per thread (owner-only)
+	escalated []bool  // starvation escalation pending per thread (owner-only)
+
+	// Watchdog state. began[i] holds the wall-clock stamp (UnixNano) of
+	// thread i's live transaction, 0 while idle; doomed[i] holds the
+	// stamp of the attempt the watchdog wants killed — matching on the
+	// stamp (not just a flag) means a kill can never hit a successor
+	// attempt that reused the thread slot. wdFires/wdKills back the
+	// Stats.Watchdog* counters.
+	began   []atomic.Int64
+	doomed  []atomic.Int64
+	wdFires atomic.Uint64
+	wdKills atomic.Uint64
 
 	// Transport hot-path reuse. scratch holds each thread's recycled
 	// transaction descriptor (owner-only: nil while the thread's txn is
@@ -237,6 +289,9 @@ func New(heap *mem.Heap, cfg Config) *TM {
 		r.updates[i].words = make([]atomic.Uint64, sigWords)
 	}
 	r.consec = make([]int32, cfg.MaxThreads)
+	r.escalated = make([]bool, cfg.MaxThreads)
+	r.began = make([]atomic.Int64, cfg.MaxThreads)
+	r.doomed = make([]atomic.Int64, cfg.MaxThreads)
 	r.scratch = make([]*txn, cfg.MaxThreads)
 	r.slots = make([]fpga.VerdictSlot, cfg.MaxThreads)
 	r.useSlots = eng.Config().Transport != fpga.TransportChannel
@@ -256,7 +311,70 @@ func New(heap *mem.Heap, cfg Config) *TM {
 		}
 		r.fbPl = fb
 	}
+	if cfg.WatchdogAge > 0 {
+		r.bg.Add(1)
+		go r.watchdog()
+	}
 	return r
+}
+
+// watchdog periodically scans for transactions stuck past WatchdogAge and
+// schedules a force-abort at their next safe point (Read/Write/Commit
+// entry). It never touches transaction state from this goroutine — safety
+// comes from the owning thread consuming the doomed stamp itself, so a
+// kill lands only between transactional operations, never mid-publication.
+func (r *TM) watchdog() {
+	defer r.bg.Done()
+	tick := time.NewTicker(r.cfg.WatchdogInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		age := int64(r.cfg.WatchdogAge)
+		for i := range r.began {
+			stamp := r.began[i].Load()
+			if stamp == 0 || now-stamp < age {
+				continue
+			}
+			if r.doomed[i].Load() == stamp {
+				continue // this attempt is already scheduled to die
+			}
+			r.doomed[i].Store(stamp)
+			r.wdFires.Add(1)
+			r.cfg.Logf("rococotm: watchdog: thread %d transaction stuck %v; force-abort at next safe point",
+				i, time.Duration(now-stamp))
+		}
+	}
+}
+
+// Escalate implements tm.Escalator: the thread's next Begin runs
+// irrevocably (exclusive commit gate), giving a starved transaction one
+// prioritized pessimistic turn that cannot lose validation.
+func (r *TM) Escalate(thread int) {
+	if thread >= 0 && thread < r.cfg.MaxThreads {
+		r.escalated[thread] = true
+	}
+}
+
+// PoolCheck reports lifecycle accounting for leak tests: live is the
+// number of threads with an in-flight transaction, parked the number of
+// recycled descriptors resting in the scratch pool. After every
+// application goroutine has joined, live must be 0 — anything else is a
+// leaked attempt (e.g. a panic that skipped rollback).
+func (r *TM) PoolCheck() (live, parked int) {
+	for i := range r.scratch {
+		if r.began[i].Load() != 0 {
+			live++
+		}
+		if r.scratch[i] != nil {
+			parked++
+		}
+	}
+	return live, parked
 }
 
 // Name implements tm.TM.
@@ -272,6 +390,8 @@ func (r *TM) Stats() tm.Stats {
 	es := r.eng.Stats()
 	s.ValidationBatches = es.Batches
 	s.ValidationBatchMax = es.MaxBatch
+	s.WatchdogFires = r.wdFires.Load()
+	s.WatchdogKills = r.wdKills.Load()
 	return s
 }
 
@@ -296,6 +416,7 @@ type txn struct {
 	thread      int
 	dead        bool
 	irrevocable bool
+	beganAt     int64 // watchdog stamp of this attempt (mirrors r.began)
 
 	localTS uint64 // commit-queue scan position
 	validTS uint64 // snapshot at which all reads are known consistent
@@ -352,8 +473,10 @@ func (x *txn) reset(ts uint64) {
 
 // recycle parks a dead descriptor for reuse by the thread's next Begin.
 // Only the owning thread calls it (txns are single-goroutine), so the
-// scratch slot needs no synchronization.
+// scratch slot needs no synchronization. It also retires the thread's
+// watchdog stamp: the attempt is over, nothing is stuck.
 func (r *TM) recycle(x *txn) {
+	r.began[x.thread].Store(0)
 	if r.scratch[x.thread] == nil {
 		r.scratch[x.thread] = x
 	}
@@ -365,18 +488,25 @@ func (r *TM) Begin(thread int) (tm.Txn, error) {
 		return nil, fmt.Errorf("rococotm: thread %d out of range [0,%d)", thread, r.cfg.MaxThreads)
 	}
 	r.cnt.OnStart()
-	irrevocable := r.cfg.IrrevocableAfter > 0 &&
-		int(r.consec[thread]) >= r.cfg.IrrevocableAfter
+	escalate := r.escalated[thread]
+	if escalate {
+		r.escalated[thread] = false // one prioritized turn per escalation
+	}
+	irrevocable := escalate || (r.cfg.IrrevocableAfter > 0 &&
+		int(r.consec[thread]) >= r.cfg.IrrevocableAfter)
 	if irrevocable {
 		// Exclusive gate: in-flight commits drain, nothing new commits
 		// until this transaction finishes, so its snapshot stays valid
 		// and its validation is trivially acyclic.
 		r.gate.Lock()
 	}
+	now := time.Now().UnixNano()
+	r.began[thread].Store(now)
 	ts := r.globalTS.Load()
 	if x := r.scratch[thread]; x != nil {
 		r.scratch[thread] = nil
 		x.irrevocable = irrevocable
+		x.beganAt = now
 		x.reset(ts)
 		return x, nil
 	}
@@ -385,6 +515,7 @@ func (r *TM) Begin(thread int) (tm.Txn, error) {
 		r:           r,
 		irrevocable: irrevocable,
 		thread:      thread,
+		beganAt:     now,
 		localTS:     ts,
 		validTS:     ts,
 		readSig:     sig.New(scfg),
@@ -404,11 +535,12 @@ func (x *txn) abort(reason string) error {
 		// Only reachable through pathological paths (e.g. commit-queue
 		// overflow with a tiny ring); release the gate.
 		x.r.gate.Unlock()
-	} else if reason != tm.ReasonExplicit && reason != tm.ReasonEngine {
-		// Engine-unavailability aborts say nothing about contention, so
-		// they must not escalate a thread toward irrevocability — an
-		// irrevocable transaction would freeze all commits while itself
-		// waiting out the outage.
+	} else if reason != tm.ReasonExplicit && reason != tm.ReasonEngine &&
+		reason != tm.ReasonWatchdog {
+		// Engine-unavailability and watchdog aborts say nothing about
+		// contention, so they must not escalate a thread toward
+		// irrevocability — an irrevocable transaction would freeze all
+		// commits while itself waiting out the outage.
 		x.r.consec[x.thread]++
 	}
 	x.r.cnt.OnAbort(reason)
@@ -468,10 +600,22 @@ func (r *TM) loadCommitSig(ts uint64, dst sig.Sig) bool {
 	}
 }
 
+// doomedNow reports whether the watchdog scheduled this attempt for a
+// force-abort; checked at every safe point (Read/Write/Commit entry). The
+// stamp comparison ties the verdict to this attempt: a successor that
+// reused the thread slot carries a fresh stamp and is immune.
+func (x *txn) doomedNow() bool {
+	return x.beganAt != 0 && x.r.doomed[x.thread].Load() == x.beganAt
+}
+
 // Read implements tm.Txn — Algorithm 1, TM_READ.
 func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 	if x.dead {
 		return 0, tm.Abort(tm.ReasonConflict)
+	}
+	if x.doomedNow() {
+		x.r.wdKills.Add(1)
+		return 0, x.abort(tm.ReasonWatchdog)
 	}
 	// Lines 1-4: read-your-writes from the redo log.
 	if v, ok := x.redo[a]; ok {
@@ -601,6 +745,10 @@ func (x *txn) Write(a mem.Addr, v mem.Word) error {
 	if x.dead {
 		return tm.Abort(tm.ReasonConflict)
 	}
+	if x.doomedNow() {
+		x.r.wdKills.Add(1)
+		return x.abort(tm.ReasonWatchdog)
+	}
 	if _, seen := x.redo[a]; !seen {
 		x.writeOrder = append(x.writeOrder, a)
 		x.writeSig.Insert(x.r.hasher, uint64(a))
@@ -614,6 +762,10 @@ func (r *TM) Commit(t tm.Txn) error {
 	x := t.(*txn)
 	if x.dead {
 		return tm.Abort(tm.ReasonConflict)
+	}
+	if x.doomedNow() {
+		r.wdKills.Add(1)
+		return x.abort(tm.ReasonWatchdog)
 	}
 	if len(x.redo) == 0 {
 		// Read-only fast path: consistent at validTS, commits on CPU.
@@ -695,6 +847,7 @@ func (r *TM) Commit(t tm.Txn) error {
 			return x.abort(tm.ReasonEngine)
 		}
 		x.dead = true
+		r.began[x.thread].Store(0)
 		return fmt.Errorf("rococotm: engine: %w", err)
 	}
 	if !verdict.OK {
@@ -708,6 +861,7 @@ func (r *TM) Commit(t tm.Txn) error {
 			// Legacy (non-FT) mode only: a terminal verdict from a dying
 			// engine is a hard runtime error, matching Validate's ErrClosed.
 			x.dead = true
+			r.began[x.thread].Store(0)
 			return fmt.Errorf("rococotm: engine: %w", fpga.ErrClosed)
 		default:
 			return x.abort(tm.ReasonCycle)
@@ -741,6 +895,11 @@ func (r *TM) Commit(t tm.Txn) error {
 	for _, a := range x.writeOrder {
 		r.heap.Store(a, x.redo[a])
 	}
+	if r.cfg.Observer != nil {
+		// Serialization point: GlobalTS still reads seq, so observer calls
+		// arrive in strictly increasing seq order across all committers.
+		r.cfg.Observer.ObserveCommit(seq, x.validTS, x.readAddrs, x.writeAddrs)
+	}
 	r.globalTS.Store(seq + 1)
 	u.active.Store(0)
 	if r.ftEnabled && viaEngine {
@@ -771,4 +930,7 @@ func (r *TM) Abort(t tm.Txn) {
 	}
 }
 
-var _ tm.TM = (*TM)(nil)
+var (
+	_ tm.TM        = (*TM)(nil)
+	_ tm.Escalator = (*TM)(nil)
+)

@@ -11,6 +11,7 @@
 package tm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -29,6 +30,7 @@ const (
 	ReasonSpurious = "spurious"   // HTM micro-architectural abort
 	ReasonFallback = "fallback"   // HTM aborted because the fallback lock was taken
 	ReasonEngine   = "engine"     // validation engine unavailable (deadline miss, crash, recovery)
+	ReasonWatchdog = "watchdog"   // runtime watchdog force-aborted a stuck transaction
 	ReasonExplicit = "user-abort" // application requested abort
 )
 
@@ -107,6 +109,12 @@ type Stats struct {
 	// request at a time.
 	ValidationBatches  uint64
 	ValidationBatchMax uint64
+	// WatchdogFires counts transactions the runtime watchdog observed
+	// stuck past the configured age; WatchdogKills counts how many of
+	// those were force-aborted at their next safe point. Zero for
+	// runtimes without a watchdog.
+	WatchdogFires uint64
+	WatchdogKills uint64
 }
 
 // AbortRate returns Aborts / Starts.
@@ -125,7 +133,7 @@ type Counters struct {
 	reasonConflict, reasonCycle, reasonWindow   atomic.Uint64
 	reasonCapacity, reasonSpurious              atomic.Uint64
 	reasonFallback, reasonEngine                atomic.Uint64
-	reasonExplicit                              atomic.Uint64
+	reasonWatchdog, reasonExplicit              atomic.Uint64
 }
 
 // OnStart records a transaction attempt.
@@ -157,6 +165,8 @@ func (c *Counters) OnAbort(reason string) {
 		c.reasonFallback.Add(1)
 	case ReasonEngine:
 		c.reasonEngine.Add(1)
+	case ReasonWatchdog:
+		c.reasonWatchdog.Add(1)
 	default:
 		c.reasonExplicit.Add(1)
 	}
@@ -189,6 +199,7 @@ func (c *Counters) Snapshot() Stats {
 			ReasonSpurious: c.reasonSpurious.Load(),
 			ReasonFallback: c.reasonFallback.Load(),
 			ReasonEngine:   c.reasonEngine.Load(),
+			ReasonWatchdog: c.reasonWatchdog.Load(),
 			ReasonExplicit: c.reasonExplicit.Load(),
 		},
 		ValidationNanos:      c.valNanos.Load(),
@@ -226,6 +237,12 @@ type BackoffPolicy struct {
 	// of an engine crash/recover cycle, so a retrying writer re-probes a
 	// few times per outage instead of thousands. Default 2ms.
 	SleepCap time.Duration
+	// EscalateAfter is the starvation budget: after this many consecutive
+	// aborts of one logical transaction the retry loop asks the runtime
+	// (if it implements Escalator) for a prioritized pessimistic turn, so
+	// an abort storm cannot livelock a thread forever. Default 512;
+	// negative disables escalation.
+	EscalateAfter int
 }
 
 // DefaultBackoff is the policy Run uses.
@@ -244,6 +261,18 @@ func (p *BackoffPolicy) fill() {
 	if p.SleepCap == 0 {
 		p.SleepCap = 2 * time.Millisecond
 	}
+	if p.EscalateAfter == 0 {
+		p.EscalateAfter = 512
+	}
+}
+
+// Escalator is implemented by runtimes that offer starved transactions a
+// prioritized pessimistic turn (e.g. ROCoCoTM runs the next attempt of an
+// escalated thread irrevocably, under the global gate). The retry loop
+// calls Escalate after BackoffPolicy.EscalateAfter consecutive aborts;
+// the effect applies to that thread's next Begin only.
+type Escalator interface {
+	Escalate(thread int)
 }
 
 // hardReason reports whether an abort reason indicates a condition that
@@ -315,22 +344,78 @@ func (p BackoffPolicy) wait(rg *rng, reason string, attempt int) {
 // Run executes fn as a transaction on the given thread, retrying until it
 // commits or fn fails with a non-transactional error. It implements the
 // STAMP-style retry loop with DefaultBackoff contention management.
+//
+// Run is panic-safe: if fn panics (or exits via runtime.Goexit), the
+// in-flight attempt is rolled back through TM.Abort — redo log discarded,
+// txn/scratch/sub-signature recycled, any engine slot released — before
+// the panic continues unwinding.
 func Run(m TM, thread int, fn func(Txn) error) error {
 	return RunBackoff(m, thread, DefaultBackoff, fn)
 }
 
 // RunBackoff is Run with an explicit backoff policy.
 func RunBackoff(m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
+	return runLoop(nil, m, thread, pol, fn)
+}
+
+// RunCtx is Run with cancellation: the context's deadline/cancel is
+// observed at every transactional boundary — before each attempt begins,
+// at each Read and Write inside fn, before validation (pre-commit), and
+// after an aborted attempt before the retry. On cancellation the in-flight
+// attempt is rolled back and ctx.Err() is returned; a committed attempt is
+// never undone (cancellation between the commit point and return is
+// reported as success, matching context convention: commit wins the race).
+func RunCtx(ctx context.Context, m TM, thread int, fn func(Txn) error) error {
+	return RunCtxBackoff(ctx, m, thread, DefaultBackoff, fn)
+}
+
+// RunCtxBackoff is RunCtx with an explicit backoff policy.
+func RunCtxBackoff(ctx context.Context, m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runLoop(ctx, m, thread, pol, fn)
+}
+
+// runLoop is the shared retry loop behind Run and RunCtx. ctx == nil means
+// no cancellation (plain Run): the hot path then carries no context checks.
+func runLoop(ctx context.Context, m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
 	pol.fill()
 	attempt := 0
 	rg := newRNG()
+	esc, canEscalate := m.(Escalator)
+	var wrapper *ctxTxn
+	if ctx != nil {
+		wrapper = &ctxTxn{ctx: ctx, done: ctx.Done()}
+	}
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if canEscalate && pol.EscalateAfter > 0 && attempt >= pol.EscalateAfter {
+			esc.Escalate(thread)
+		}
 		t, err := m.Begin(thread)
 		if err != nil {
 			return fmt.Errorf("tm: begin: %w", err)
 		}
-		err = fn(t)
+		arg := t
+		if wrapper != nil {
+			wrapper.t = t
+			arg = wrapper
+		}
+		err = protect(m, t, fn, arg)
 		if err == nil {
+			if ctx != nil {
+				// Pre-validate boundary: the write set is complete but
+				// nothing is published; cancelling here rolls back.
+				if cerr := ctx.Err(); cerr != nil {
+					m.Abort(t)
+					return cerr
+				}
+			}
 			err = m.Commit(t)
 			if err == nil {
 				return nil
@@ -338,15 +423,69 @@ func RunBackoff(m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
 		}
 		reason, ok := IsAbort(err)
 		if !ok {
-			// Application failure: roll back and propagate.
+			// Application failure (including a cancellation error surfaced
+			// by a ctxTxn boundary): roll back and propagate.
 			m.Abort(t)
 			return err
 		}
-		// Transactional abort: the runtime already rolled back. Back off
-		// by reason class before retrying.
+		// Transactional abort: the runtime already rolled back.
+		if ctx != nil {
+			// Post-verdict boundary: the attempt lost validation and is
+			// gone; honor cancellation instead of retrying.
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		// Back off by reason class before retrying.
 		attempt++
 		pol.wait(&rg, reason, attempt)
 	}
+}
+
+// protect invokes fn(arg) and guarantees the runtime transaction t is
+// rolled back if fn never returns — a panic or runtime.Goexit unwinding
+// through the closure. The abort runs first (discarding the redo log,
+// recycling the txn and its scratch/sub-signature state, releasing any
+// in-flight engine slot), then the panic resumes naturally; Goexit is
+// likewise not swallowed.
+func protect(m TM, t Txn, fn func(Txn) error, arg Txn) (err error) {
+	completed := false
+	defer func() {
+		if !completed {
+			m.Abort(t)
+		}
+	}()
+	err = fn(arg)
+	completed = true
+	return err
+}
+
+// ctxTxn decorates a runtime Txn with cancellation checks at the read and
+// write boundaries. One wrapper per RunCtx loop, reused across attempts.
+type ctxTxn struct {
+	t    Txn
+	ctx  context.Context
+	done <-chan struct{}
+}
+
+// Read observes cancellation, then delegates.
+func (c *ctxTxn) Read(a mem.Addr) (mem.Word, error) {
+	select {
+	case <-c.done:
+		return 0, c.ctx.Err()
+	default:
+	}
+	return c.t.Read(a)
+}
+
+// Write observes cancellation, then delegates.
+func (c *ctxTxn) Write(a mem.Addr, v mem.Word) error {
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+	}
+	return c.t.Write(a, v)
 }
 
 // spin burns a few cycles without yielding the scheduler entirely.

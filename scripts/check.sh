@@ -12,11 +12,17 @@
 #                    matrix, repeated to shake out interleavings; asserts
 #                    the committed history stays serializable across
 #                    degrade/recover cycles
-#   6. go test -race ./internal/...
+#   6. audit lane  — go test -race over the lifecycle/auditor surface: a
+#                    short chaos soak (cancellations, injected panics,
+#                    watchdog kills) whose committed history the runtime
+#                    serializability auditor must certify acyclic, gated
+#                    by the auditor's self-test (a seeded wrong verdict
+#                    must be flagged exactly once)
+#   7. go test -race ./internal/...
 #                  — the runtime and analyzer packages under the race
 #                    detector; OCC code is concurrency code, so the race
 #                    lane is not optional
-#   7. bench smoke — every benchmark compiles and survives one iteration
+#   8. bench smoke — every benchmark compiles and survives one iteration
 #                    (benchtime=1x), so perf lanes cannot silently rot;
 #                    the non-race run also picks up the AllocsPerRun
 #                    zero-allocation tests excluded from lane 6
@@ -43,6 +49,10 @@ go run ./cmd/tmlint ./...
 
 echo "== chaos lane: go test -race -run Chaos -count=2 ./internal/fault/..."
 go test -race -run Chaos -count=2 ./internal/fault/...
+
+echo "== audit lane: go test -race -run 'ChaosAuditSoak|SelfTest|Lifecycle|Watchdog|RunCtx' ./internal/audit/... ./internal/fault/... ./internal/rococotm/... ./internal/tm/..."
+go test -race -run 'ChaosAuditSoak|SelfTest|Lifecycle|Watchdog|RunCtx' \
+    ./internal/audit/... ./internal/fault/... ./internal/rococotm/... ./internal/tm/...
 
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
