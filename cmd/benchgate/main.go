@@ -1,0 +1,54 @@
+// Command benchgate is the perf-regression gate behind scripts/check.sh:
+// it re-measures a small set of optimization-sensitive microbenchmarks and
+// fails if any is more than the tolerance worse than the recorded baseline
+// (internal/bench/baseline.json).
+//
+// Usage:
+//
+//	benchgate [-baseline path]           compare against the baseline; exit 1 on regression
+//	benchgate -record [-baseline path]   re-measure and overwrite the baseline
+//
+// The baseline is machine-relative. Re-record it when the hardware changes
+// or when a PR intentionally moves a number — and say so in the PR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rococotm/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "internal/bench/baseline.json", "baseline file")
+	record := flag.Bool("record", false, "re-measure and overwrite the baseline instead of gating")
+	flag.Parse()
+
+	if *record {
+		b, err := bench.RecordRegressBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d metrics to %s (%s, %d CPU)\n", len(b.Metrics), *baseline, b.GoVersion, b.NumCPU)
+		for _, m := range b.Metrics {
+			fmt.Printf("  %-22s %12.1f %s\n", m.Name, m.Value, m.Unit)
+		}
+		return
+	}
+
+	rep, err := bench.RunRegressGate(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep.String())
+	if rep.Failed {
+		fmt.Fprintln(os.Stderr, "benchgate: regression beyond tolerance; if intentional, re-record with -record")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	rococobench -exp fig7|fig9|fig10|fig11|resources|fault|soak|transport|ablation-window|ablation-sig|all
+//	rococobench -exp fig7|fig9|fig10|fig11|resources|fault|soak|transport|commitphase|ablation-window|ablation-sig|all
 //	            [-scale small|medium|large] [-app name] [-threads list] [-dur duration]
 //	            [-cpuprofile file] [-memprofile file]
 //
@@ -27,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, soak, transport, ablation-window, ablation-sig, ablation-contention, all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, soak, transport, commitphase, ablation-window, ablation-sig, ablation-contention, all")
 	scaleFlag := flag.String("scale", "medium", "STAMP input scale: small, medium, large")
 	app := flag.String("app", "", "restrict fig10/fig11 to one app")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10 (default 1,4,8,14,28)")
@@ -125,6 +125,13 @@ func main() {
 			}
 			rep, err := bench.RunTransportBench(cfg)
 			emit(rep, err)
+		case "commitphase":
+			cfg := bench.CommitPhaseConfig{}
+			if len(threads) > 0 {
+				cfg.Threads = threads
+			}
+			rep, err := bench.RunCommitPhase(cfg)
+			emit(rep, err)
 		case "ablation-window":
 			rep, err := bench.RunWindowAblation(nil, 16, 16, 25)
 			emit(rep, err)
@@ -144,7 +151,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "soak", "transport", "ablation-window", "ablation-sig", "ablation-contention"} {
+		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "soak", "transport", "commitphase", "ablation-window", "ablation-sig", "ablation-contention"} {
 			run(name)
 			fmt.Println()
 		}

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the perf-regression gate behind scripts/check.sh: a handful
+// of seconds of the repository's most optimization-sensitive
+// microbenchmarks, compared against a recorded baseline
+// (internal/bench/baseline.json). A metric more than Tolerance worse than
+// its baseline fails the gate, so perf work cannot silently rot. The
+// baseline is machine-relative: re-record it (benchgate -record) when the
+// hardware changes or when a PR intentionally moves a number.
+
+// RegressTolerance is the allowed fractional slack before a metric counts
+// as regressed: generous enough for scheduler noise on a loaded machine,
+// tight enough to catch a real protocol-level slowdown.
+const RegressTolerance = 0.20
+
+// RegressMetric is one gated quantity.
+type RegressMetric struct {
+	Name         string  `json:"name"`
+	Value        float64 `json:"value"`
+	Unit         string  `json:"unit"`
+	HigherBetter bool    `json:"higher_better"`
+}
+
+// RegressBaseline is the serialized form of baseline.json.
+type RegressBaseline struct {
+	RecordedAt string          `json:"recorded_at"`
+	GoVersion  string          `json:"go_version"`
+	NumCPU     int             `json:"num_cpu"`
+	Metrics    []RegressMetric `json:"metrics"`
+}
+
+// RegressResult is one metric's comparison outcome.
+type RegressResult struct {
+	Metric   RegressMetric
+	Baseline float64 // 0 when the baseline lacks this metric
+	Delta    float64 // fractional change, signed so that negative is worse
+	Failed   bool
+}
+
+// RegressReport is the gate's outcome.
+type RegressReport struct {
+	Results []RegressResult
+	Failed  bool
+}
+
+// MeasureRegressMetrics runs the gated microbenchmarks. Each throughput
+// metric is the best of three short runs — the max is the right statistic
+// for a regression gate, because transient machine load only ever
+// subtracts from a run.
+func MeasureRegressMetrics() ([]RegressMetric, error) {
+	var out []RegressMetric
+
+	best := func(ordered bool) (float64, error) {
+		cfg := CommitPhaseConfig{Duration: 150 * time.Millisecond}
+		cfg.fill()
+		var b float64
+		for i := 0; i < 3; i++ {
+			k, _, err := runPipelineCounter(cfg, 4, ordered)
+			if err != nil {
+				return 0, err
+			}
+			if k > b {
+				b = k
+			}
+		}
+		return b, nil
+	}
+	pipelined, err := best(false)
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := best(true)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		RegressMetric{Name: "counter_pipelined_4t", Value: pipelined, Unit: "ktxn/s", HigherBetter: true},
+		RegressMetric{Name: "counter_ordered_4t", Value: ordered, Unit: "ktxn/s", HigherBetter: true},
+	)
+
+	ecfg := CommitPhaseConfig{ExtensionIters: 4000}
+	ecfg.fill()
+	bestNs := func(lag int, aggregate bool) (float64, error) {
+		b := 0.0
+		for i := 0; i < 3; i++ {
+			ns, err := runExtensionMicro(ecfg, lag, aggregate)
+			if err != nil {
+				return 0, err
+			}
+			if b == 0 || ns < b {
+				b = ns
+			}
+		}
+		return b, nil
+	}
+	agg64, err := bestNs(64, true)
+	if err != nil {
+		return nil, err
+	}
+	per64, err := bestNs(64, false)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		RegressMetric{Name: "extend_aggregate_k64", Value: agg64, Unit: "ns", HigherBetter: false},
+		RegressMetric{Name: "extend_percommit_k64", Value: per64, Unit: "ns", HigherBetter: false},
+	)
+	return out, nil
+}
+
+// RecordRegressBaseline measures and writes the baseline file.
+func RecordRegressBaseline(path string) (*RegressBaseline, error) {
+	metrics, err := MeasureRegressMetrics()
+	if err != nil {
+		return nil, err
+	}
+	b := &RegressBaseline{
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Metrics:    metrics,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return b, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRegressBaseline reads baseline.json.
+func LoadRegressBaseline(path string) (*RegressBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b RegressBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// RunRegressGate measures the current metrics and compares them against
+// the baseline at path.
+func RunRegressGate(path string) (*RegressReport, error) {
+	base, err := LoadRegressBaseline(path)
+	if err != nil {
+		return nil, err
+	}
+	metrics, err := MeasureRegressMetrics()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]RegressMetric, len(base.Metrics))
+	for _, m := range base.Metrics {
+		byName[m.Name] = m
+	}
+	rep := &RegressReport{}
+	for _, m := range metrics {
+		res := RegressResult{Metric: m}
+		if b, ok := byName[m.Name]; ok && b.Value > 0 {
+			res.Baseline = b.Value
+			res.Delta = (m.Value - b.Value) / b.Value
+			if !m.HigherBetter {
+				res.Delta = -res.Delta
+			}
+			res.Failed = res.Delta < -RegressTolerance
+		}
+		rep.Results = append(rep.Results, res)
+		rep.Failed = rep.Failed || res.Failed
+	}
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Metric.Name < rep.Results[j].Metric.Name })
+	return rep, nil
+}
+
+// String renders the gate table.
+func (r *RegressReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Perf regression gate (tolerance %.0f%%, best-of-3 per metric)\n", RegressTolerance*100)
+	fmt.Fprintf(&sb, "%-22s %12s %12s %8s %8s  %s\n", "metric", "current", "baseline", "unit", "delta", "verdict")
+	for _, res := range r.Results {
+		verdict := "ok"
+		switch {
+		case res.Baseline == 0:
+			verdict = "no baseline (informational)"
+		case res.Failed:
+			verdict = "FAIL: regressed"
+		}
+		fmt.Fprintf(&sb, "%-22s %12.1f %12.1f %8s %+7.1f%%  %s\n",
+			res.Metric.Name, res.Metric.Value, res.Baseline, res.Metric.Unit, res.Delta*100, verdict)
+	}
+	return sb.String()
+}

@@ -265,6 +265,10 @@ type Stats struct {
 	// single group. Zero on the channel transport.
 	Batches  uint64
 	MaxBatch uint64
+	// QueuePeak is the high-water submission-queue occupancy observed at
+	// drain time (batch taken plus what was still queued behind it) — the
+	// host-side view of pipeline pressure. Zero on the channel transport.
+	QueuePeak uint64
 }
 
 // port is one incarnation of the engine's queue pair. Exactly one of ring
@@ -695,6 +699,9 @@ func (e *Engine) loopRing(p *port) {
 		e.pl.stats.Batches++
 		if n := uint64(len(batch)); n > e.pl.stats.MaxBatch {
 			e.pl.stats.MaxBatch = n
+		}
+		if occ := uint64(len(batch) + p.ring.size()); occ > e.pl.stats.QueuePeak {
+			e.pl.stats.QueuePeak = occ
 		}
 		e.mu.Unlock()
 		for i := range batch {

@@ -1,6 +1,8 @@
 package fpga
 
 import (
+	"math/bits"
+
 	"rococotm/internal/core"
 	"rococotm/internal/sig"
 )
@@ -43,6 +45,21 @@ type Pipeline struct {
 	// once as it streams in (§5.3). Grown amortized; steady state reuses.
 	rBits, wBits []int32
 
+	// Columnar occupancy — the software form of the hardware's parallel
+	// compare across all window slots in one cycle. readCols/writeCols
+	// hold, for every signature bit position, the 64-bit column of window
+	// slots whose read/write signature contains that bit; the slot of
+	// commit seq is seq&63 (live seqs span < W ≤ 64, so live slots never
+	// collide, and sliding the window shifts nothing). A request address
+	// hits exactly the slots in the AND of its k columns — bit-identical
+	// to probing that address against each entry's signature — so the
+	// O(W) entry scan collapses to k word-ANDs per address plus one
+	// rotation from slot to window coordinates. slotRBits/slotWBits
+	// remember each slot's inserted positions so eviction can clear its
+	// column bits exactly.
+	readCols, writeCols  []uint64
+	slotRBits, slotWBits [64][]int32
+
 	stats Stats
 }
 
@@ -76,6 +93,8 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 		rBits:   make([]int32, 0, 64),
 		wBits:   make([]int32, 0, 64),
 	}
+	p.readCols = make([]uint64, cfg.Sig.M)
+	p.writeCols = make([]uint64, cfg.Sig.M)
 	for i := range p.history {
 		p.history[i].readSig = sig.New(cfg.Sig)
 		p.history[i].writeSig = sig.New(cfg.Sig)
@@ -105,26 +124,32 @@ func (p *Pipeline) NextSeq() core.Seq { return p.win.NextSeq() }
 func (p *Pipeline) ResetAt(next core.Seq) {
 	p.win.ResetAt(next)
 	p.hBase, p.hLen = 0, 0
+	clear(p.readCols)
+	clear(p.writeCols)
+	for i := range p.slotRBits {
+		p.slotRBits[i] = p.slotRBits[i][:0]
+		p.slotWBits[i] = p.slotWBits[i][:0]
+	}
 }
 
-// overlapBits reports whether the transaction's address set (signature s,
-// per-address bit positions bits, k per address) may intersect a history
-// entry's set: a cheap signature intersection first, refined by
-// per-address membership probes against the history signature on a hit —
-// the paper's rationale for shipping addresses (not signatures) to the
-// FPGA (§5.3). The addresses were hashed once per request (AppendBits), so
-// the refinement is pure bit probes. Residual false positives are those of
-// the query operation, far below intersection's.
-func overlapBits(s, hist sig.Sig, bits []int32, k int) bool {
-	if len(bits) == 0 || !s.Intersects(hist) {
-		return false
-	}
-	for off := 0; off+k <= len(bits); off += k {
-		if hist.QueryBits(bits[off : off+k]) {
-			return true
+// hitSlots returns the slot mask of window entries whose column set
+// (readCols or writeCols) contains every address of bits (k positions per
+// address): for each address, the AND of its k columns is exactly the set
+// of slots a per-entry membership probe of that address would report — the
+// paper's rationale for shipping addresses (not signatures) to the FPGA
+// (§5.3), evaluated against all W slots at once like the hardware's
+// parallel compare. Residual false positives are those of the query
+// operation, far below a signature intersection's.
+func hitSlots(cols []uint64, bitsOf []int32, k int) uint64 {
+	var hits uint64
+	for off := 0; off+k <= len(bitsOf); off += k {
+		m := ^uint64(0)
+		for _, bit := range bitsOf[off : off+k] {
+			m &= cols[bit]
 		}
+		hits |= m
 	}
-	return false
+	return hits
 }
 
 // Process validates one request against the window.
@@ -151,9 +176,13 @@ func (p *Pipeline) Process(r Request) Verdict {
 
 	// Detector: hash the transaction's addresses exactly once — into the
 	// scratch signatures and into per-address bit-position scratch — then
-	// derive the f/b adjacency vectors against each history entry. The
-	// W-entry scan itself performs no hashing, only signature intersections
-	// and precomputed bit probes.
+	// derive the f/b adjacency vectors with three columnar compares over
+	// all W slots at once. rHitW marks entries whose write signature may
+	// contain a read address (RAW/stale-read edges), wHitR entries whose
+	// read signature may contain a write address (WAR), wHitW write/write
+	// pairs (WAW). One rotation maps the slot masks (bit seq&63) to window
+	// coordinates (bit seq-base); set bits exist only for live slots, so
+	// no further masking is needed.
 	p.rs.Reset()
 	p.ws.Reset()
 	p.rBits = p.hasher.AppendBits(p.rBits[:0], r.ReadAddrs)
@@ -161,35 +190,25 @@ func (p *Pipeline) Process(r Request) Verdict {
 	p.rs.InsertBits(p.rBits)
 	p.ws.InsertBits(p.wBits)
 
-	var f, b uint64
+	base := p.win.BaseSeq()
+	rot := -int(uint(base) & 63)
+	rHitW := bits.RotateLeft64(hitSlots(p.writeCols, p.rBits, p.k), rot)
+	wHitR := bits.RotateLeft64(hitSlots(p.readCols, p.wBits, p.k), rot)
+	wHitW := bits.RotateLeft64(hitSlots(p.writeCols, p.wBits, p.k), rot)
+
+	// Seen commits (seq < ValidTS, the low window positions): any
+	// dependence points backward. Unseen commits: a stale read orders the
+	// transaction before them (forward edge); WAR/WAW order it after.
 	validSeq := core.Seq(r.ValidTS)
-	idx := p.hBase
-	for i := 0; i < p.hLen; i++ {
-		h := &p.history[idx]
-		if idx++; idx == p.cfg.W {
-			idx = 0
+	seen := ^uint64(0)
+	if n := int64(validSeq) - int64(base); n < 64 {
+		if n < 0 {
+			n = 0
 		}
-		if h.seq < validSeq {
-			// Any dependence with a visible commit points backward. WAW
-			// first: the write set is the smallest, so it is the cheapest
-			// test and the likeliest to short-circuit under contention.
-			if (h.writes > 0 && overlapBits(p.ws, h.writeSig, p.wBits, p.k)) ||
-				(h.reads > 0 && overlapBits(p.ws, h.readSig, p.wBits, p.k)) ||
-				(h.writes > 0 && overlapBits(p.rs, h.writeSig, p.rBits, p.k)) {
-				b |= 1 << uint(i)
-			}
-			continue
-		}
-		// Unseen commit: a stale read orders the transaction before it
-		// (forward edge); WAR/WAW order it after (backward edge).
-		if h.writes > 0 && overlapBits(p.rs, h.writeSig, p.rBits, p.k) {
-			f |= 1 << uint(i)
-		}
-		if (h.reads > 0 && overlapBits(p.ws, h.readSig, p.wBits, p.k)) ||
-			(h.writes > 0 && overlapBits(p.ws, h.writeSig, p.wBits, p.k)) {
-			b |= 1 << uint(i)
-		}
+		seen = 1<<uint(n) - 1
 	}
+	f := rHitW &^ seen
+	b := (rHitW & seen) | wHitR | wHitW
 
 	// Manager: ROCoCo reachability validation and commit.
 	seq, ok := p.win.Insert(f, b)
@@ -204,6 +223,16 @@ func (p *Pipeline) Process(r Request) Verdict {
 	if p.hLen == p.cfg.W {
 		ent = &p.history[p.hBase]
 		p.hBase = (p.hBase + 1) % p.cfg.W
+		// The departing commit leaves the window: clear exactly the column
+		// bits it set. When W=64 its slot is the one seq is about to
+		// reuse, so clearing must precede the insert below.
+		old := uint(ent.seq) & 63
+		for _, pos := range p.slotRBits[old] {
+			p.readCols[pos] &^= 1 << old
+		}
+		for _, pos := range p.slotWBits[old] {
+			p.writeCols[pos] &^= 1 << old
+		}
 	} else {
 		ent = &p.history[(p.hBase+p.hLen)%p.cfg.W]
 		p.hLen++
@@ -213,6 +242,15 @@ func (p *Pipeline) Process(r Request) Verdict {
 	ent.reads = len(r.ReadAddrs)
 	ent.writes = len(r.WriteAddrs)
 	ent.seq = seq
+	slot := uint(seq) & 63
+	p.slotRBits[slot] = append(p.slotRBits[slot][:0], p.rBits...)
+	p.slotWBits[slot] = append(p.slotWBits[slot][:0], p.wBits...)
+	for _, pos := range p.rBits {
+		p.readCols[pos] |= 1 << slot
+	}
+	for _, pos := range p.wBits {
+		p.writeCols[pos] |= 1 << slot
+	}
 	p.stats.Commits++
 	return Verdict{Token: r.Token, OK: true, Seq: seq, ModelNanos: nanos}
 }

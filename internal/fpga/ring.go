@@ -46,6 +46,16 @@ func newRing(depth int) *ring {
 	return r
 }
 
+// size is a racy snapshot of the current occupancy (enqueue minus dequeue
+// cursor). Stats only: concurrent pushes and pops can skew it by their
+// in-flight count.
+func (r *ring) size() int {
+	if n := int64(r.enq.Load() - r.deq.Load()); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
 // tryPush enqueues req; false means the ring is full (CCI backpressure).
 func (r *ring) tryPush(req Request) bool {
 	for {

@@ -5,7 +5,7 @@
 // library (go/ast, go/parser, go/types, go/importer) so the module stays
 // dependency-free.
 //
-// Five passes are provided:
+// Six passes are provided:
 //
 //   - aborterr: an error produced by Txn.Read, Txn.Write, TM.Commit or
 //     tm.Run is discarded, never inspected, or caught by a branch that
@@ -26,6 +26,12 @@
 //     unconditional loop that never crosses a transaction boundary or
 //     consults the context — cancellation (and the watchdog) can never
 //     reach it.
+//   - updatelock: a function acquires a commit-time update-set entry
+//     (`u.active.Store(1)`, the write-set lock of the decoupled commit
+//     pipeline) and then returns on some path before releasing it —
+//     directly, via defer, or by calling a helper that transitively
+//     performs the release. An entry leaked this way locks its write set
+//     forever.
 //
 // A finding may be suppressed by placing
 //
@@ -89,6 +95,11 @@ func Passes() []*Pass {
 			Name: "runctx",
 			Doc:  "tm.RunCtx closures must stay cancellable: no boundary-free unconditional loops",
 			Run:  runRunCtx,
+		},
+		{
+			Name: "updatelock",
+			Doc:  "an acquired update-set entry (active.Store(1)) must be released on every return path",
+			Run:  runUpdateLock,
 		},
 	}
 }

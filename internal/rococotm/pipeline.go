@@ -1,0 +1,158 @@
+package rococotm
+
+import (
+	"runtime"
+
+	"rococotm/internal/sig"
+)
+
+// This file is the decoupled commit pipeline: publication helpers shared
+// by both commit arms, the batched non-FT turn wait, and the out-of-order
+// write-back phase with its WAW ordering wait.
+//
+// The ordered protocol serialized an entire redo-log drain per commit:
+// committer seq+1 spun in awaitTurn until committer seq had stored its
+// whole redo log and released GlobalTS, so commit throughput was bounded
+// by one write-back at a time regardless of thread count. The pipeline
+// splits Commit at the timestamp release:
+//
+//	publication (ordered)    commit-queue signature + aggregate blocks +
+//	                         GlobalTS advance, in strict verdict-seq order;
+//	write-back (unordered)   the redo-log drain, concurrent across
+//	                         committers, guarded by the update-set entry.
+//
+// Safety rests on the update-set entry acting as a commit-time lock that
+// outlives the timestamp release: active=1 is set before the commit-queue
+// slot is published and cleared only after write-back completes, so a
+// reader that could observe a pre-write-back heap word for a commit ≤ its
+// snapshot necessarily sees the active signature (or a changed GlobalTS)
+// in its line-5-7 probe and retries — exactly the spin it always ran.
+// Write-after-write ordering between concurrent write-backs is restored
+// by awaitWriters: a committer drains its redo log only after every
+// active update-set entry with an earlier sequence and a possibly
+// overlapping write signature has released.
+
+// publishSlot publishes ws as commit seq's write signature in the
+// commit-queue ring (seqlock: ver 2seq+1 while writing, 2seq+2 final).
+func (r *TM) publishSlot(seq uint64, ws sig.Sig) {
+	slot := &r.commitQ[seq&uint64(r.cfg.CommitQueueSlots-1)]
+	slot.ver.Store(2*seq + 1)
+	for i, w := range ws.Words() {
+		slot.words[i].Store(w)
+	}
+	slot.ver.Store(2*seq + 2)
+}
+
+// slotPublished reports whether commit seq's queue slot holds its final
+// signature.
+func (r *TM) slotPublished(seq uint64) bool {
+	return r.commitQ[seq&uint64(r.cfg.CommitQueueSlots-1)].ver.Load() == 2*seq+2
+}
+
+// advanceMax bounds how many successors one turn-holder publishes in a
+// single group: the cap keeps the holder's time at the head of the chain
+// bounded, so its own write-back is not starved by an endless stream of
+// pre-published peers.
+const advanceMax = 128
+
+// awaitTurnFast is the publication wait of the decoupled pipeline (non-FT,
+// no observer): the commit-queue slot is already pre-published, so the
+// committer only needs GlobalTS to reach — or pass — its sequence. The
+// exact turn-holder extends the release over every contiguously
+// pre-published successor, builds the aggregate blocks the group
+// completes, and advances GlobalTS past the whole group with one store: K
+// waiting committers are released by one writer instead of K serialized
+// handoffs.
+func (r *TM) awaitTurnFast(seq uint64) {
+	for spin := 0; ; spin++ {
+		ts := r.globalTS.Load()
+		if ts > seq {
+			return // a predecessor published our commit with its group
+		}
+		if ts == seq {
+			end := seq
+			for end-seq < advanceMax && r.slotPublished(end+1) {
+				end++
+			}
+			for q := seq; q <= end; q++ {
+				r.publishAggregates(q)
+			}
+			r.globalTS.Store(end + 1)
+			return
+		}
+		if spin > 8 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// writeBack drains x's redo log into the heap — the unordered phase of the
+// pipeline — preceded by the WAW wait. wbInflight/wbPeak track how many
+// write-backs overlap (Stats.CommitPipelinePeak).
+func (r *TM) writeBack(x *txn, seq uint64) {
+	n := uint64(r.wbInflight.Add(1))
+	for {
+		peak := r.wbPeak.Load()
+		if n <= peak || r.wbPeak.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	r.awaitWriters(seq, x)
+	hook := r.cfg.WritebackHook
+	for i, a := range x.writeOrder {
+		if hook != nil {
+			hook(seq, i)
+		}
+		r.heap.Store(a, x.redo[a])
+	}
+	r.wbInflight.Add(-1)
+}
+
+// awaitWriters blocks until no in-flight write-back with an earlier
+// sequence may touch x's write set — the write-after-write half of
+// commit-time locking. Publication order guarantees every such entry was
+// fully published (sequence, then words, then active) before our own
+// timestamp release, so the scan can never miss an earlier writer; an
+// entry that re-arms mid-scan carries a later sequence and is skipped.
+// Waiting only on strictly smaller sequences keeps the wait graph acyclic,
+// so the spin cannot deadlock: the smallest active sequence waits on
+// nobody and always completes.
+func (r *TM) awaitWriters(seq uint64, x *txn) {
+	for {
+		wait := false
+		for i := range r.updates {
+			if i == x.thread {
+				continue
+			}
+			u := &r.updates[i]
+			if u.active.Load() != 1 || u.seq.Load() >= seq {
+				continue
+			}
+			if r.writerMayOverlap(u, x.writeSig) {
+				wait = true
+				break
+			}
+		}
+		if !wait {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// writerMayOverlap is sig.Intersects against the atomic words of an
+// update-set entry: per-partition AND, exact on a false result.
+func (r *TM) writerMayOverlap(u *updateSlot, s sig.Sig) bool {
+	w := s.Words()
+	pw := r.sigPW
+	for p := 0; p < len(w); p += pw {
+		acc := uint64(0)
+		for i := p; i < p+pw; i++ {
+			acc |= w[i] & u.words[i].Load()
+		}
+		if acc == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -20,8 +20,15 @@
 //   - a read-only transaction commits immediately; a write transaction
 //     ships its read/write addresses and ValidTS to the FPGA and, on an
 //     OK verdict with commit sequence s, publishes its update-set entry,
-//     waits for GlobalTS = s, appends its write signature to the commit
-//     queue, writes back its redo log, and releases GlobalTS = s+1.
+//     appends its write signature to the commit queue at s, waits for
+//     GlobalTS ≥ s, and releases GlobalTS past s. The redo-log write-back
+//     is decoupled from that ordered publication: it runs out of order
+//     across committers, with the update-set entry held active until the
+//     last word lands (pipeline.go), so readers spin past unfinished
+//     write-backs exactly as they spin past unreleased committers.
+//   - snapshot extension folds lagged commits through an aggregate
+//     signature ring (agg.go): power-of-two segment unions over the
+//     commit queue turn a K-commit extension into O(log K) folds.
 //
 // Unlike TinySTM, a transaction whose snapshot extension failed is not
 // doomed: as long as it never reads a missed location it runs to the end,
@@ -79,6 +86,25 @@ type Config struct {
 	ReadSpinLimit int
 	// MeasureValidation enables the wall-clock validation timer (Fig. 11).
 	MeasureValidation bool
+	// MeasurePhases enables the per-phase commit latency counters
+	// (extension / validate / await / publish / write-back) behind
+	// tm.Stats.CommitPhase*. It implies the validation timer.
+	MeasurePhases bool
+	// OrderedWriteback disables the decoupled commit pipeline: a committer
+	// drains its redo log before releasing the global timestamp, so
+	// write-backs serialize in commit order. This is the pre-pipeline
+	// protocol, kept as the baseline arm of the commitphase experiment.
+	OrderedWriteback bool
+	// MaxAggLevel caps the aggregate signature ring (agg.go): level L
+	// holds unions of 2^L consecutive commit signatures. 0 selects the
+	// default (min(8, log2(CommitQueueSlots)-1)); negative disables the
+	// ring, making snapshot extension fold per commit again.
+	MaxAggLevel int
+	// WritebackHook, when set, is called before each redo-log word of the
+	// write-back phase with the commit sequence and word index. It exists
+	// for tests that pin write-backs mid-flight; it must not block
+	// indefinitely on the runtime's own progress.
+	WritebackHook func(seq uint64, word int)
 	// IrrevocableAfter, when > 0, re-executes a transaction irrevocably
 	// after that many consecutive conflict aborts on a thread: the
 	// transaction takes a global commit gate, so nothing commits during
@@ -181,14 +207,18 @@ type commitSlot struct {
 }
 
 // updateSlot is one per-thread entry of the update set: the write
-// signature of a transaction between its FPGA verdict and the release of
-// GlobalTS. Readers probe individual bits with atomic loads, so a slot
-// being reinstalled can only yield a spurious hit (a retry), never a torn
-// miss: the owner stores the new words before flipping active to 1.
+// signature of a transaction between its FPGA verdict and the end of its
+// write-back — the commit-time lock of the decoupled pipeline, held
+// across the GlobalTS release. Readers probe individual bits with atomic
+// loads, so a slot being reinstalled can only yield a spurious hit (a
+// retry), never a torn miss: the owner stores seq and the new words
+// before flipping active to 1. seq orders concurrent write-backs
+// (pipeline.go awaitWriters keys WAW waits off it).
 type updateSlot struct {
 	active atomic.Uint32
+	seq    atomic.Uint64
 	words  []atomic.Uint64
-	_      [6]uint64 // pad to keep hot slots off each other's cache line
+	_      [5]uint64 // pad to keep hot slots off each other's cache line
 }
 
 // TM is the ROCoCoTM runtime.
@@ -201,6 +231,26 @@ type TM struct {
 	globalTS atomic.Uint64
 	commitQ  []commitSlot
 	updates  []updateSlot
+
+	// Aggregate signature ring (agg.go): agg[L] unions 2^L consecutive
+	// commit signatures per slot; aggMax is the top level (0 = disabled).
+	// sigPW caches the signature partition width in words for the atomic
+	// intersection in pipeline.go.
+	agg    [][]commitSlot
+	aggMax int
+	sigPW  int
+
+	// fastTurn selects the pre-publish + batched-turn-advance wait of the
+	// decoupled pipeline. It requires strict publication to be private to
+	// the runtime: FT mode may abandon a claimed sequence (a pre-published
+	// slot could not be retracted) and an Observer must see commits
+	// strictly one at a time at their serialization point.
+	fastTurn bool
+
+	// Write-back pipeline occupancy (pipeline.go): current and high-water
+	// count of commits inside the write-back phase.
+	wbInflight atomic.Int64
+	wbPeak     atomic.Uint64
 
 	// gate serializes commits against irrevocable execution: regular
 	// commits hold it shared for their validate/write-back span; an
@@ -288,6 +338,8 @@ func New(heap *mem.Heap, cfg Config) *TM {
 	for i := range r.updates {
 		r.updates[i].words = make([]atomic.Uint64, sigWords)
 	}
+	r.sigPW = eng.Config().Sig.PartitionBits() / 64
+	r.initAgg(sigWords)
 	r.consec = make([]int32, cfg.MaxThreads)
 	r.escalated = make([]bool, cfg.MaxThreads)
 	r.began = make([]atomic.Int64, cfg.MaxThreads)
@@ -298,6 +350,7 @@ func New(heap *mem.Heap, cfg Config) *TM {
 	r.stop = make(chan struct{})
 	r.link = eng
 	r.ftEnabled = cfg.ValidateDeadline > 0
+	r.fastTurn = !r.ftEnabled && cfg.Observer == nil && !cfg.OrderedWriteback
 	if r.ftEnabled {
 		if cfg.WrapLink != nil {
 			r.link = cfg.WrapLink(r.link)
@@ -390,8 +443,10 @@ func (r *TM) Stats() tm.Stats {
 	es := r.eng.Stats()
 	s.ValidationBatches = es.Batches
 	s.ValidationBatchMax = es.MaxBatch
+	s.ValidationQueuePeak = es.QueuePeak
 	s.WatchdogFires = r.wdFires.Load()
 	s.WatchdogKills = r.wdKills.Load()
+	s.CommitPipelinePeak = r.wbPeak.Load()
 	return s
 }
 
@@ -437,6 +492,7 @@ type txn struct {
 	missAny bool
 	tempSig sig.Sig // scratch TempSet
 	oneSig  sig.Sig // scratch for one commit-queue entry
+	aggSig  sig.Sig // scratch for one aggregate-ring segment
 	sigCfg  sig.Config
 
 	// orphaned marks a descriptor whose footprint slices may still be
@@ -523,6 +579,7 @@ func (r *TM) Begin(thread int) (tm.Txn, error) {
 		missSig:     sig.New(scfg),
 		tempSig:     sig.New(scfg),
 		oneSig:      sig.New(scfg),
+		aggSig:      sig.New(scfg),
 		redo:        map[mem.Addr]mem.Word{},
 		readSeen:    map[mem.Addr]bool{},
 		sigCfg:      scfg,
@@ -549,10 +606,10 @@ func (x *txn) abort(reason string) error {
 }
 
 // updateSetHits reports whether any in-flight committer's write signature
-// may contain addr (Algorithm 1 line 5).
-func (r *TM) updateSetHits(addr uint64, self int) bool {
-	var buf [16]int
-	idx := r.hasher.Indices(addr, buf[:])
+// may contain the address whose hash indices are idx (Algorithm 1 line
+// 5). The caller precomputes idx once per read and reuses it across the
+// spin's probes (and its own MissSet query).
+func (r *TM) updateSetHits(idx []int, self int) bool {
 	for i := range r.updates {
 		if i == self {
 			continue
@@ -623,6 +680,10 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 	}
 	r := x.r
 	addr := uint64(a)
+	// Hash once: the spin's update-set probes, the MissSet query, and a
+	// re-read all reuse the same indices.
+	var idxBuf [16]int
+	idx := r.hasher.Indices(addr, idxBuf[:])
 
 	var v mem.Word
 	spins := 0
@@ -632,9 +693,11 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 		}
 		g1 := r.globalTS.Load()
 		// Line 5-7: commit-time locking — wait out committers that may be
-		// writing this address back. If we are already inconsistent
-		// (MissSet non-empty), waiting cannot help: abort (line 6).
-		if r.updateSetHits(addr, x.thread) {
+		// writing this address back (with the decoupled pipeline, a
+		// committer's entry stays active past its timestamp release, until
+		// its write-back lands). If we are already inconsistent (MissSet
+		// non-empty), waiting cannot help: abort (line 6).
+		if r.updateSetHits(idx, x.thread) {
 			if x.missAny {
 				return 0, x.abort(tm.ReasonConflict)
 			}
@@ -644,31 +707,20 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 		v = r.heap.Load(a) // line 8
 		// Re-check: if a committer published or a commit completed while
 		// we read, the value may be torn or from an ambiguous snapshot.
-		if r.updateSetHits(addr, x.thread) || r.globalTS.Load() != g1 {
+		if r.updateSetHits(idx, x.thread) || r.globalTS.Load() != g1 {
 			continue
 		}
 		break
 	}
 
 	// Lines 9-13: fold the write signatures published since LocalTS into
-	// the TempSet. The overlap test runs against each commit's signature
-	// individually (the precise end of the paper's two-level intersection)
-	// — intersecting against the union of many commits would saturate the
-	// filter and manufacture false conflicts.
+	// the TempSet (extendFold, agg.go: whole aligned segments fold through
+	// the aggregate ring; the overlap verdict stays per-commit precise).
 	x.tempSig.Reset()
-	tempAny := false
-	overlap := false
-	for g := x.r.globalTS.Load(); x.localTS < g; g = x.r.globalTS.Load() {
-		if !x.r.loadCommitSig(x.localTS, x.oneSig) {
-			// Snapshot fell out of the commit-queue ring.
-			return 0, x.abort(tm.ReasonWindow)
-		}
-		if !overlap && x.readSetOverlaps(x.oneSig) {
-			overlap = true
-		}
-		x.tempSig.Union(x.oneSig)
-		tempAny = true
-		x.localTS++
+	tempAny, overlap, ok := x.extendFold()
+	if !ok {
+		// Snapshot fell out of the commit-queue ring.
+		return 0, x.abort(tm.ReasonWindow)
 	}
 
 	// Lines 14-19: snapshot extension or miss-set accumulation.
@@ -677,7 +729,7 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 			x.missSig.Union(x.tempSig)
 			x.missAny = true
 		}
-		if x.missAny && x.missSig.Query(x.r.hasher, addr) {
+		if x.missAny && x.missSig.QueryIdx(idx) {
 			return 0, x.abort(tm.ReasonConflict) // line 17: torn snapshot
 		}
 	} else if tempAny {
@@ -757,7 +809,10 @@ func (x *txn) Write(a mem.Addr, v mem.Word) error {
 	return nil
 }
 
-// Commit implements tm.TM (§5.3 commit protocol).
+// Commit implements tm.TM (§5.3 commit protocol), split into an ordered
+// publication phase (signature + timestamp, strict verdict-seq order) and
+// a decoupled write-back phase that runs out of order across committers
+// under the update-set lock (pipeline.go).
 func (r *TM) Commit(t tm.Txn) error {
 	x := t.(*txn)
 	if x.dead {
@@ -785,24 +840,21 @@ func (r *TM) Commit(t tm.Txn) error {
 		defer r.gate.RUnlock()
 	}
 
+	measure := r.cfg.MeasurePhases
+	var pStart time.Time
+	if measure {
+		pStart = time.Now()
+	}
+
 	// Final snapshot extension before shipping: fold any commits since the
 	// last read into the TempSet and, if the read set is untouched,
 	// advance ValidTS to the present. Without this a transaction that
 	// merely sat descheduled behind many unrelated commits would carry a
 	// stale ValidTS into the engine and risk a spurious window abort.
 	x.tempSig.Reset()
-	tempAny := false
-	overlap := false
-	for g := r.globalTS.Load(); x.localTS < g; g = r.globalTS.Load() {
-		if !r.loadCommitSig(x.localTS, x.oneSig) {
-			return x.abort(tm.ReasonWindow)
-		}
-		if !overlap && x.readSetOverlaps(x.oneSig) {
-			overlap = true
-		}
-		x.tempSig.Union(x.oneSig)
-		tempAny = true
-		x.localTS++
+	tempAny, overlap, ok := x.extendFold()
+	if !ok {
+		return x.abort(tm.ReasonWindow)
 	}
 	if tempAny {
 		if x.missAny || overlap {
@@ -814,6 +866,10 @@ func (r *TM) Commit(t tm.Txn) error {
 	} else if !x.missAny {
 		x.validTS = x.localTS
 	}
+	var dExtend time.Duration
+	if measure {
+		dExtend = time.Since(pStart)
+	}
 
 	// Ship the footprint and snapshot to the FPGA and wait for a verdict.
 	// The write footprint reuses the descriptor's scratch slice; the
@@ -824,7 +880,7 @@ func (r *TM) Commit(t tm.Txn) error {
 		x.writeAddrs = append(x.writeAddrs, uint64(a))
 	}
 	var t0 time.Time
-	if r.cfg.MeasureValidation {
+	if r.cfg.MeasureValidation || measure {
 		t0 = time.Now()
 	}
 	verdict, viaEngine, err := r.validate(x, fpga.Request{
@@ -833,7 +889,7 @@ func (r *TM) Commit(t tm.Txn) error {
 		ReadAddrs:  x.readAddrs,
 		WriteAddrs: x.writeAddrs,
 	})
-	if r.cfg.MeasureValidation {
+	if r.cfg.MeasureValidation || measure {
 		r.cnt.AddValidation(time.Since(t0))
 	}
 	if viaEngine {
@@ -869,41 +925,98 @@ func (r *TM) Commit(t tm.Txn) error {
 	}
 	seq := uint64(verdict.Seq)
 
-	// Publish the update-set entry (commit-time lock on our write set).
+	// Publish the update-set entry — the commit-time lock on our write
+	// set, held from here until the write-back phase completes. Order
+	// matters: sequence, then words, then active, so awaitWriters on
+	// other threads can key WAW ordering off a consistent entry.
 	u := &r.updates[x.thread]
+	u.seq.Store(seq)
 	for i, w := range x.writeSig.Words() {
 		u.words[i].Store(w)
 	}
 	u.active.Store(1)
 
-	// Wait for our turn in the global commit order (bounded in FT mode:
-	// a lost verdict below us leaves a permanent hole only degradation
-	// can clear).
-	if err := r.awaitTurn(x, seq, viaEngine); err != nil {
-		return err
+	var dAwait, dPublish, dWriteback time.Duration
+	wroteBack := false
+	if r.fastTurn {
+		// Decoupled pipeline, non-FT fast chain: pre-publish the commit-
+		// queue slot, then wait for GlobalTS to reach or pass seq. The
+		// turn-holder releases every contiguously pre-published successor
+		// with one store (pipeline.go).
+		if measure {
+			pStart = time.Now()
+		}
+		r.publishSlot(seq, x.writeSig)
+		if measure {
+			dPublish = time.Since(pStart)
+			pStart = time.Now()
+		}
+		r.awaitTurnFast(seq)
+		if measure {
+			dAwait = time.Since(pStart)
+		}
+	} else {
+		// Ordered publication: wait for our exact turn in the global
+		// commit order (bounded in FT mode: a lost verdict below us
+		// leaves a permanent hole only degradation can clear).
+		if measure {
+			pStart = time.Now()
+		}
+		if err := r.awaitTurn(x, seq, viaEngine); err != nil {
+			return err
+		}
+		if measure {
+			dAwait = time.Since(pStart)
+			pStart = time.Now()
+		}
+		r.publishSlot(seq, x.writeSig)
+		r.publishAggregates(seq)
+		if r.cfg.Observer != nil {
+			// Serialization point: GlobalTS still reads seq, so observer
+			// calls arrive in strictly increasing seq order across all
+			// committers.
+			r.cfg.Observer.ObserveCommit(seq, x.validTS, x.readAddrs, x.writeAddrs)
+		}
+		if r.cfg.OrderedWriteback {
+			// Baseline arm: drain the redo log before releasing the
+			// timestamp, serializing write-backs in commit order — the
+			// pre-pipeline protocol, kept for the commitphase A/B.
+			var wb0 time.Time
+			if measure {
+				wb0 = time.Now()
+			}
+			r.writeBack(x, seq)
+			if measure {
+				dWriteback = time.Since(wb0)
+			}
+			wroteBack = true
+		}
+		r.globalTS.Store(seq + 1)
+		if measure {
+			dPublish = time.Since(pStart) - dWriteback
+		}
 	}
-
-	// Publish the write signature in the commit queue.
-	slot := &r.commitQ[seq&uint64(r.cfg.CommitQueueSlots-1)]
-	slot.ver.Store(2*seq + 1)
-	for i, w := range x.writeSig.Words() {
-		slot.words[i].Store(w)
-	}
-	slot.ver.Store(2*seq + 2)
-
-	// Write back the redo log, then release the timestamp and the lock.
-	for _, a := range x.writeOrder {
-		r.heap.Store(a, x.redo[a])
-	}
-	if r.cfg.Observer != nil {
-		// Serialization point: GlobalTS still reads seq, so observer calls
-		// arrive in strictly increasing seq order across all committers.
-		r.cfg.Observer.ObserveCommit(seq, x.validTS, x.readAddrs, x.writeAddrs)
-	}
-	r.globalTS.Store(seq + 1)
-	u.active.Store(0)
 	if r.ftEnabled && viaEngine {
+		// The sequence is published: degradation's quiesce-and-reseed
+		// rebases at GlobalTS, which now covers it, write-back or not.
 		r.engineInflight.Add(-1)
+	}
+
+	// Out-of-order write-back phase: the update-set entry keeps the write
+	// set locked while the redo log drains concurrently with other
+	// committers' write-backs (WAW pairs excepted — pipeline.go).
+	if !wroteBack {
+		if measure {
+			pStart = time.Now()
+		}
+		r.writeBack(x, seq)
+		if measure {
+			dWriteback = time.Since(pStart)
+		}
+	}
+	u.active.Store(0)
+	if measure {
+		r.cnt.AddCommitPhases(dExtend, dAwait, dPublish, dWriteback)
 	}
 
 	x.dead = true

@@ -218,6 +218,24 @@ func (s Sig) QueryBits(bits []int32) bool {
 	return true
 }
 
+// QueryIdx is QueryBits for one address's positions as returned by
+// Hasher.Indices — for callers that already hold the []int form.
+func (s Sig) QueryIdx(idx []int) bool {
+	for _, bit := range idx {
+		if s.w[bit>>6]&(1<<uint(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyFrom overwrites s with o's bits (geometries must match). It is the
+// allocation-free counterpart of Clone for recycled scratch signatures.
+func (s Sig) CopyFrom(o Sig) {
+	s.sameLen(o)
+	copy(s.w, o.w)
+}
+
 // Union sets s = s ∪ o.
 func (s Sig) Union(o Sig) {
 	s.sameLen(o)
@@ -297,6 +315,39 @@ func (s Sig) sameLen(o Sig) {
 	if len(s.w) != len(o.w) {
 		panic(fmt.Sprintf("sig: geometry mismatch %d != %d words", len(s.w), len(o.w)))
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Segment-union helpers for aggregate signature rings.
+//
+// An aggregate ring summarizes a sequence of per-commit signatures with a
+// flat segment tree: level L holds the union of each naturally aligned
+// 2^L-commit block. Folding an arbitrary range [lo, hi) then decomposes
+// greedily into O(log(hi-lo)) aligned power-of-two segments instead of
+// hi-lo per-commit loads.
+
+// SegLevel returns the level of the largest aligned segment usable at the
+// start of the range [lo, hi): the greatest L ≤ maxLevel with lo divisible
+// by 2^L and lo+2^L ≤ hi. It returns 0 when only a single-element step
+// fits (including the degenerate lo >= hi).
+func SegLevel(lo, hi uint64, maxLevel int) int {
+	if hi <= lo {
+		return 0
+	}
+	l := bits.TrailingZeros64(lo)
+	if lo == 0 {
+		l = 63
+	}
+	if span := 63 - bits.LeadingZeros64(hi-lo); span < l {
+		l = span
+	}
+	if l > maxLevel {
+		l = maxLevel
+	}
+	if l < 0 {
+		l = 0
+	}
+	return l
 }
 
 // ---------------------------------------------------------------------------

@@ -376,3 +376,103 @@ func BenchmarkIntersect512(b *testing.B) {
 		x.Intersects(y)
 	}
 }
+
+func TestSegLevel(t *testing.T) {
+	cases := []struct {
+		lo, hi   uint64
+		maxLevel int
+		want     int
+	}{
+		{0, 0, 8, 0}, // degenerate empty range
+		{5, 5, 8, 0}, // degenerate empty range
+		{7, 3, 8, 0}, // degenerate inverted range
+		{0, 1, 8, 0}, // single element
+		{0, 2, 8, 1}, // aligned pair
+		{0, 3, 8, 1}, // span 3: largest power of two that fits is 2
+		{0, 4, 8, 2},
+		{0, 256, 8, 8},    // capped by maxLevel
+		{0, 1024, 8, 8},   // capped by maxLevel
+		{0, 1024, 12, 10}, // capped by span
+		{1, 16, 8, 0},     // odd lo: only single steps
+		{2, 16, 8, 1},     // lo divisible by 2 only
+		{4, 16, 8, 2},
+		{8, 16, 8, 3},
+		{8, 12, 8, 2}, // alignment allows 8 but span allows only 4
+		{6, 8, 8, 1},
+		{0, 5, 0, 0}, // maxLevel 0 forces per-commit stepping
+	}
+	for _, c := range cases {
+		if got := SegLevel(c.lo, c.hi, c.maxLevel); got != c.want {
+			t.Errorf("SegLevel(%d, %d, %d) = %d, want %d", c.lo, c.hi, c.maxLevel, got, c.want)
+		}
+	}
+}
+
+func TestSegLevelDecomposesExactly(t *testing.T) {
+	// Greedy decomposition must tile any range exactly: segments are
+	// aligned, within bounds, and sum to the range.
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 2000; iter++ {
+		lo := uint64(rng.Intn(1 << 12))
+		hi := lo + uint64(rng.Intn(1<<10))
+		maxLevel := rng.Intn(10)
+		pos, steps := lo, 0
+		for pos < hi {
+			lvl := SegLevel(pos, hi, maxLevel)
+			size := uint64(1) << uint(lvl)
+			if pos&(size-1) != 0 {
+				t.Fatalf("segment [%d,+%d) not aligned", pos, size)
+			}
+			if pos+size > hi {
+				t.Fatalf("segment [%d,+%d) overruns hi=%d", pos, size, hi)
+			}
+			pos += size
+			if steps++; steps > 1<<12 {
+				t.Fatalf("decomposition of [%d,%d) did not terminate", lo, hi)
+			}
+		}
+		if pos != hi {
+			t.Fatalf("decomposition of [%d,%d) ended at %d", lo, hi, pos)
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	h := NewHasher(Default512, 11)
+	src, dst := New(Default512), New(Default512)
+	for i := 0; i < 12; i++ {
+		src.Insert(h, uint64(i)*31)
+	}
+	dst.Insert(h, 0xdead) // pre-existing bits must be overwritten, not unioned
+	dst.CopyFrom(src)
+	sw, dw := src.Words(), dst.Words()
+	for i := range sw {
+		if sw[i] != dw[i] {
+			t.Fatalf("word %d: src %#x dst %#x", i, sw[i], dw[i])
+		}
+	}
+	// CopyFrom must not alias: mutating dst leaves src intact.
+	before := append([]uint64(nil), sw...)
+	dst.Insert(h, 0xbeefcafe)
+	for i, w := range src.Words() {
+		if w != before[i] {
+			t.Fatal("CopyFrom aliased the source words")
+		}
+	}
+}
+
+func TestQueryIdxMatchesQuery(t *testing.T) {
+	h := NewHasher(Default512, 5)
+	s := New(Default512)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 16; i++ {
+		s.Insert(h, rng.Uint64())
+	}
+	var buf [16]int
+	for i := 0; i < 4000; i++ {
+		a := rng.Uint64()
+		if got, want := s.QueryIdx(h.Indices(a, buf[:])), s.Query(h, a); got != want {
+			t.Fatalf("QueryIdx(%#x) = %v, Query = %v", a, got, want)
+		}
+	}
+}

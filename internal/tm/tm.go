@@ -115,6 +115,23 @@ type Stats struct {
 	// runtimes without a watchdog.
 	WatchdogFires uint64
 	WatchdogKills uint64
+	// CommitPhase* break a write commit's wall-clock into the runtime's
+	// pipeline phases (validation itself is ValidationNanos): final
+	// snapshot extension, the wait for the commit turn, ordered
+	// publication (signature + timestamp release), and the redo-log
+	// write-back. Populated only when the runtime measures phases; zero
+	// otherwise.
+	CommitExtendNanos    uint64
+	CommitAwaitNanos     uint64
+	CommitPublishNanos   uint64
+	CommitWritebackNanos uint64
+	// CommitPipelinePeak is the high-water count of commits simultaneously
+	// inside the write-back phase — >1 only when the runtime decouples
+	// write-back from timestamp release. ValidationQueuePeak is the
+	// high-water occupancy of the validation engine's submission queue at
+	// drain time. Zero for runtimes without those pipelines.
+	CommitPipelinePeak  uint64
+	ValidationQueuePeak uint64
 }
 
 // AbortRate returns Aborts / Starts.
@@ -134,6 +151,8 @@ type Counters struct {
 	reasonCapacity, reasonSpurious              atomic.Uint64
 	reasonFallback, reasonEngine                atomic.Uint64
 	reasonWatchdog, reasonExplicit              atomic.Uint64
+	extendNanos, awaitNanos                     atomic.Uint64
+	publishNanos, writebackNanos                atomic.Uint64
 }
 
 // OnStart records a transaction attempt.
@@ -184,6 +203,22 @@ func (c *Counters) AddModelValidation(nanos uint64) {
 	c.modelValNanos.Add(nanos)
 }
 
+// AddCommitPhases accumulates one write commit's per-phase latencies.
+func (c *Counters) AddCommitPhases(extend, await, publish, writeback time.Duration) {
+	if extend > 0 {
+		c.extendNanos.Add(uint64(extend))
+	}
+	if await > 0 {
+		c.awaitNanos.Add(uint64(await))
+	}
+	if publish > 0 {
+		c.publishNanos.Add(uint64(publish))
+	}
+	if writeback > 0 {
+		c.writebackNanos.Add(uint64(writeback))
+	}
+}
+
 // Snapshot materializes the counters as Stats.
 func (c *Counters) Snapshot() Stats {
 	return Stats{
@@ -204,6 +239,10 @@ func (c *Counters) Snapshot() Stats {
 		},
 		ValidationNanos:      c.valNanos.Load(),
 		ModelValidationNanos: c.modelValNanos.Load(),
+		CommitExtendNanos:    c.extendNanos.Load(),
+		CommitAwaitNanos:     c.awaitNanos.Load(),
+		CommitPublishNanos:   c.publishNanos.Load(),
+		CommitWritebackNanos: c.writebackNanos.Load(),
 	}
 }
 

@@ -26,6 +26,11 @@
 #                    (benchtime=1x), so perf lanes cannot silently rot;
 #                    the non-race run also picks up the AllocsPerRun
 #                    zero-allocation tests excluded from lane 6
+#   9. bench gate  — cmd/benchgate re-measures the optimization-sensitive
+#                    microbenchmarks (pipelined/ordered counter throughput,
+#                    aggregate/per-commit extension folds) and fails on a
+#                    >20% regression vs internal/bench/baseline.json;
+#                    re-record an intentional move with `benchgate -record`
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,5 +64,8 @@ go test -race ./internal/...
 
 echo "== bench smoke: go test -run=NONE -bench=. -benchtime=1x ./internal/..."
 go test -run='ZeroAllocs' -bench=. -benchtime=1x ./internal/...
+
+echo "== bench gate: go run ./cmd/benchgate"
+go run ./cmd/benchgate
 
 echo "== all checks passed"
