@@ -1,21 +1,30 @@
 // Command tmlint statically checks this repository against the
-// transactional-memory programming contracts documented in internal/tm.
-// It is built purely on the standard library (go/ast, go/types,
-// go/importer); the module stays dependency-free.
+// transactional-memory programming contracts documented in internal/tm
+// and the concurrency contracts of the lock-free hot path. It is built
+// purely on the standard library (go/ast, go/types, go/importer); the
+// module stays dependency-free.
 //
 // Usage:
 //
-//	tmlint [-list] [packages]
+//	tmlint [-list] [-json] [-summary] [-hotalloc] [packages]
 //
 // Packages are directory patterns relative to the working directory;
 // "./..." (the default) walks the whole module. Findings are printed as
 //
 //	file:line: [pass] message
 //
-// and the exit status is 1 when any finding is reported, 2 on usage or
-// load errors, 0 otherwise. In-package _test.go files are analyzed along
-// with their package; external (package foo_test) test files are analyzed
-// as their own package; testdata directories are skipped.
+// or, under -json, as one JSON object per line with file/line/pass/
+// message fields. -summary appends a pass-count/finding-count line to
+// stderr so CI logs can track analyzer coverage. -hotalloc additionally
+// runs the whole-module zero-allocation gate: it invokes
+// `go build -gcflags=-m=1 ./...` and fails if any `//tm:hotpath`
+// function (or a same-module function it statically calls) heap-
+// allocates.
+//
+// The exit status is 1 when any finding is reported, 2 on usage or load
+// errors, 0 otherwise. In-package _test.go files are analyzed along with
+// their package; external (package foo_test) test files are analyzed as
+// their own package; testdata directories are skipped.
 //
 // A finding is suppressed by a
 //
@@ -25,8 +34,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -37,18 +48,33 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+// jsonFinding is the -json wire format, one object per line.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "describe the passes and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON records, one per line")
+	summary := fs.Bool("summary", false, "append a pass/finding/suppression count line to stderr")
+	hotalloc := fs.Bool("hotalloc", false, "also run the //tm:hotpath zero-allocation gate (invokes go build)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
-		for _, p := range lint.Passes() {
-			fmt.Printf("%-10s %s\n", p.Name, p.Doc)
+		// Registry, not Passes: the listing must cover whole-module modes
+		// like hotalloc too, and both derive from the same table, so the
+		// flag cannot drift from the analyzers actually run.
+		for _, p := range lint.Registry() {
+			fmt.Fprintf(stdout, "%-10s %s\n", p.Name, p.Doc)
 		}
 		return 0
 	}
@@ -59,37 +85,79 @@ func run(args []string) int {
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tmlint:", err)
+		fmt.Fprintln(stderr, "tmlint:", err)
 		return 2
 	}
 	loader, err := lint.NewLoader(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tmlint:", err)
+		fmt.Fprintln(stderr, "tmlint:", err)
 		return 2
 	}
 
 	dirs, err := expand(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tmlint:", err)
+		fmt.Fprintln(stderr, "tmlint:", err)
 		return 2
 	}
 
+	emit := func(f lint.Finding) {
+		if *jsonOut {
+			rec := jsonFinding{
+				File:    relPath(cwd, f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Pass:    f.Pass,
+				Message: f.Message,
+			}
+			b, err := json.Marshal(rec)
+			if err != nil {
+				fmt.Fprintln(stderr, "tmlint:", err)
+				return
+			}
+			fmt.Fprintln(stdout, string(b))
+			return
+		}
+		fmt.Fprintln(stdout, render(cwd, f))
+	}
+
 	failed := false
-	findings := 0
+	findings, suppressed := 0, 0
 	for _, dir := range dirs {
 		pkgs, err := loader.LoadDir(dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tmlint: %s: %v\n", dir, err)
+			fmt.Fprintf(stderr, "tmlint: %s: %v\n", dir, err)
 			failed = true
 			continue
 		}
 		for _, p := range pkgs {
-			for _, f := range lint.Check(p) {
-				fmt.Println(render(cwd, f))
+			fs, dropped := lint.CheckCount(p)
+			suppressed += dropped
+			for _, f := range fs {
+				emit(f)
 				findings++
 			}
 		}
 	}
+
+	passes := len(lint.Passes())
+	if *hotalloc {
+		passes++
+		hot, dropped, err := lint.HotAllocBuild(loader, dirs)
+		if err != nil {
+			fmt.Fprintln(stderr, "tmlint:", err)
+			failed = true
+		}
+		suppressed += dropped
+		for _, f := range hot {
+			emit(f)
+			findings++
+		}
+	}
+
+	if *summary {
+		fmt.Fprintf(stderr, "tmlint: %d passes, %d findings, %d suppressed\n",
+			passes, findings, suppressed)
+	}
+
 	switch {
 	case failed:
 		return 2
@@ -99,14 +167,18 @@ func run(args []string) int {
 	return 0
 }
 
+// relPath shortens a path to the working directory when possible.
+func relPath(cwd, name string) string {
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
+}
+
 // render prints a finding with its file path relative to the working
 // directory.
 func render(cwd string, f lint.Finding) string {
-	name := f.Pos.Filename
-	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-		name = rel
-	}
-	return fmt.Sprintf("%s:%d: [%s] %s", name, f.Pos.Line, f.Pass, f.Message)
+	return fmt.Sprintf("%s:%d: [%s] %s", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pass, f.Message)
 }
 
 // expand resolves package patterns to directories containing Go files.

@@ -1,0 +1,17 @@
+// Package bad is a fixture for the tmlint driver tests: it carries one
+// known atomicmix violation (a field read plainly and updated atomically).
+package bad
+
+import "sync/atomic"
+
+type c struct {
+	n uint64
+}
+
+func bump(x *c) {
+	atomic.AddUint64(&x.n, 1)
+}
+
+func peek(x *c) uint64 {
+	return x.n
+}

@@ -57,6 +57,8 @@ func (r *ring) size() int {
 }
 
 // tryPush enqueues req; false means the ring is full (CCI backpressure).
+//
+//tm:hotpath
 func (r *ring) tryPush(req Request) bool {
 	for {
 		pos := r.enq.Load()
@@ -81,6 +83,8 @@ func (r *ring) tryPush(req Request) bool {
 // producer has claimed a ticket but not yet published its cell, tryPop
 // waits the (tiny) publication window out rather than reporting empty, so
 // sweeps never strand an accepted request.
+//
+//tm:hotpath
 func (r *ring) tryPop() (Request, bool) {
 	for {
 		pos := r.deq.Load()

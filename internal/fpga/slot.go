@@ -80,6 +80,8 @@ func (s *VerdictSlot) Prepare() uint64 {
 // publish delivers v for generation gen. It reports false when the slot
 // has moved on (duplicate delivery, or the owner abandoned the generation
 // and re-armed).
+//
+//tm:hotpath
 func (s *VerdictSlot) publish(gen uint64, v Verdict) bool {
 	if !s.state.CompareAndSwap(gen<<2|slotPending, gen<<2|slotWriting) {
 		return false
@@ -96,6 +98,8 @@ func (s *VerdictSlot) publish(gen uint64, v Verdict) bool {
 }
 
 // TryTake polls for generation gen's verdict without blocking.
+//
+//tm:hotpath
 func (s *VerdictSlot) TryTake(gen uint64) (Verdict, bool) {
 	if s.state.Load() == gen<<2|slotReady {
 		return s.v, true
@@ -106,6 +110,8 @@ func (s *VerdictSlot) TryTake(gen uint64) (Verdict, bool) {
 // Wait blocks until generation gen's verdict arrives. Safe only for
 // requests accepted by the engine, whose terminal-verdict guarantee bounds
 // the wait; deadline-driven hosts use WaitUntil instead.
+//
+//tm:hotpath
 func (s *VerdictSlot) Wait(gen uint64) Verdict {
 	for i := 0; i < slotSpin; i++ {
 		if v, ok := s.TryTake(gen); ok {

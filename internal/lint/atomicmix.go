@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// runAtomicMix flags struct fields that are accessed both through
+// sync/atomic and through plain loads/stores. A field either belongs to
+// the atomic discipline or it does not: a plain `x.f++` racing an
+// atomic.AddUint64(&x.f, 1) loses updates, and a plain read racing an
+// atomic store is a data race the race detector only reports on the
+// interleavings it happens to see. This is the bug class behind torn
+// seqlock versions and ring sequence cells, so the pass treats the whole
+// field (across all instances of the struct) as one protocol.
+//
+// Two access shapes are classified, keyed by the field object:
+//
+//   - a basic-typed field f: atomic when &x.f is an argument of a
+//     sync/atomic call, plain on any other read or write of x.f;
+//   - a slice-of-basic field f: atomic when &x.f[i] is an argument of a
+//     sync/atomic call, plain when x.f[i] is read or written directly
+//     (or elements are ranged over). len/cap and whole-header assignment
+//     stay out of scope — the header is not the atomic cell.
+//
+// Plain accesses in constructor/single-owner scopes are exempt: when the
+// root of the access path is a local variable initialized from freshly
+// created storage (x := &T{...}, make, new), no other goroutine can
+// observe the value yet, so initialization does not need atomics.
+//
+// Typed atomics (atomic.Uint64 fields) cannot be mixed by construction —
+// their value is private — and are covered by go vet -copylocks for the
+// copy case, so the pass only tracks function-style atomics.
+func runAtomicMix(p *Package) []Finding {
+	type access struct {
+		pos  token.Position
+		op   string // atomic op name, "" for plain
+		desc string // how the plain access looks (read/write)
+	}
+	type fieldAcc struct {
+		field  *types.Var
+		atomic []access
+		plain  []access
+	}
+	accs := map[*types.Var]*fieldAcc{}
+	get := func(f *types.Var) *fieldAcc {
+		a := accs[f]
+		if a == nil {
+			a = &fieldAcc{field: f}
+			accs[f] = a
+		}
+		return a
+	}
+
+	for _, file := range p.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldOf(p.Info, sel)
+			if field == nil {
+				return true
+			}
+			elemKind := fieldAtomicKind(field.Type())
+			if elemKind == fieldNotEligible {
+				return true
+			}
+			// The atomic cell: the selector itself for basic fields, the
+			// indexed element for slice fields.
+			cell := ast.Node(sel)
+			if elemKind == fieldSliceElem {
+				idx, ok := parents[sel].(*ast.IndexExpr)
+				if !ok || idx.X != sel {
+					// len/cap/header use, or ranging: ranging with a value
+					// variable reads elements plainly.
+					if rng, ok := parents[sel].(*ast.RangeStmt); ok && rng.X == sel && rng.Value != nil {
+						a := get(field)
+						if !plainExempt(p, parents, sel) {
+							a.plain = append(a.plain, access{pos: p.Fset.Position(sel.Pos()), desc: "ranged over"})
+						}
+					}
+					return true
+				}
+				cell = idx
+			}
+			if op, ok := atomicArg(p.Info, parents, cell); ok {
+				a := get(field)
+				a.atomic = append(a.atomic, access{pos: p.Fset.Position(cell.Pos()), op: op})
+				return true
+			}
+			if plainExempt(p, parents, sel) {
+				return true
+			}
+			a := get(field)
+			desc := "read"
+			if isWriteTarget(parents, cell) {
+				desc = "written"
+			}
+			a.plain = append(a.plain, access{pos: p.Fset.Position(cell.Pos()), desc: desc})
+			return true
+		})
+	}
+
+	var out []Finding
+	for _, a := range accs {
+		if len(a.atomic) == 0 || len(a.plain) == 0 {
+			continue
+		}
+		at := a.atomic[0]
+		owner := fieldOwner(a.field)
+		for _, pl := range a.plain {
+			out = append(out, Finding{
+				Pos:  pl.pos,
+				Pass: "atomicmix",
+				Message: fmt.Sprintf(
+					"field %s.%s is accessed with atomic.%s (%s:%d) but %s plainly here; mixed atomic/plain access tears — use sync/atomic on every access or none",
+					owner, a.field.Name(), at.op, filepathBase(at.pos.Filename), at.pos.Line, pl.desc),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// Field eligibility for the atomic-mix protocol.
+const (
+	fieldNotEligible = iota
+	fieldBasic       // int32/int64/uint32/uint64/uintptr and friends
+	fieldSliceElem   // slice of an eligible basic type
+)
+
+// fieldAtomicKind classifies a field type for the pass.
+func fieldAtomicKind(t types.Type) int {
+	if basicAtomicEligible(t) {
+		return fieldBasic
+	}
+	if s, ok := t.Underlying().(*types.Slice); ok && basicAtomicEligible(s.Elem()) {
+		return fieldSliceElem
+	}
+	return fieldNotEligible
+}
+
+// basicAtomicEligible reports whether t is a basic type sync/atomic
+// operates on.
+func basicAtomicEligible(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64,
+		types.Uintptr, types.Int, types.Uint:
+		return true
+	}
+	return false
+}
+
+// atomicArg reports whether cell appears as &cell in an argument of a
+// sync/atomic call, returning the operation name.
+func atomicArg(info *types.Info, parents map[ast.Node]ast.Node, cell ast.Node) (string, bool) {
+	un, ok := parents[cell].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return "", false
+	}
+	// Walk through parens to the call.
+	cur := parents[un]
+	for {
+		if pe, ok := cur.(*ast.ParenExpr); ok {
+			cur = parents[pe]
+			continue
+		}
+		break
+	}
+	call, ok := cur.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	for _, arg := range call.Args {
+		if ast.Unparen(arg) == ast.Node(un) || arg == ast.Expr(un) {
+			return isAtomicPkgFunc(info, call)
+		}
+	}
+	return "", false
+}
+
+// plainExempt reports whether a plain access through sel is in a
+// constructor/single-owner scope: the root of the access path is a local
+// built from fresh storage in the enclosing function.
+func plainExempt(p *Package, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	root, _ := lvalPath(sel)
+	if root == nil {
+		return false
+	}
+	obj := objOf(p.Info, root)
+	fn := enclosingFunc(parents, sel)
+	return fn != nil && freshLocal(p, p.Files, fn, obj)
+}
+
+// isWriteTarget reports whether the cell is assigned to (including op=
+// and ++/--), walking up through the expression it roots.
+func isWriteTarget(parents map[ast.Node]ast.Node, cell ast.Node) bool {
+	switch par := parents[cell].(type) {
+	case *ast.AssignStmt:
+		for _, l := range par.Lhs {
+			if l == cell {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return par.X == cell
+	case *ast.UnaryExpr:
+		if par.Op == token.AND {
+			// Address taken outside an atomic call: the alias can be
+			// written through; treat as a write.
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOwner names the struct type declaring f, for messages.
+func fieldOwner(f *types.Var) string {
+	if f.Pkg() == nil {
+		return "?"
+	}
+	// Walk the package scope for the named type whose struct contains f.
+	scope := f.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == f {
+				return tn.Name()
+			}
+		}
+	}
+	return "?"
+}
+
+// filepathBase is filepath.Base without the import.
+func filepathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

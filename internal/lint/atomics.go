@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// This file holds the shared vocabulary of the concurrency-contract passes
+// (atomicmix, seqlock, spinpark): recognizing sync/atomic accesses in both
+// styles (function-style atomic.LoadUint64(&x.f) and typed x.f.Load()),
+// classifying expression parity for seqlock version stores, and deciding
+// whether a value is freshly owned by the function that built it (the
+// constructor exemption).
+
+// atomicFuncNames are the sync/atomic package-level operations, keyed by
+// prefix: atomic.LoadUint64, atomic.AddInt32, atomic.CompareAndSwapPointer…
+var atomicFuncPrefixes = []string{
+	"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or",
+}
+
+// atomicMethodNames are the methods of the typed atomics (atomic.Uint64,
+// atomic.Int32, atomic.Pointer…), split by whether they mutate.
+var (
+	atomicReadMethods  = map[string]bool{"Load": true}
+	atomicWriteMethods = map[string]bool{
+		"Store": true, "Add": true, "Swap": true,
+		"CompareAndSwap": true, "And": true, "Or": true,
+	}
+)
+
+// isAtomicPkgFunc reports whether call invokes a sync/atomic package-level
+// function, returning the operation name.
+func isAtomicPkgFunc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(sel.Sel.Name, p) {
+			return sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed atomics
+// (atomic.Uint64, atomic.Uint32, atomic.Int64, atomic.Bool, …).
+func isAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// atomicMethodCall reports whether call is a method call on a typed atomic
+// value (x.f.Load(), slot.ver.Store(v)…), returning the receiver
+// expression, the method name, and whether it mutates.
+func atomicMethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, write, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false, false
+	}
+	n := sel.Sel.Name
+	if !atomicReadMethods[n] && !atomicWriteMethods[n] {
+		return nil, "", false, false
+	}
+	if !isAtomicType(info.TypeOf(sel.X)) {
+		return nil, "", false, false
+	}
+	return sel.X, n, atomicWriteMethods[n], true
+}
+
+// exprParity classifies an expression as even (0), odd (1) or unknown (-1)
+// — the shape check behind seqlock's odd/even version discipline. It folds
+// constants and walks +, -, * with the usual parity arithmetic, so 2*b+1
+// is odd and 2*b+2 is even for any b.
+func exprParity(info *types.Info, e ast.Expr) int {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			return int(v & 1)
+		}
+		if v, ok := constant.Uint64Val(tv.Value); ok {
+			return int(v & 1)
+		}
+	}
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok {
+		return -1
+	}
+	x, y := exprParity(info, b.X), exprParity(info, b.Y)
+	switch b.Op.String() {
+	case "+", "-":
+		if x < 0 || y < 0 {
+			return -1
+		}
+		return (x + y) & 1
+	case "*":
+		if x == 0 || y == 0 {
+			return 0
+		}
+		if x == 1 && y == 1 {
+			return 1
+		}
+		return -1
+	case "|":
+		// seq<<1 | 1 style: odd|odd stays odd, even|even stays even only
+		// for disjoint bits — too subtle, stay unknown unless both odd.
+		if x == 1 && y == 1 {
+			return 1
+		}
+		return -1
+	}
+	return -1
+}
+
+// declRHS returns the initializer expression of obj's declaration (a :=
+// definition or a var spec with a value), or nil.
+func declRHS(p *Package, files []*ast.File, obj types.Object) ast.Expr {
+	var rhs ast.Expr
+	for _, f := range files {
+		if obj.Pos() < f.Pos() || obj.Pos() >= f.End() {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if rhs != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, l := range n.Lhs {
+					if id, ok := l.(*ast.Ident); ok && p.Info.Defs[id] == obj {
+						if len(n.Rhs) == len(n.Lhs) {
+							rhs = n.Rhs[i]
+						}
+						return false
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					if p.Info.Defs[id] == obj {
+						if i < len(n.Values) {
+							rhs = n.Values[i]
+						}
+						return false
+					}
+				}
+			}
+			return true
+		})
+		break
+	}
+	return rhs
+}
+
+// freshExpr reports whether e denotes storage created here and not yet
+// shared: a composite literal, &composite, new(T) or make(...). A pointer
+// derived from shared state (&r.updates[i]) is NOT fresh.
+func freshExpr(p *Package, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op.String() == "&" {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := objOf(p.Info, id).(*types.Builtin); ok {
+				return b.Name() == "new" || b.Name() == "make"
+			}
+		}
+	}
+	return false
+}
+
+// freshLocal reports whether obj is a local variable initialized from
+// freshly created storage — the single-owner/constructor exemption: the
+// enclosing function built the value, so no other goroutine can see it
+// yet and plain accesses cannot race.
+func freshLocal(p *Package, files []*ast.File, fn ast.Node, obj types.Object) bool {
+	if obj == nil || fn == nil || !declaredWithin(obj, fn) {
+		return false
+	}
+	rhs := declRHS(p, files, obj)
+	return rhs != nil && freshExpr(p, rhs)
+}

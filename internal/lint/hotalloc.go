@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The hotalloc gate turns the PR 3/5 "0 allocs/op" benchmark wins into a
+// build-time guarantee. A fast-path function opts in with an annotation
+// in its doc comment:
+//
+//	//tm:hotpath
+//	func (r *ring) publishSlot(...) { ... }
+//
+// HotAlloc then loads the module packages, closes the annotation set over
+// the static call graph (same-module callees resolved through the shared
+// loader, so cross-package edges work), and replays the compiler's escape
+// analysis: any `escapes to heap` / `moved to heap` diagnostic from
+// `go build -gcflags=-m=1` that lands inside a reachable function is a
+// finding.
+//
+// Known limitations, by construction of -m=1 output: channel creation
+// (make(chan ...)) and append growth are not reported by the compiler at
+// this level — the AllocsPerRun tests in the bench smoke lane cover those
+// dynamically. Calls that leave the module (stdlib) are not followed; an
+// escape at the call site (argument boxing) is still attributed to the
+// caller and caught.
+//
+// Suppression uses the same directive as the other passes:
+// `//lint:ignore tmlint/hotalloc reason` on or above the flagged line.
+
+// hotpathMarker is the doc-comment annotation naming a zero-alloc root.
+const hotpathMarker = "//tm:hotpath"
+
+// hotDecl is one function declaration the gate may need to walk.
+type hotDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	fn   *types.Func
+	root bool
+}
+
+// HotAllocBuild runs the compiler for its escape diagnostics and applies
+// the gate. dirs are the package directories to scan for annotations
+// (typically every package of the module). It returns the findings and
+// the number suppressed by lint:ignore directives.
+func HotAllocBuild(l *Loader, dirs []string) ([]Finding, int, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=1", "./...")
+	cmd.Dir = l.Root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, 0, fmt.Errorf("lint: go build -gcflags=-m=1: %v\n%s", err, out)
+	}
+	return HotAlloc(l, dirs, out)
+}
+
+// HotAlloc applies the zero-allocation gate given the output of
+// `go build -gcflags=-m=1 ./...` run at the module root.
+func HotAlloc(l *Loader, dirs []string, buildOut []byte) ([]Finding, int, error) {
+	decls, roots, allFiles, err := hotDecls(l, dirs)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(roots) == 0 {
+		return nil, 0, nil
+	}
+
+	// Close the root set over the static call graph. via records the
+	// caller through which each function became reachable, so findings
+	// can name the hot-path root responsible.
+	reach := map[*types.Func]*hotDecl{}
+	via := map[*types.Func]*types.Func{}
+	queue := append([]*hotDecl(nil), roots...)
+	for _, r := range roots {
+		reach[r.fn] = r
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		ast.Inspect(cur.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(cur.pkg.Info, call)
+			if fn == nil || reach[fn] != nil {
+				return true
+			}
+			d := decls[fn]
+			if d == nil {
+				return true // outside the module, or no body (interface)
+			}
+			reach[fn] = d
+			via[fn] = cur.fn
+			queue = append(queue, d)
+			return true
+		})
+	}
+
+	// Map reachable declarations to file line ranges.
+	type span struct {
+		from, to int
+		d        *hotDecl
+	}
+	spans := map[string][]span{}
+	for _, d := range reach {
+		pos := l.Fset.Position(d.decl.Pos())
+		end := l.Fset.Position(d.decl.End())
+		spans[pos.Filename] = append(spans[pos.Filename], span{pos.Line, end.Line, d})
+	}
+
+	suppressedSet, _ := collectIgnores(l.Fset, allFiles)
+	var out []Finding
+	suppressed := 0
+	for _, diag := range parseEscapes(l.Root, buildOut) {
+		for _, sp := range spans[diag.file] {
+			if diag.line < sp.from || diag.line > sp.to {
+				continue
+			}
+			if suppressedSet[ignoreKey{diag.file, diag.line, "hotalloc"}] {
+				suppressed++
+				break
+			}
+			root := sp.d.fn
+			for via[root] != nil {
+				root = via[root]
+			}
+			msg := fmt.Sprintf("heap allocation in hot path: %s (in %s", diag.msg, sp.d.fn.Name())
+			if root != sp.d.fn {
+				msg += fmt.Sprintf(", reachable from //tm:hotpath %s", root.Name())
+			}
+			msg += ")"
+			out = append(out, Finding{
+				Pos:     diag.pos(),
+				Pass:    "hotalloc",
+				Message: msg,
+			})
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out, suppressed, nil
+}
+
+// hotDecls loads the pure view of every package in dirs and indexes its
+// function declarations, marking //tm:hotpath roots.
+func hotDecls(l *Loader, dirs []string) (map[*types.Func]*hotDecl, []*hotDecl, []*ast.File, error) {
+	decls := map[*types.Func]*hotDecl{}
+	var roots []*hotDecl
+	var allFiles []*ast.File
+	for _, dir := range dirs {
+		path, err := l.PathFor(dir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		p, err := l.loadPure(path)
+		if err != nil {
+			if strings.Contains(err.Error(), "no buildable Go files") {
+				continue // test-only directory
+			}
+			return nil, nil, nil, err
+		}
+		allFiles = append(allFiles, p.Files...)
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				d := &hotDecl{pkg: p, decl: fd, fn: fn, root: isHotpath(fd)}
+				decls[fn] = d
+				if d.root {
+					roots = append(roots, d)
+				}
+			}
+		}
+	}
+	return decls, roots, allFiles, nil
+}
+
+// isHotpath reports whether the declaration carries the //tm:hotpath
+// annotation in its doc comment.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// escapeDiag is one heap-allocation diagnostic from the compiler.
+type escapeDiag struct {
+	file string // absolute path
+	line int
+	col  int
+	msg  string
+}
+
+func (d escapeDiag) pos() token.Position {
+	return token.Position{Filename: d.file, Line: d.line, Column: d.col}
+}
+
+// parseEscapes extracts the allocation diagnostics from the output of
+// `go build -gcflags=-m=1 ./...` run at root. Inlining notes, `does not
+// escape` confirmations and `leaking param` annotations are skipped —
+// only lines reporting an actual heap allocation
+// (`... escapes to heap`, `moved to heap: x`) survive.
+func parseEscapes(root string, out []byte) []escapeDiag {
+	var diags []escapeDiag
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// file.go:line:col: message
+		rest := line
+		i := strings.Index(rest, ".go:")
+		if i < 0 {
+			continue
+		}
+		file := rest[:i+3]
+		rest = rest[i+4:]
+		j := strings.Index(rest, ":")
+		if j < 0 {
+			continue
+		}
+		lineNo, err := strconv.Atoi(rest[:j])
+		if err != nil {
+			continue
+		}
+		rest = rest[j+1:]
+		k := strings.Index(rest, ":")
+		if k < 0 {
+			continue
+		}
+		colNo, err := strconv.Atoi(rest[:k])
+		if err != nil {
+			continue
+		}
+		msg := strings.TrimSpace(rest[k+1:])
+		if !strings.HasSuffix(msg, "escapes to heap") &&
+			!strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		if strings.HasSuffix(msg, "does not escape") {
+			continue
+		}
+		// A string literal boxed into an interface — panic("...") and
+		// friends. The compiler backs constant-string conversions with
+		// static data, and these sit on terminal panic branches the
+		// steady-state fast path never takes; reporting them would force
+		// every invariant panic out of the hot path.
+		if strings.HasPrefix(msg, `"`) && strings.HasSuffix(msg, `escapes to heap`) {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		diags = append(diags, escapeDiag{file: file, line: lineNo, col: colNo, msg: msg})
+	}
+	return diags
+}

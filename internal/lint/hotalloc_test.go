@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHotAlloc runs the zero-allocation gate end to end over the fixture
+// module in testdata/hotalloc: a real `go build -gcflags=-m=1` supplies
+// the escape diagnostics.
+func TestHotAlloc(t *testing.T) {
+	dir := filepath.Join("testdata", "hotalloc", "hot")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, suppressed, err := HotAllocBuild(loader, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var texts []string
+	for _, f := range findings {
+		texts = append(texts, f.String())
+	}
+	all := strings.Join(texts, "\n")
+
+	// The direct escape in the annotated function.
+	if !strings.Contains(all, "insertBoxed") {
+		t.Errorf("no finding for insertBoxed's escaping literal; got:\n%s", all)
+	}
+	// The escape reached through the static call graph, attributed to its
+	// hot-path root.
+	if !strings.Contains(all, "helper") || !strings.Contains(all, "reachable from //tm:hotpath get") {
+		t.Errorf("no call-graph finding for helper reachable from get; got:\n%s", all)
+	}
+	// The clean root and the unannotated allocator stay out.
+	if strings.Contains(all, "lookup") || strings.Contains(all, "makeStore") {
+		t.Errorf("finding attributed to a clean or out-of-scope function:\n%s", all)
+	}
+	// slowInit's allocation is suppressed by the directive.
+	if strings.Contains(all, "slowInit") {
+		t.Errorf("suppressed slowInit allocation still reported:\n%s", all)
+	}
+	// The suppressed line carries two diagnostics: the &store literal and
+	// the make both escape.
+	if suppressed != 2 {
+		t.Errorf("suppressed = %d, want 2", suppressed)
+	}
+}
+
+// TestParseEscapes checks the diagnostic filter on canned compiler output.
+func TestParseEscapes(t *testing.T) {
+	out := strings.Join([]string{
+		"# hotfixture/hot",
+		"hot/hot.go:10:6: can inline (*store).lookup",
+		"hot/hot.go:20:2: it does not escape",
+		"hot/hot.go:31:8: &item{...} escapes to heap",
+		"hot/hot.go:44:10: new(uint64) escapes to heap",
+		"hot/hot.go:50:3: moved to heap: n",
+		"hot/hot.go:12:7: leaking param: s",
+		"garbage line",
+		"",
+	}, "\n")
+	diags := parseEscapes("/mod", []byte(out))
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %+v", len(diags), diags)
+	}
+	if diags[0].file != filepath.Join("/mod", "hot", "hot.go") || diags[0].line != 31 {
+		t.Errorf("first diagnostic misparsed: %+v", diags[0])
+	}
+	if !strings.HasPrefix(diags[2].msg, "moved to heap") {
+		t.Errorf("moved-to-heap diagnostic misparsed: %+v", diags[2])
+	}
+}

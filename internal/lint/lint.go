@@ -5,7 +5,7 @@
 // library (go/ast, go/parser, go/types, go/importer) so the module stays
 // dependency-free.
 //
-// Six passes are provided:
+// Ten passes are provided. Six enforce the tm programming model:
 //
 //   - aborterr: an error produced by Txn.Read, Txn.Write, TM.Commit or
 //     tm.Run is discarded, never inspected, or caught by a branch that
@@ -33,6 +33,26 @@
 //     performs the release. An entry leaked this way locks its write set
 //     forever.
 //
+// Four are the concurrency-contract passes over the lock-free hot path
+// (atomicmix.go, seqlock.go, spinpark.go, hotalloc.go):
+//
+//   - atomicmix: a struct field is accessed both through sync/atomic
+//     (atomic.LoadUint64(&x.f), …) and through plain loads/stores outside
+//     constructor or single-owner scopes — the bug class behind torn
+//     seqlock versions and ring sequence cells.
+//   - seqlock: seqlock-style slots (a struct with an atomic `ver` field)
+//     must follow the protocol: writers bracket data mutations with an
+//     odd version store before and the even successor after; readers
+//     load the version, copy the data, and re-check the version.
+//   - spinpark: a spin-wait loop on shared atomic state must yield
+//     (runtime.Gosched, sleep, park, or a lock-free CAS retry) — pure
+//     spinning starves the scheduler the PR 4 watchdog only catches at
+//     runtime.
+//   - hotalloc: functions annotated `//tm:hotpath` (and everything they
+//     statically call inside the module) must not heap-allocate; the gate
+//     parses `go build -gcflags=-m` escape diagnostics. It needs the go
+//     toolchain, so it runs as its own mode (HotAlloc), not in Check.
+//
 // A finding may be suppressed by placing
 //
 //	//lint:ignore tmlint/<pass> reason
@@ -43,6 +63,7 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"regexp"
 	"sort"
@@ -61,57 +82,104 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pass, f.Message)
 }
 
-// A Pass is one analyzer.
+// A Pass is one analyzer. A Pass with a nil Run does not operate on a
+// single type-checked package (hotalloc needs the whole module plus the
+// compiler's escape diagnostics); it is listed in Registry but skipped by
+// Check.
 type Pass struct {
 	Name string
 	Doc  string
 	Run  func(p *Package) []Finding
 }
 
-// Passes returns every analyzer, in reporting order.
+// registry is the single source of truth for the pass set: Passes, Check,
+// Registry, and the -list flag of cmd/tmlint all derive from it, so the
+// documented pass list cannot drift from the analyzers actually run.
+var registry = []*Pass{
+	{
+		Name: "aborterr",
+		Doc:  "abort errors from Txn.Read/Txn.Write/TM.Commit/tm.Run must propagate",
+		Run:  runAbortErr,
+	},
+	{
+		Name: "txnescape",
+		Doc:  "a tm.Txn must not escape its atomic block or goroutine",
+		Run:  runTxnEscape,
+	},
+	{
+		Name: "retrypure",
+		Doc:  "tm.Run closures re-execute on retry; captured-state updates must be idempotent",
+		Run:  runRetryPure,
+	},
+	{
+		Name: "deadtxn",
+		Doc:  "no Txn use after an observed abort on that transaction",
+		Run:  runDeadTxn,
+	},
+	{
+		Name: "runctx",
+		Doc:  "tm.RunCtx closures must stay cancellable: no boundary-free unconditional loops",
+		Run:  runRunCtx,
+	},
+	{
+		Name: "updatelock",
+		Doc:  "an acquired update-set entry (active.Store(1)) must be released on every return path",
+		Run:  runUpdateLock,
+	},
+	{
+		Name: "atomicmix",
+		Doc:  "a field accessed via sync/atomic must not also see plain loads/stores outside its constructor",
+		Run:  runAtomicMix,
+	},
+	{
+		Name: "seqlock",
+		Doc:  "seqlock slots: writers bracket data with odd/even version stores, readers re-check the version",
+		Run:  runSeqlock,
+	},
+	{
+		Name: "spinpark",
+		Doc:  "spin-wait loops on shared atomic state must yield (Gosched/park) or make lock-free progress",
+		Run:  runSpinPark,
+	},
+	{
+		Name: "hotalloc",
+		Doc:  "//tm:hotpath functions (and their static callees) must not heap-allocate (go build -gcflags=-m gate)",
+		Run:  nil, // whole-module mode: see HotAlloc
+	},
+}
+
+// Passes returns every per-package analyzer, in reporting order.
 func Passes() []*Pass {
-	return []*Pass{
-		{
-			Name: "aborterr",
-			Doc:  "abort errors from Txn.Read/Txn.Write/TM.Commit/tm.Run must propagate",
-			Run:  runAbortErr,
-		},
-		{
-			Name: "txnescape",
-			Doc:  "a tm.Txn must not escape its atomic block or goroutine",
-			Run:  runTxnEscape,
-		},
-		{
-			Name: "retrypure",
-			Doc:  "tm.Run closures re-execute on retry; captured-state updates must be idempotent",
-			Run:  runRetryPure,
-		},
-		{
-			Name: "deadtxn",
-			Doc:  "no Txn use after an observed abort on that transaction",
-			Run:  runDeadTxn,
-		},
-		{
-			Name: "runctx",
-			Doc:  "tm.RunCtx closures must stay cancellable: no boundary-free unconditional loops",
-			Run:  runRunCtx,
-		},
-		{
-			Name: "updatelock",
-			Doc:  "an acquired update-set entry (active.Store(1)) must be released on every return path",
-			Run:  runUpdateLock,
-		},
+	out := make([]*Pass, 0, len(registry))
+	for _, p := range registry {
+		if p.Run != nil {
+			out = append(out, p)
+		}
 	}
+	return out
+}
+
+// Registry returns every analyzer including whole-module modes like
+// hotalloc — the set cmd/tmlint -list describes.
+func Registry() []*Pass {
+	return append([]*Pass(nil), registry...)
 }
 
 // Check runs every pass over p and returns the surviving findings plus any
 // malformed suppression directives, sorted by position.
 func Check(p *Package) []Finding {
+	kept, _ := CheckCount(p)
+	return kept
+}
+
+// CheckCount is Check plus the number of findings dropped by lint:ignore
+// directives, so drivers can report suppression coverage.
+func CheckCount(p *Package) ([]Finding, int) {
 	var all []Finding
 	for _, pass := range Passes() {
 		all = append(all, pass.Run(p)...)
 	}
-	kept := applyIgnores(p, all)
+	kept, suppressed := applyIgnores(p, all)
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -122,32 +190,36 @@ func Check(p *Package) []Finding {
 		}
 		return a.Pass < b.Pass
 	})
-	return kept
+	return kept, suppressed
 }
 
 // ignoreRE matches "//lint:ignore tmlint/<pass> reason".
 var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+tmlint/([a-z]+)\b[ \t]*(.*)$`)
 
-// applyIgnores drops findings suppressed by lint:ignore directives and
-// reports directives that are malformed (missing reason).
-func applyIgnores(p *Package, findings []Finding) []Finding {
-	type key struct {
-		file string
-		line int
-		pass string
-	}
-	suppressed := map[key]bool{}
-	var out []Finding
-	for _, f := range p.Files {
+// ignoreKey addresses one (file, line, pass) suppression target.
+type ignoreKey struct {
+	file string
+	line int
+	pass string
+}
+
+// collectIgnores scans file comments for lint:ignore directives. It
+// returns the suppression set (a directive covers its own line — trailing
+// comment — and the line below) and a finding for every malformed
+// directive (missing reason). Shared by Check and the hotalloc mode.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (map[ignoreKey]bool, []Finding) {
+	suppressed := map[ignoreKey]bool{}
+	var bad []Finding
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := ignoreRE.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
+				pos := fset.Position(c.Pos())
 				if strings.TrimSpace(m[2]) == "" {
-					out = append(out, Finding{
+					bad = append(bad, Finding{
 						Pos:  pos,
 						Pass: "ignore",
 						Message: fmt.Sprintf(
@@ -155,18 +227,26 @@ func applyIgnores(p *Package, findings []Finding) []Finding {
 					})
 					continue
 				}
-				// The directive covers its own line (trailing comment) and
-				// the line below (comment above the statement).
-				suppressed[key{pos.Filename, pos.Line, m[1]}] = true
-				suppressed[key{pos.Filename, pos.Line + 1, m[1]}] = true
+				suppressed[ignoreKey{pos.Filename, pos.Line, m[1]}] = true
+				suppressed[ignoreKey{pos.Filename, pos.Line + 1, m[1]}] = true
 			}
 		}
 	}
+	return suppressed, bad
+}
+
+// applyIgnores drops findings suppressed by lint:ignore directives,
+// reports directives that are malformed (missing reason), and counts the
+// findings dropped.
+func applyIgnores(p *Package, findings []Finding) ([]Finding, int) {
+	suppressed, out := collectIgnores(p.Fset, p.Files)
+	dropped := 0
 	for _, f := range findings {
-		if suppressed[key{f.Pos.Filename, f.Pos.Line, f.Pass}] {
+		if suppressed[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Pass}] {
+			dropped++
 			continue
 		}
 		out = append(out, f)
 	}
-	return out
+	return out, dropped
 }

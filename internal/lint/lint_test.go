@@ -19,7 +19,10 @@ import (
 // the flagged line is itself a comment, e.g. a malformed lint:ignore
 // directive). Lines without annotations must produce no findings.
 func TestGolden(t *testing.T) {
-	for _, name := range []string{"aborterr", "txnescape", "retrypure", "deadtxn", "runctx", "updatelock"} {
+	for _, name := range []string{
+		"aborterr", "txnescape", "retrypure", "deadtxn", "runctx", "updatelock",
+		"atomicmix", "seqlock", "spinpark",
+	} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
 			loader, err := NewLoader(dir)

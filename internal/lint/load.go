@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -238,6 +240,9 @@ func (l *Loader) parseDir(dir string) (files, tests, xtests []*ast.File, err err
 		if perr != nil {
 			return nil, nil, nil, perr
 		}
+		if !buildConstraintsSatisfied(f) {
+			continue
+		}
 		switch {
 		case strings.HasSuffix(f.Name.Name, "_test"):
 			xtests = append(xtests, f)
@@ -248,6 +253,50 @@ func (l *Loader) parseDir(dir string) (files, tests, xtests []*ast.File, err err
 		}
 	}
 	return files, tests, xtests, nil
+}
+
+// buildConstraintsSatisfied evaluates the //go:build lines of a parsed
+// file against the default build configuration: GOOS, GOARCH, the gc
+// toolchain, unix on the usual systems, and any go1.x release gate are
+// true; every other tag (race, integration, ignore, custom platforms) is
+// false. A file excluded this way (e.g. `//go:build ignore`) is simply
+// dropped from the lint view, mirroring what `go build` would compile.
+// Release gates assume the running toolchain is new enough — this module
+// pins a floor, not a ceiling.
+func buildConstraintsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue // malformed constraint: keep the file, let the checker complain
+			}
+			if !expr.Eval(buildTagSatisfied) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// buildTagSatisfied is the tag environment for buildConstraintsSatisfied.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris", "aix", "dragonfly":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // check runs the type checker over one file set.

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoaderTypeError: a package that fails to type-check must come back
+// as a diagnostic error, never a panic.
+func TestLoaderTypeError(t *testing.T) {
+	dir := filepath.Join("testdata", "loader", "typeerr")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.LoadDir(dir)
+	if err == nil {
+		t.Fatal("LoadDir succeeded on a package with a type error")
+	}
+	if !strings.Contains(err.Error(), "type-check") {
+		t.Errorf("error does not identify the type-check failure: %v", err)
+	}
+}
+
+// TestLoaderBuildTags: a file behind an unsatisfiable //go:build tag is
+// dropped; the package type-checks on the remaining files. The excluded
+// file declares a clashing symbol, so inclusion would fail loudly.
+func TestLoaderBuildTags(t *testing.T) {
+	dir := filepath.Join("testdata", "loader", "buildtag")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir failed, excluded file was probably not dropped: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if n := len(pkgs[0].Files); n != 1 {
+		t.Errorf("got %d files, want 1 (excluded.go must be dropped)", n)
+	}
+	for _, f := range pkgs[0].Files {
+		name := filepath.Base(pkgs[0].Fset.Position(f.Pos()).Filename)
+		if name == "excluded.go" {
+			t.Errorf("excluded.go survived constraint evaluation")
+		}
+	}
+}
+
+// TestLoaderIgnoreInCompositeLit: a lint:ignore directive buried inside a
+// composite literal neither panics the directive scan nor suppresses a
+// finding on an unrelated line.
+func TestLoaderIgnoreInCompositeLit(t *testing.T) {
+	dir := filepath.Join("testdata", "loader", "ignorelit")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	findings := Check(pkgs[0])
+	var atomicmix []Finding
+	for _, f := range findings {
+		if f.Pass == "atomicmix" {
+			atomicmix = append(atomicmix, f)
+		}
+	}
+	if len(atomicmix) != 1 {
+		t.Fatalf("got %d atomicmix findings, want 1 (the plain read in peek): %v", len(atomicmix), atomicmix)
+	}
+	if !strings.Contains(atomicmix[0].Message, "read plainly") {
+		t.Errorf("unexpected finding: %s", atomicmix[0])
+	}
+}
+
+// TestBuildTagEnvironment pins the tag semantics: the race tag is unset
+// for the lint view, so `//go:build !race` files (the AllocsPerRun tests)
+// stay in scope, while release gates and the host platform are satisfied.
+func TestBuildTagEnvironment(t *testing.T) {
+	if buildTagSatisfied("race") {
+		t.Error("race tag must be unset in the lint view")
+	}
+	if !buildTagSatisfied("go1.22") {
+		t.Error("release gates must be satisfied")
+	}
+	if buildTagSatisfied("secretplatform") {
+		t.Error("unknown tags must be unset")
+	}
+}

@@ -1,0 +1,421 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// runSeqlock enforces the seqlock protocol on version-stamped slots — the
+// shape behind the commit-pipeline signature ring (rococotm/pipeline.go)
+// and the aggregate signature ring (rococotm/agg.go).
+//
+// A seqlock slot is a struct with a version field named `ver` or
+// `version`, either a typed atomic (atomic.Uint64) or a basic integer
+// that the package accesses through sync/atomic functions. Everything
+// else in the struct is the protected data.
+//
+// Writers (functions that store the version of a slot) must bracket
+// every data write: the first version store is odd (writer in progress),
+// the last is its even successor, and all data writes land between the
+// two. Parity is decided structurally — 2*seq+1 is odd and 2*seq+2 is
+// even for any seq — and an unknown parity stays silent rather than
+// guessing.
+//
+// Readers (functions that load the version of a slot and read its data,
+// without ever storing the version) must load the version before the
+// first data read and re-check it after the last one; a copy that is
+// never re-validated can be torn by a concurrent writer. A function that
+// reads slot data without touching the version at all is out of scope:
+// the aggregate publisher reads child slots it synchronizes with by
+// other means, and flagging that would force useless version loads.
+func runSeqlock(p *Package) []Finding {
+	verFields := collectVerFields(p)
+	if len(verFields) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, seqlockCheckFunc(p, file, fd, verFields)...)
+		}
+	}
+	return out
+}
+
+// collectVerFields finds every struct field that acts as a seqlock
+// version: named ver/version and either a typed atomic or a basic
+// integer passed to sync/atomic functions somewhere in the package.
+func collectVerFields(p *Package) map[*types.Var]bool {
+	fields := map[*types.Var]bool{}
+	addTyped := func(sel *ast.SelectorExpr) {
+		f := fieldOf(p.Info, sel)
+		if f == nil || !verFieldName(f.Name()) {
+			return
+		}
+		if isAtomicType(f.Type()) {
+			fields[f] = true
+		}
+	}
+	for _, file := range p.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			addTyped(sel)
+			// Function-style: atomic.XxxUint64(&x.ver, ...) marks a basic
+			// field as a version cell.
+			f := fieldOf(p.Info, sel)
+			if f == nil || !verFieldName(f.Name()) || fieldAtomicKind(f.Type()) != fieldBasic {
+				return true
+			}
+			if _, ok := atomicArg(p.Info, parents, sel); ok {
+				fields[f] = true
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// verFieldName matches the version-field naming convention.
+func verFieldName(name string) bool {
+	return name == "ver" || name == "version"
+}
+
+// seqlockEvent is one version or data access inside a function, ordered
+// by source position.
+type seqlockEvent struct {
+	pos    token.Pos
+	parity int // version stores only: 0 even, 1 odd, -1 unknown
+}
+
+// seqlockKey identifies one slot instance inside a function: the root
+// object plus the flattened access path (index expressions collapse, so
+// ring[i] and ring[j] share a key — the protocol is per-shape, and a
+// single function addressing two slots of one ring follows the same
+// bracket).
+type seqlockKey struct {
+	obj  types.Object
+	path string
+}
+
+type seqlockAccesses struct {
+	verLoads   []seqlockEvent
+	verStores  []seqlockEvent
+	dataReads  []seqlockEvent
+	dataWrites []seqlockEvent
+}
+
+func seqlockCheckFunc(p *Package, file *ast.File, fd *ast.FuncDecl, verFields map[*types.Var]bool) []Finding {
+	parents := buildParents(file)
+	accs := map[seqlockKey]*seqlockAccesses{}
+	get := func(k seqlockKey) *seqlockAccesses {
+		a := accs[k]
+		if a == nil {
+			a = &seqlockAccesses{}
+			accs[k] = a
+		}
+		return a
+	}
+	keyFor := func(slotExpr ast.Expr) (seqlockKey, bool) {
+		root, path := lvalPath(slotExpr)
+		if root == nil {
+			return seqlockKey{}, false
+		}
+		obj := objOf(p.Info, root)
+		if obj == nil {
+			return seqlockKey{}, false
+		}
+		return seqlockKey{obj: obj, path: path}, true
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f := fieldOf(p.Info, sel)
+		if f == nil {
+			return true
+		}
+		if verFields[f] {
+			k, ok := keyFor(sel.X)
+			if !ok {
+				return true
+			}
+			a := get(k)
+			kind, parity := verAccessKind(p, parents, sel)
+			switch kind {
+			case verKindLoad:
+				a.verLoads = append(a.verLoads, seqlockEvent{pos: sel.Pos()})
+			case verKindStore:
+				a.verStores = append(a.verStores, seqlockEvent{pos: sel.Pos(), parity: parity})
+			}
+			return true
+		}
+		// A non-version field of a struct that has a version field: data.
+		if !structHasVerField(p, sel, verFields) {
+			return true
+		}
+		k, ok := keyFor(sel.X)
+		if !ok {
+			return true
+		}
+		a := get(k)
+		if dataAccessIsWrite(p.Info, parents, sel) {
+			a.dataWrites = append(a.dataWrites, seqlockEvent{pos: sel.Pos()})
+		} else {
+			a.dataReads = append(a.dataReads, seqlockEvent{pos: sel.Pos()})
+		}
+		return true
+	})
+
+	var out []Finding
+	var keys []seqlockKey
+	for k := range accs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].path < keys[j].path })
+	for _, k := range keys {
+		a := accs[k]
+		slot := k.path
+		switch {
+		case len(a.verStores) > 0:
+			out = append(out, seqlockWriterFindings(p, slot, a)...)
+		case len(a.verLoads) > 0 && len(a.dataReads) > 0:
+			out = append(out, seqlockReaderFindings(p, slot, a)...)
+		}
+	}
+	return out
+}
+
+// Version-access classification.
+const (
+	verKindNone = iota
+	verKindLoad
+	verKindStore
+)
+
+// verAccessKind decides how a ver-field selector is used: typed-atomic
+// method call, function-style sync/atomic call, or plain load/store.
+func verAccessKind(p *Package, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) (int, int) {
+	// x.ver.Load() / x.ver.Store(v): the selector's parent is the method
+	// selector whose parent is the call.
+	if m, ok := parents[sel].(*ast.SelectorExpr); ok && m.X == ast.Expr(sel) {
+		if call, ok := parents[m].(*ast.CallExpr); ok {
+			if _, name, write, ok := atomicMethodCall(p.Info, call); ok {
+				if !write {
+					return verKindLoad, -1
+				}
+				if name == "Store" && len(call.Args) == 1 {
+					return verKindStore, exprParity(p.Info, call.Args[0])
+				}
+				return verKindStore, -1
+			}
+		}
+	}
+	// atomic.StoreUint64(&x.ver, v) / atomic.LoadUint64(&x.ver).
+	if op, ok := atomicArg(p.Info, parents, sel); ok {
+		if len(op) >= 5 && op[:5] == "Store" {
+			if call := enclosingCall(parents, sel); call != nil && len(call.Args) == 2 {
+				return verKindStore, exprParity(p.Info, call.Args[1])
+			}
+			return verKindStore, -1
+		}
+		if len(op) >= 4 && op[:4] == "Load" {
+			return verKindLoad, -1
+		}
+		return verKindStore, -1 // Add/Swap/CAS mutate the version
+	}
+	// Plain access to a basic version field.
+	if assign, ok := parents[sel].(*ast.AssignStmt); ok {
+		for i, l := range assign.Lhs {
+			if l == ast.Expr(sel) {
+				if len(assign.Rhs) == len(assign.Lhs) {
+					return verKindStore, exprParity(p.Info, assign.Rhs[i])
+				}
+				return verKindStore, -1
+			}
+		}
+	}
+	if inc, ok := parents[sel].(*ast.IncDecStmt); ok && inc.X == ast.Expr(sel) {
+		return verKindStore, -1
+	}
+	return verKindLoad, -1
+}
+
+// enclosingCall walks up from a node through &/parens to a call.
+func enclosingCall(parents map[ast.Node]ast.Node, n ast.Node) *ast.CallExpr {
+	cur := parents[n]
+	for {
+		switch c := cur.(type) {
+		case *ast.ParenExpr, *ast.UnaryExpr:
+			cur = parents[cur]
+			_ = c
+		case *ast.CallExpr:
+			return c
+		default:
+			return nil
+		}
+	}
+}
+
+// structHasVerField reports whether sel.X's struct type declares one of
+// the known version fields — i.e. sel reads/writes seqlock-protected
+// data.
+func structHasVerField(p *Package, sel *ast.SelectorExpr, verFields map[*types.Var]bool) bool {
+	t := p.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if verFields[st.Field(i)] {
+			return true
+		}
+	}
+	return false
+}
+
+// dataAccessIsWrite reports whether the data selector is mutated: plain
+// assignment/inc-dec of the full access chain, a mutating typed-atomic
+// method on it, or its address passed to a mutating sync/atomic call.
+func dataAccessIsWrite(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	// Walk up through index/selector links that extend the access chain
+	// (slot.words -> slot.words[i] -> slot.words[i].Store).
+	var node ast.Node = sel
+	for {
+		switch par := parents[node].(type) {
+		case *ast.IndexExpr:
+			if par.X != node {
+				return false // we are the index, not the chain
+			}
+			node = par
+		case *ast.SelectorExpr:
+			if par.X != node {
+				return false
+			}
+			// Method call on the chain?
+			if call, ok := parents[par].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == ast.Expr(par) {
+				_, _, write, ok := atomicMethodCall(info, call)
+				return ok && write
+			}
+			node = par
+		case *ast.UnaryExpr:
+			if par.Op != token.AND {
+				return false
+			}
+			if call := enclosingCall(parents, node); call != nil {
+				if op, ok := isAtomicPkgFunc(info, call); ok {
+					return len(op) < 4 || op[:4] != "Load"
+				}
+			}
+			// Plain address-taken: the alias can be written through.
+			return true
+		case *ast.AssignStmt:
+			for _, l := range par.Lhs {
+				if l == node {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return par.X == node
+		default:
+			return false
+		}
+	}
+}
+
+// seqlockWriterFindings checks the writer half of the protocol.
+func seqlockWriterFindings(p *Package, slot string, a *seqlockAccesses) []Finding {
+	if len(a.dataWrites) == 0 {
+		return nil
+	}
+	sortEvents(a.verStores)
+	sortEvents(a.dataWrites)
+	var out []Finding
+	if len(a.verStores) == 1 {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(a.verStores[0].pos),
+			Pass: "seqlock",
+			Message: fmt.Sprintf(
+				"writer of seqlock slot %s stores the version once; bracket data writes with an odd store before and its even successor after", slot),
+		})
+		return out
+	}
+	first, last := a.verStores[0], a.verStores[len(a.verStores)-1]
+	if first.parity == 0 {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(first.pos),
+			Pass: "seqlock",
+			Message: fmt.Sprintf(
+				"first version store of seqlock slot %s is even; writers enter with an odd store so readers see the slot in flux", slot),
+		})
+	}
+	if last.parity == 1 {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(last.pos),
+			Pass: "seqlock",
+			Message: fmt.Sprintf(
+				"final version store of seqlock slot %s is odd; the slot is left marked in-flux forever", slot),
+		})
+	}
+	for _, w := range a.dataWrites {
+		if w.pos < first.pos || w.pos > last.pos {
+			out = append(out, Finding{
+				Pos:  p.Fset.Position(w.pos),
+				Pass: "seqlock",
+				Message: fmt.Sprintf(
+					"data write to seqlock slot %s lands outside the version bracket; readers can consume it without noticing the writer", slot),
+			})
+		}
+	}
+	return out
+}
+
+// seqlockReaderFindings checks the reader half of the protocol.
+func seqlockReaderFindings(p *Package, slot string, a *seqlockAccesses) []Finding {
+	sortEvents(a.verLoads)
+	sortEvents(a.dataReads)
+	firstRead := a.dataReads[0]
+	lastRead := a.dataReads[len(a.dataReads)-1]
+	var out []Finding
+	if a.verLoads[0].pos >= firstRead.pos {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(firstRead.pos),
+			Pass: "seqlock",
+			Message: fmt.Sprintf(
+				"data of seqlock slot %s is read before the version is loaded; load the version first so the copy can be validated", slot),
+		})
+	}
+	if a.verLoads[len(a.verLoads)-1].pos <= lastRead.pos {
+		out = append(out, Finding{
+			Pos:  p.Fset.Position(lastRead.pos),
+			Pass: "seqlock",
+			Message: fmt.Sprintf(
+				"seqlock read of slot %s is never re-checked against the version; a concurrent writer can tear the copy", slot),
+		})
+	}
+	return out
+}
+
+func sortEvents(evs []seqlockEvent) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+}

@@ -1,0 +1,62 @@
+// Package hot exercises the hotalloc gate: //tm:hotpath functions (and
+// their static callees) must not heap-allocate.
+package hot
+
+type item struct {
+	k, v uint64
+}
+
+type store struct {
+	items []item
+}
+
+var sink *uint64
+
+// lookup is allocation-free: a clean hot path stays silent.
+//
+//tm:hotpath
+func (s *store) lookup(k uint64) uint64 {
+	for _, it := range s.items {
+		if it.k == k {
+			return it.v
+		}
+	}
+	return 0
+}
+
+// insertBoxed leaks a fresh item to the caller: the literal escapes.
+//
+//tm:hotpath
+func (s *store) insertBoxed(k, v uint64) *item {
+	it := &item{k: k, v: v}
+	return it
+}
+
+// get is clean itself but calls helper, which allocates; the gate follows
+// the static call graph.
+//
+//tm:hotpath
+func (s *store) get(k uint64) uint64 {
+	return s.helper(k)
+}
+
+func (s *store) helper(k uint64) uint64 {
+	p := new(uint64)
+	*p = k
+	sink = p
+	return *p
+}
+
+// slowInit allocates knowingly; the directive suppresses the finding.
+//
+//tm:hotpath
+func slowInit(n int) *store {
+	//lint:ignore tmlint/hotalloc one-time init path, annotated only for call-graph reachability
+	return &store{items: make([]item, n)}
+}
+
+// makeStore allocates but carries no annotation and is called by nothing
+// annotated: out of scope.
+func makeStore(n int) *store {
+	return &store{items: make([]item, n)}
+}

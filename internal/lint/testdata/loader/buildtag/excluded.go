@@ -1,0 +1,7 @@
+//go:build secretplatform
+
+package buildtag
+
+func Answer() int {
+	return 0
+}

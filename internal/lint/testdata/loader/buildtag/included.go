@@ -1,0 +1,8 @@
+// Package buildtag checks constraint handling: this file is always
+// compiled; excluded.go declares the same symbol behind an unsatisfiable
+// tag, so the package only type-checks if the loader drops that file.
+package buildtag
+
+func Answer() int {
+	return 42
+}

@@ -1,0 +1,24 @@
+// Package ignorelit plants a lint:ignore directive inside a composite
+// literal: the directive machinery must neither panic nor let a comment
+// buried in data suppress findings elsewhere in the file.
+package ignorelit
+
+import "sync/atomic"
+
+type c struct {
+	n uint64
+}
+
+func bump(x *c) {
+	atomic.AddUint64(&x.n, 1)
+}
+
+var table = []uint64{
+	1,
+	//lint:ignore tmlint/atomicmix directive parked inside a composite literal
+	2,
+}
+
+func peek(x *c) uint64 {
+	return x.n
+}

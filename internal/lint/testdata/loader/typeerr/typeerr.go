@@ -1,0 +1,8 @@
+// Package typeerr is syntactically valid but does not type-check: the
+// loader must surface a diagnostic, not panic.
+package typeerr
+
+func broken() int {
+	var s string = 42
+	return s
+}

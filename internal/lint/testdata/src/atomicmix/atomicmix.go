@@ -1,0 +1,75 @@
+// Package atomicmix exercises the atomicmix pass: struct fields accessed
+// both through sync/atomic and through plain loads/stores.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits   uint64
+	misses uint64
+	plain  uint64 // never touched atomically: out of scope
+	name   string
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.hits // want `\[atomicmix\] field counter\.hits is accessed with atomic\.AddUint64 .* but read plainly`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `\[atomicmix\] field counter\.hits .* written plainly`
+}
+
+// onlyPlain never mixes: the plain field has no atomic accesses anywhere,
+// so both of these stay silent.
+func (c *counter) onlyPlain() uint64 {
+	c.plain++
+	return c.plain
+}
+
+// newCounter is the constructor exemption: the value was just built from
+// fresh storage, no other goroutine can observe it, plain init is fine.
+func newCounter(name string) *counter {
+	c := &counter{name: name}
+	c.hits = 1
+	atomic.AddUint64(&c.misses, 0)
+	return c
+}
+
+func (c *counter) miss() {
+	atomic.AddUint64(&c.misses, 1)
+}
+
+// statsSnapshot deliberately reads a racy snapshot for metrics.
+func (c *counter) statsSnapshot() uint64 {
+	//lint:ignore tmlint/atomicmix metrics-only snapshot, a torn read is harmless
+	return c.misses
+}
+
+type table struct {
+	slots []uint64
+}
+
+func (t *table) get(i int) uint64 {
+	return atomic.LoadUint64(&t.slots[i])
+}
+
+// size uses only the slice header; len/cap are not element accesses.
+func (t *table) size() int {
+	return len(t.slots)
+}
+
+func (t *table) raw(i int) uint64 {
+	return t.slots[i] // want `\[atomicmix\] field table\.slots is accessed with atomic\.LoadUint64 .* but read plainly`
+}
+
+func (t *table) sum() uint64 {
+	var s uint64
+	for _, v := range t.slots { // want `\[atomicmix\] field table\.slots .* ranged over plainly`
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+// Package seqlock exercises the seqlock pass: version-stamped slots whose
+// writers must bracket data with odd/even version stores and whose
+// readers must re-check the version after copying.
+package seqlock
+
+import "sync/atomic"
+
+type slot struct {
+	ver atomic.Uint64
+	lo  atomic.Uint64
+	hi  atomic.Uint64
+}
+
+// publish is the canonical writer: odd store, data, even successor.
+func publish(s *slot, seq, lo, hi uint64) {
+	s.ver.Store(2*seq + 1)
+	s.lo.Store(lo)
+	s.hi.Store(hi)
+	s.ver.Store(2*seq + 2)
+}
+
+// publishTorn stores the version once; readers cannot tell the data was
+// in flux while it was written.
+func publishTorn(s *slot, seq, lo uint64) {
+	s.ver.Store(2*seq + 2) // want `\[seqlock\] writer of seqlock slot s stores the version once`
+	s.lo.Store(lo)
+}
+
+// publishEvenFirst enters with an even store, so a concurrent reader sees
+// a stable-looking version while the data is mid-write.
+func publishEvenFirst(s *slot, seq, lo uint64) {
+	s.ver.Store(2 * seq) // want `\[seqlock\] first version store of seqlock slot s is even`
+	s.lo.Store(lo)
+	s.ver.Store(2*seq + 2)
+}
+
+// publishStuck never restores even parity: the slot reads as in-flux
+// forever.
+func publishStuck(s *slot, seq, lo uint64) {
+	s.ver.Store(2*seq + 1)
+	s.lo.Store(lo)
+	s.ver.Store(2*seq + 3) // want `\[seqlock\] final version store of seqlock slot s is odd`
+}
+
+// publishLeak writes data after closing the bracket.
+func publishLeak(s *slot, seq, lo, hi uint64) {
+	s.ver.Store(2*seq + 1)
+	s.lo.Store(lo)
+	s.ver.Store(2*seq + 2)
+	s.hi.Store(hi) // want `\[seqlock\] data write to seqlock slot s lands outside the version bracket`
+}
+
+// read is the canonical reader: load version, copy data, re-check.
+func read(s *slot) (uint64, uint64, bool) {
+	v1 := s.ver.Load()
+	if v1&1 == 1 {
+		return 0, 0, false
+	}
+	lo := s.lo.Load()
+	hi := s.hi.Load()
+	if s.ver.Load() != v1 {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// readTorn copies the data but never re-validates the copy.
+func readTorn(s *slot) (uint64, uint64) {
+	_ = s.ver.Load()
+	lo := s.lo.Load()
+	return lo, s.hi.Load() // want `\[seqlock\] seqlock read of slot s is never re-checked against the version`
+}
+
+// readEager touches the data before it knows which version it is reading.
+func readEager(s *slot) (uint64, bool) {
+	lo := s.lo.Load() // want `\[seqlock\] data of seqlock slot s is read before the version is loaded`
+	v := s.ver.Load()
+	if s.ver.Load() != v {
+		return 0, false
+	}
+	return lo, true
+}
+
+// fold reads child data without consulting their versions at all — the
+// aggregate-publisher shape, synchronized by other means; out of scope.
+func fold(children []slot) uint64 {
+	var acc uint64
+	for i := range children {
+		acc += children[i].lo.Load()
+	}
+	return acc
+}
+
+// newSlot initializes data with no version store in sight: construction,
+// not publication; the writer rule only fires once the version is stored.
+func newSlot() *slot {
+	s := &slot{}
+	s.lo.Store(1)
+	return s
+}
+
+// statsPeek accepts a possibly-torn read for metrics.
+func statsPeek(s *slot) uint64 {
+	_ = s.ver.Load()
+	//lint:ignore tmlint/seqlock metrics-only peek, tearing is harmless
+	return s.lo.Load()
+}

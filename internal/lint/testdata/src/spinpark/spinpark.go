@@ -1,0 +1,103 @@
+// Package spinpark exercises the spinpark pass: spin-wait loops on shared
+// atomic state must yield, park, or make lock-free progress.
+package spinpark
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type gate struct {
+	ready atomic.Uint64
+	turn  atomic.Uint64
+}
+
+// waitHot spins on the condition with nothing in the body: pure burn.
+func waitHot(g *gate) {
+	for g.ready.Load() == 0 { // want `\[spinpark\] spin-wait loop never yields`
+	}
+}
+
+// pollHot is the unconditional-loop variant of the same bug.
+func pollHot(g *gate) {
+	for { // want `\[spinpark\] spin-wait loop never yields`
+		if g.ready.Load() == 1 {
+			return
+		}
+	}
+}
+
+// waitYield escalates to the scheduler after a bounded spin.
+func waitYield(g *gate) {
+	for spin := 0; g.ready.Load() == 0; spin++ {
+		if spin > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// waitSleep backs off with a sleep each round.
+func waitSleep(g *gate) {
+	for g.ready.Load() == 0 {
+		time.Sleep(time.Microsecond)
+	}
+}
+
+// acquireTurn is a CAS retry loop: a failed CAS means another thread
+// advanced, so the loop is lock-free progress, not a spin.
+func acquireTurn(g *gate) uint64 {
+	for {
+		cur := g.turn.Load()
+		if g.turn.CompareAndSwap(cur, cur+1) {
+			return cur
+		}
+	}
+}
+
+// waitBounded polls under a counter bound: the bound is the escalation,
+// the loop terminates on its own.
+func waitBounded(g *gate) bool {
+	for i := 0; i < 1024; i++ {
+		if g.ready.Load() == 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// waitPark parks on a channel each round.
+func waitPark(g *gate, ch chan struct{}) {
+	for g.ready.Load() == 0 {
+		<-ch
+	}
+}
+
+// waitCond parks in the runtime via sync.Cond.
+func waitCond(g *gate, c *sync.Cond) {
+	c.L.Lock()
+	for g.ready.Load() == 0 {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+// waitViaHelper yields through a same-package helper; the fixpoint walk
+// marks backoff as yielding and the loop stays silent.
+func waitViaHelper(g *gate) {
+	for g.ready.Load() == 0 {
+		backoff()
+	}
+}
+
+func backoff() {
+	runtime.Gosched()
+}
+
+// calibrate is a deliberate hot spin, bounded externally by its harness.
+func calibrate(g *gate) {
+	//lint:ignore tmlint/spinpark calibration loop, bounded by the bench harness
+	for g.ready.Load() == 0 {
+	}
+}

@@ -49,16 +49,22 @@ func (h *Heap) Cap() int { return len(h.words) }
 func (h *Heap) InUse() int { return int(h.brk.Load()) }
 
 // Load atomically reads the word at a.
+//
+//tm:hotpath
 func (h *Heap) Load(a Addr) Word {
 	return Word(atomic.LoadUint64(&h.words[a]))
 }
 
 // Store atomically writes the word at a.
+//
+//tm:hotpath
 func (h *Heap) Store(a Addr, v Word) {
 	atomic.StoreUint64(&h.words[a], uint64(v))
 }
 
 // CompareAndSwap atomically replaces the word at a if it equals old.
+//
+//tm:hotpath
 func (h *Heap) CompareAndSwap(a Addr, old, new Word) bool {
 	return atomic.CompareAndSwapUint64(&h.words[a], uint64(old), uint64(new))
 }

@@ -82,6 +82,8 @@ const defaultAggLevel = 8
 // publishAggregates completes every aggregate block that ends at commit
 // seq. Callers hold publication rights for seq (every commit ≤ seq has its
 // queue slot final), which is what makes the bottom-up build race-free.
+//
+//tm:hotpath
 func (r *TM) publishAggregates(seq uint64) {
 	for lvl := 1; lvl <= r.aggMax; lvl++ {
 		if (seq+1)&(1<<uint(lvl)-1) != 0 {
@@ -115,6 +117,8 @@ func (r *TM) publishAggregates(seq uint64) {
 // containing commit lo into dst. ok=false means the block is unavailable
 // (mid-build or lapped); callers fall back to the per-commit path, which
 // distinguishes a transient publication from a window overflow.
+//
+//tm:hotpath
 func (r *TM) loadAggSig(lvl int, lo uint64, dst sig.Sig) bool {
 	b := lo >> uint(lvl)
 	ring := r.agg[lvl]
@@ -141,6 +145,8 @@ func (r *TM) loadAggSig(lvl int, lo uint64, dst sig.Sig) bool {
 // Aligned segments covered by the aggregate ring fold with one union; the
 // segment's commits are probed individually only when the aggregate hits
 // the read set and the overlap verdict is still open.
+//
+//tm:hotpath
 func (x *txn) extendFold() (tempAny, overlap, ok bool) {
 	r := x.r
 	for g := r.globalTS.Load(); x.localTS < g; g = r.globalTS.Load() {

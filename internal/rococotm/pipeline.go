@@ -34,6 +34,8 @@ import (
 
 // publishSlot publishes ws as commit seq's write signature in the
 // commit-queue ring (seqlock: ver 2seq+1 while writing, 2seq+2 final).
+//
+//tm:hotpath
 func (r *TM) publishSlot(seq uint64, ws sig.Sig) {
 	slot := &r.commitQ[seq&uint64(r.cfg.CommitQueueSlots-1)]
 	slot.ver.Store(2*seq + 1)
@@ -45,6 +47,8 @@ func (r *TM) publishSlot(seq uint64, ws sig.Sig) {
 
 // slotPublished reports whether commit seq's queue slot holds its final
 // signature.
+//
+//tm:hotpath
 func (r *TM) slotPublished(seq uint64) bool {
 	return r.commitQ[seq&uint64(r.cfg.CommitQueueSlots-1)].ver.Load() == 2*seq+2
 }
@@ -63,6 +67,8 @@ const advanceMax = 128
 // completes, and advances GlobalTS past the whole group with one store: K
 // waiting committers are released by one writer instead of K serialized
 // handoffs.
+//
+//tm:hotpath
 func (r *TM) awaitTurnFast(seq uint64) {
 	for spin := 0; ; spin++ {
 		ts := r.globalTS.Load()
@@ -89,6 +95,8 @@ func (r *TM) awaitTurnFast(seq uint64) {
 // writeBack drains x's redo log into the heap — the unordered phase of the
 // pipeline — preceded by the WAW wait. wbInflight/wbPeak track how many
 // write-backs overlap (Stats.CommitPipelinePeak).
+//
+//tm:hotpath
 func (r *TM) writeBack(x *txn, seq uint64) {
 	n := uint64(r.wbInflight.Add(1))
 	for {
@@ -117,6 +125,8 @@ func (r *TM) writeBack(x *txn, seq uint64) {
 // Waiting only on strictly smaller sequences keeps the wait graph acyclic,
 // so the spin cannot deadlock: the smallest active sequence waits on
 // nobody and always completes.
+//
+//tm:hotpath
 func (r *TM) awaitWriters(seq uint64, x *txn) {
 	for {
 		wait := false
@@ -142,6 +152,8 @@ func (r *TM) awaitWriters(seq uint64, x *txn) {
 
 // writerMayOverlap is sig.Intersects against the atomic words of an
 // update-set entry: per-partition AND, exact on a false result.
+//
+//tm:hotpath
 func (r *TM) writerMayOverlap(u *updateSlot, s sig.Sig) bool {
 	w := s.Words()
 	pw := r.sigPW

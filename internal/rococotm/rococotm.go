@@ -609,6 +609,8 @@ func (x *txn) abort(reason string) error {
 // may contain the address whose hash indices are idx (Algorithm 1 line
 // 5). The caller precomputes idx once per read and reuses it across the
 // spin's probes (and its own MissSet query).
+//
+//tm:hotpath
 func (r *TM) updateSetHits(idx []int, self int) bool {
 	for i := range r.updates {
 		if i == self {
@@ -634,6 +636,8 @@ func (r *TM) updateSetHits(idx []int, self int) bool {
 
 // loadCommitSig copies the write signature of commit ts into dst.
 // ok=false means the ring has been lapped: the snapshot is too old.
+//
+//tm:hotpath
 func (r *TM) loadCommitSig(ts uint64, dst sig.Sig) bool {
 	slot := &r.commitQ[ts&uint64(r.cfg.CommitQueueSlots-1)]
 	want := 2*ts + 2
@@ -766,6 +770,8 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 // query of the flagged sub-set against the commit signature, which reduces
 // the false-conflict rate to the query operation's (negligible for
 // cache-line-sized write sets) instead of the intersection's.
+//
+//tm:hotpath
 func (x *txn) readSetOverlaps(commit sig.Sig) bool {
 	if len(x.readAddrs) == 0 {
 		return false

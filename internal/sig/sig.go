@@ -173,6 +173,8 @@ func (s Sig) OnesCount() int {
 }
 
 // Insert adds addr to the signature.
+//
+//tm:hotpath
 func (s Sig) Insert(h *Hasher, addr uint64) {
 	base := 0
 	for i := 0; i < len(h.a); i++ {
@@ -185,6 +187,8 @@ func (s Sig) Insert(h *Hasher, addr uint64) {
 // Query reports whether addr may be in the set (false positives possible,
 // false negatives impossible). The hash for partition i+1 is only computed
 // if partition i hits, which makes the common miss cheap.
+//
+//tm:hotpath
 func (s Sig) Query(h *Hasher, addr uint64) bool {
 	base := 0
 	for i := 0; i < len(h.a); i++ {
@@ -231,12 +235,16 @@ func (s Sig) QueryIdx(idx []int) bool {
 
 // CopyFrom overwrites s with o's bits (geometries must match). It is the
 // allocation-free counterpart of Clone for recycled scratch signatures.
+//
+//tm:hotpath
 func (s Sig) CopyFrom(o Sig) {
 	s.sameLen(o)
 	copy(s.w, o.w)
 }
 
 // Union sets s = s ∪ o.
+//
+//tm:hotpath
 func (s Sig) Union(o Sig) {
 	s.sameLen(o)
 	for i := range s.w {
@@ -250,6 +258,8 @@ func (s Sig) Union(o Sig) {
 // signatures. A false result is exact (the sets are disjoint); a true
 // result may be a false set-overlap. This is the per-partition AND test of
 // Jeffrey & Steffan that ROCoCoTM's detector implements.
+//
+//tm:hotpath
 func (s Sig) Intersects(o Sig) bool {
 	s.sameLen(o)
 	w, ow := s.w, o.w
@@ -275,6 +285,8 @@ func (s Sig) Intersects(o Sig) bool {
 
 // AnyCommonBit reports whether s and o share any set bit anywhere (the raw
 // AND-non-zero test, more conservative than Intersects).
+//
+//tm:hotpath
 func (s Sig) AnyCommonBit(o Sig) bool {
 	s.sameLen(o)
 	for i := range s.w {
@@ -300,6 +312,8 @@ func (s Sig) Equal(o Sig) bool {
 
 // Words exposes the backing words (aliased, not copied) so queues can ship
 // signatures without reallocation.
+//
+//tm:hotpath
 func (s Sig) Words() []uint64 { return s.w }
 
 // FromWords wraps an existing word slice as a signature for cfg (aliased,
@@ -311,9 +325,13 @@ func FromWords(cfg Config, w []uint64) Sig {
 	return Sig{pw: cfg.PartitionBits() / 64, w: w}
 }
 
+// sameLen sits on the validate/commit hot path via Intersects and Union:
+// the panic message is a constant, because a fmt.Sprintf here makes every
+// caller heap-allocate for a branch that never executes (escape analysis
+// is path-insensitive).
 func (s Sig) sameLen(o Sig) {
 	if len(s.w) != len(o.w) {
-		panic(fmt.Sprintf("sig: geometry mismatch %d != %d words", len(s.w), len(o.w)))
+		panic("sig: geometry mismatch between signature word counts")
 	}
 }
 
@@ -330,6 +348,8 @@ func (s Sig) sameLen(o Sig) {
 // start of the range [lo, hi): the greatest L ≤ maxLevel with lo divisible
 // by 2^L and lo+2^L ≤ hi. It returns 0 when only a single-element step
 // fits (including the degenerate lo >= hi).
+//
+//tm:hotpath
 func SegLevel(lo, hi uint64, maxLevel int) int {
 	if hi <= lo {
 		return 0

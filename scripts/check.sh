@@ -1,36 +1,51 @@
 #!/usr/bin/env sh
 # Pre-merge gate for this repository. Run from anywhere; it operates on
-# the module root. Every step must pass before a change merges:
+# the module root. Every step must pass before a change merges. Approximate
+# lane runtimes (4-core container, warm build cache) are noted so a stall
+# is recognizable:
 #
-#   1. gofmt       — formatting is canonical, no exceptions
-#   2. go build    — the whole module compiles
-#   3. go vet      — stdlib static checks
-#   4. tmlint      — the TM programming-model contracts (internal/lint)
-#   5. chaos lane  — go test -race -run Chaos ./internal/fault/... : the
+#   1. gofmt       — formatting is canonical, no exceptions        (~1s)
+#   2. go build    — the whole module compiles                     (~1s warm)
+#   3. go vet      — stdlib static checks, plus an explicit
+#                    -atomic -copylocks run: sync/atomic misuse and
+#                    copied locks are the exact bug classes the
+#                    concurrency passes build on                   (~5s)
+#   4. tmlint      — the TM programming-model contracts plus the
+#                    concurrency contracts of the lock-free hot
+#                    path (atomicmix/seqlock/spinpark); prints a
+#                    pass/finding/suppression summary line for
+#                    EXPERIMENTS.md coverage tracking              (~5s)
+#   5. hotalloc    — the //tm:hotpath zero-allocation gate: replays
+#                    go build -gcflags=-m escape diagnostics over
+#                    the static call graph of the annotated
+#                    validate/commit/publish fast path; any new
+#                    heap allocation there fails the merge         (~8s)
+#   6. chaos lane  — go test -race -run Chaos ./internal/fault/... : the
 #                    fault-injection scenarios (delay/drop/duplicate/
 #                    reorder/stall/crash-restart) over their fixed seed
 #                    matrix, repeated to shake out interleavings; asserts
 #                    the committed history stays serializable across
-#                    degrade/recover cycles
-#   6. audit lane  — go test -race over the lifecycle/auditor surface: a
+#                    degrade/recover cycles                        (~40s)
+#   7. audit lane  — go test -race over the lifecycle/auditor surface: a
 #                    short chaos soak (cancellations, injected panics,
 #                    watchdog kills) whose committed history the runtime
 #                    serializability auditor must certify acyclic, gated
 #                    by the auditor's self-test (a seeded wrong verdict
-#                    must be flagged exactly once)
-#   7. go test -race ./internal/...
+#                    must be flagged exactly once)                 (~30s)
+#   8. go test -race ./internal/...
 #                  — the runtime and analyzer packages under the race
 #                    detector; OCC code is concurrency code, so the race
-#                    lane is not optional
-#   8. bench smoke — every benchmark compiles and survives one iteration
+#                    lane is not optional                          (~2min)
+#   9. bench smoke — every benchmark compiles and survives one iteration
 #                    (benchtime=1x), so perf lanes cannot silently rot;
 #                    the non-race run also picks up the AllocsPerRun
-#                    zero-allocation tests excluded from lane 6
-#   9. bench gate  — cmd/benchgate re-measures the optimization-sensitive
+#                    zero-allocation tests excluded from lane 8    (~30s)
+#  10. bench gate  — cmd/benchgate re-measures the optimization-sensitive
 #                    microbenchmarks (pipelined/ordered counter throughput,
 #                    aggregate/per-commit extension folds) and fails on a
 #                    >20% regression vs internal/bench/baseline.json;
 #                    re-record an intentional move with `benchgate -record`
+#                                                                  (~2min)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -49,8 +64,14 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+echo "== go vet -atomic -copylocks ./..."
+go vet -atomic -copylocks ./...
+
 echo "== tmlint ./..."
-go run ./cmd/tmlint ./...
+go run ./cmd/tmlint -summary ./...
+
+echo "== hotalloc gate: tmlint -hotalloc ./..."
+go run ./cmd/tmlint -summary -hotalloc ./...
 
 echo "== chaos lane: go test -race -run Chaos -count=2 ./internal/fault/..."
 go test -race -run Chaos -count=2 ./internal/fault/...
