@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	rococobench -exp fig7|fig9|fig10|fig11|resources|fault|soak|transport|commitphase|ablation-window|ablation-sig|all
+//	rococobench -exp fig7|fig9|fig10|fig11|resources|fault|soak|recover|transport|commitphase|ablation-window|ablation-sig|all
 //	            [-scale small|medium|large] [-app name] [-threads list] [-dur duration]
 //	            [-cpuprofile file] [-memprofile file]
 //
@@ -27,11 +27,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, soak, transport, commitphase, ablation-window, ablation-sig, ablation-contention, all")
+	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, soak, recover, transport, commitphase, ablation-window, ablation-sig, ablation-contention, all")
 	scaleFlag := flag.String("scale", "medium", "STAMP input scale: small, medium, large")
 	app := flag.String("app", "", "restrict fig10/fig11 to one app")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10 (default 1,4,8,14,28)")
-	dur := flag.Duration("dur", 0, "wall-clock duration for -exp soak (default 60s; \"all\" uses 5s)")
+	dur := flag.Duration("dur", 0, "wall-clock duration for -exp soak and the -exp recover snapshot phase (default 60s; \"all\" uses 5s/2s)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -115,6 +115,21 @@ func main() {
 			if err == nil && rep.AuditErr != nil {
 				fatal(rep.AuditErr)
 			}
+		case "recover":
+			cfg := bench.RecoverBenchConfig{SoakDuration: *dur}
+			if *exp == "all" {
+				cfg.Cycles = 10
+				if cfg.SoakDuration == 0 {
+					cfg.SoakDuration = 2 * time.Second
+				}
+			}
+			rep, err := bench.RunRecoverBench(cfg)
+			emit(rep, err)
+			if err == nil {
+				if verr := rep.Err(); verr != nil {
+					fatal(verr)
+				}
+			}
 		case "transport":
 			cfg := bench.TransportBenchConfig{Scale: scale}
 			if *app != "" {
@@ -151,7 +166,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "soak", "transport", "commitphase", "ablation-window", "ablation-sig", "ablation-contention"} {
+		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "soak", "recover", "transport", "commitphase", "ablation-window", "ablation-sig", "ablation-contention"} {
 			run(name)
 			fmt.Println()
 		}

@@ -350,6 +350,20 @@ func (a *Auditor) Violations() []Violation {
 	return append([]Violation(nil), a.viol...)
 }
 
+// Certify replays a commit stream — typically the records a crash
+// recovery extracted from the write-ahead log — through a fresh Auditor
+// and returns its verdict: nil iff the stream is gap-free, within the
+// audit horizon, and certified acyclic. This is the recovery hand-off
+// point: after a crash, the log's intact prefix must still read as a
+// serializable history, or the durable state itself is corrupt.
+func Certify(recs []Record, cfg Config) error {
+	a := New(cfg)
+	for _, rec := range recs {
+		a.Observe(rec)
+	}
+	return a.Err()
+}
+
 // Err summarizes the verdict: nil iff the observed history is certified
 // acyclic and the observation stream itself was sound.
 func (a *Auditor) Err() error {

@@ -3,6 +3,7 @@ package bench
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"rococotm/internal/mem"
 	"rococotm/internal/sig"
@@ -228,6 +229,29 @@ func TestSigAblationSmoke(t *testing.T) {
 		t.Fatalf("rows = %d", len(rep.Rows))
 	}
 	if !strings.Contains(rep.String(), "Ablation") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRecoverBenchSmoke(t *testing.T) {
+	rep, err := RunRecoverBench(RecoverBenchConfig{
+		Cycles:          3,
+		ConfirmPerCycle: 4,
+		SoakDuration:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("acceptance verdict: %v\n%s", err, rep)
+	}
+	if rep.Confirmed == 0 || rep.Replayed == 0 {
+		t.Fatalf("soak exercised too little: %+v", rep)
+	}
+	if rep.SnapshotRuns == 0 || rep.SoakCommits == 0 {
+		t.Fatalf("snapshot phase exercised too little: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "VERDICT: pass") {
 		t.Fatal("rendering broken")
 	}
 }

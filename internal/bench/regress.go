@@ -8,6 +8,10 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/mvstore"
+	"rococotm/internal/wal"
 )
 
 // This file is the perf-regression gate behind scripts/check.sh: a handful
@@ -115,7 +119,103 @@ func MeasureRegressMetrics() ([]RegressMetric, error) {
 		RegressMetric{Name: "extend_aggregate_k64", Value: agg64, Unit: "ns", HigherBetter: false},
 		RegressMetric{Name: "extend_percommit_k64", Value: per64, Unit: "ns", HigherBetter: false},
 	)
+
+	walNs := 0.0
+	for i := 0; i < 3; i++ {
+		ns, err := measureWALAppendNs()
+		if err != nil {
+			return nil, err
+		}
+		if walNs == 0 || ns < walNs {
+			walNs = ns
+		}
+	}
+	snapNs := 0.0
+	for i := 0; i < 3; i++ {
+		ns, err := measureSnapshotReadNs()
+		if err != nil {
+			return nil, err
+		}
+		if snapNs == 0 || ns < snapNs {
+			snapNs = ns
+		}
+	}
+	out = append(out,
+		RegressMetric{Name: "wal_append_ns", Value: walNs, Unit: "ns", HigherBetter: false},
+		RegressMetric{Name: "snapshot_read_ns", Value: snapNs, Unit: "ns", HigherBetter: false},
+	)
 	return out, nil
+}
+
+// measureWALAppendNs times the append path: the per-record cost of
+// encode+buffer plus an amortized synchronous group flush per batch.
+// Explicit Sync (not the background flusher) keeps the number free of
+// goroutine-scheduling noise, which a 20% gate cannot absorb.
+func measureWALAppendNs() (float64, error) {
+	const batches = 200
+	const perBatch = 100
+	log := wal.Open(wal.NewMemDevice(nil), 0, wal.Options{FlushInterval: time.Hour})
+	rec := wal.Record{
+		Reads:      []uint64{1, 2, 3, 4},
+		WriteAddrs: []uint64{5, 6},
+		WriteVals:  []uint64{7, 8},
+	}
+	seq := uint64(0)
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		for i := 0; i < perBatch; i++ {
+			rec.Seq = seq
+			rec.ValidTS = seq
+			if err := log.Append(&rec); err != nil {
+				return 0, err
+			}
+			seq++
+		}
+		if err := log.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	if err := log.Close(); err != nil {
+		return 0, err
+	}
+	return float64(elapsed.Nanoseconds()) / float64(seq), nil
+}
+
+// measureSnapshotReadNs times the abort-free snapshot read fast path over
+// a store with a populated version history.
+func measureSnapshotReadNs() (float64, error) {
+	const addrs = 1 << 10
+	const versions = 64
+	const reads = 1 << 20
+	heap := mem.NewHeap(addrs)
+	store, err := mvstore.New(heap, mvstore.Config{})
+	if err != nil {
+		return 0, err
+	}
+	wa := make([]mem.Addr, 8)
+	wv := make([]mem.Word, 8)
+	seq := uint64(0)
+	for v := 0; v < versions; v++ {
+		for a := 0; a < addrs; a += len(wa) {
+			for j := range wa {
+				wa[j] = mem.Addr(a + j)
+				wv[j] = mem.Word(seq)
+			}
+			store.ApplyUpdates(seq, wa, wv)
+			seq++
+		}
+	}
+	sn := store.RetrieveSnapshot()
+	defer store.ReleaseSnapshot(sn)
+	var sink mem.Word
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		sink += sn.Read(mem.Addr(i & (addrs - 1)))
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return float64(elapsed.Nanoseconds()) / reads, nil
 }
 
 // RecordRegressBaseline measures and writes the baseline file.

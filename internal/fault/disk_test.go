@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"rococotm/internal/wal"
+)
+
+func TestDiskScheduleValidate(t *testing.T) {
+	bad := []DiskSchedule{
+		{TornProb: -0.1},
+		{DropProb: 1.5},
+		{FlipProb: 2},
+		{SyncErrProb: -1},
+		{TornProb: 0.6, DropProb: 0.6},
+		{Seed: -1},
+		{SyncStallFor: -time.Second},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schedule %d accepted: %+v", i, s)
+		}
+	}
+	good := DiskSchedule{Seed: 42, TornProb: 0.3, DropProb: 0.3, FlipProb: 0.01, SyncErrProb: 0.2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDiskPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDisk(nil, DiskSchedule{TornProb: 7})
+}
+
+func TestDiskSyncedBytesSurviveCrash(t *testing.T) {
+	d := NewDisk(nil, DiskSchedule{Seed: 1, TornProb: 0.5, DropProb: 0.5})
+	if err := d.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append([]byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		img := d.CrashImage()
+		if !bytes.HasPrefix(img, []byte("durable")) {
+			t.Fatalf("crash image lost synced bytes: %q", img)
+		}
+		if len(img) > len("durable")+len("in-flight") {
+			t.Fatalf("crash image grew: %q", img)
+		}
+	}
+}
+
+func TestDiskSyncErrorDoesNotAdvanceDurability(t *testing.T) {
+	d := NewDisk(nil, DiskSchedule{Seed: 3, SyncErrProb: 1})
+	if err := d.Append([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err == nil {
+		t.Fatal("expected injected sync error")
+	}
+	// Every crash decision must be free to lose the still-unsynced append.
+	d2 := NewDisk(nil, DiskSchedule{Seed: 3, SyncErrProb: 1, DropProb: 1})
+	if err := d2.Append([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	_ = d2.Sync() // fails; durability stays at 0
+	if img := d2.CrashImage(); len(img) != 0 {
+		t.Fatalf("unsynced append survived a DropProb=1 crash: %q", img)
+	}
+	if st := d2.Stats(); st.SyncErrors != 1 || st.DroppedOps != 1 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func TestDiskContentsSeesUnsynced(t *testing.T) {
+	d := NewDisk([]byte("seed."), DiskSchedule{})
+	if err := d.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Contents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "seed.tail" {
+		t.Fatalf("Contents=%q", got)
+	}
+	if n, _ := d.Size(); n != 9 {
+		t.Fatalf("Size=%d", n)
+	}
+	if err := d.Truncate(7); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = d.Contents()
+	if string(got) != "seed.ta" {
+		t.Fatalf("after Truncate: %q", got)
+	}
+}
+
+// TestDiskWALRecoveryPrefix drives a real WAL over a faulty disk through
+// repeated crashes: whatever the crash image holds, recovery must yield an
+// intact record prefix that includes everything reported durable.
+func TestDiskWALRecoveryPrefix(t *testing.T) {
+	img := []byte(nil)
+	next := uint64(0)
+	for cycle := 0; cycle < 30; cycle++ {
+		d := NewDisk(img, DiskSchedule{
+			Seed:        int64(1000 + cycle),
+			TornProb:    0.3,
+			DropProb:    0.2,
+			FlipProb:    0.02,
+			SyncErrProb: 0.3,
+		})
+		res, err := wal.Recover(d)
+		if err != nil {
+			t.Fatalf("cycle %d: recover: %v", cycle, err)
+		}
+		if res.NextSeq < next {
+			t.Fatalf("cycle %d: recovered to seq %d, but %d was durable before the crash",
+				cycle, res.NextSeq, next)
+		}
+		for i, rec := range res.Records {
+			if rec.Seq != uint64(i) || len(rec.WriteVals) != 1 || rec.WriteVals[0] != rec.Seq*3 {
+				t.Fatalf("cycle %d: record %d corrupted: %+v", cycle, i, rec)
+			}
+		}
+		l := wal.Open(d, res.NextSeq, wal.Options{FlushInterval: 50 * time.Microsecond})
+		for k := 0; k < 20; k++ {
+			seq := res.NextSeq + uint64(k)
+			rec := wal.Record{Seq: seq, WriteAddrs: []uint64{seq % 5}, WriteVals: []uint64{seq * 3}}
+			if err := l.Append(&rec); err != nil {
+				t.Fatalf("cycle %d: append: %v", cycle, err)
+			}
+		}
+		// Give the flusher a chance; injected sync errors may keep some
+		// tail non-durable, which is exactly the case under test.
+		_ = l.Sync()
+		next = l.DurableSeq()
+		img = d.CrashImage()
+		stopLog(l)
+	}
+}
+
+// stopLog shuts a WAL down, tolerating the close error a permanently
+// failing disk forces (buffered-but-not-durable records).
+func stopLog(l *wal.Log) { _ = l.Close() }

@@ -25,6 +25,7 @@ package fault
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -126,8 +127,47 @@ type fate struct {
 	delay                    time.Duration
 }
 
-// Wrap builds a fault-injecting link around inner.
+// Validate rejects schedules that would silently misbehave: probabilities
+// outside [0,1], negative durations or counters, an inverted delay range,
+// or a negative seed (the chaos seed matrices are non-negative by
+// convention, and a schedule that cannot be replayed from its printed seed
+// is a debugging dead end).
+func (s *Schedule) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DelayProb", s.DelayProb},
+		{"DropProb", s.DropProb},
+		{"DuplicateProb", s.DuplicateProb},
+		{"ReorderProb", s.ReorderProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s = %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if s.Seed < 0 {
+		return fmt.Errorf("fault: Seed = %d is negative", s.Seed)
+	}
+	if s.DelayMin < 0 || s.DelayMax < 0 || s.DelayMax < s.DelayMin {
+		return fmt.Errorf("fault: delay range [%v, %v] invalid", s.DelayMin, s.DelayMax)
+	}
+	if s.StallEvery < 0 || s.StallFor < 0 {
+		return fmt.Errorf("fault: stall config (%d, %v) negative", s.StallEvery, s.StallFor)
+	}
+	if s.CrashAfter < 0 || s.DownFor < 0 {
+		return fmt.Errorf("fault: crash config (%d, %v) negative", s.CrashAfter, s.DownFor)
+	}
+	return nil
+}
+
+// Wrap builds a fault-injecting link around inner. It panics on an invalid
+// schedule — a misconfigured fault scenario silently testing nothing is
+// worse than a crash at construction time.
 func Wrap(inner rococotm.Link, sched Schedule) *Link {
+	if err := sched.Validate(); err != nil {
+		panic(err)
+	}
 	l := &Link{
 		inner: inner,
 		sched: sched,
@@ -323,13 +363,16 @@ func (l *Link) Crash() {
 
 // Close implements rococotm.Link: it shuts the inner link down and joins
 // every deliver goroutine (each is bounded: the inner engine guarantees a
-// terminal verdict per accepted request, and delays are finite).
+// terminal verdict per accepted request, and delays are finite). The
+// parked reorder verdict is flushed only after the join — an in-flight
+// deliver can park a new verdict at any point before then, and releasing
+// early would strand it forever.
 func (l *Link) Close() {
+	l.inner.Close()
+	l.wg.Wait()
 	l.mu.Lock()
 	l.releaseHeldLocked()
 	l.mu.Unlock()
-	l.inner.Close()
-	l.wg.Wait()
 }
 
 var _ rococotm.Link = (*Link)(nil)

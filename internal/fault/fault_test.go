@@ -2,8 +2,11 @@ package fault
 
 import (
 	"errors"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"rococotm/internal/fpga"
 	"rococotm/internal/rococotm"
@@ -78,5 +81,162 @@ func TestCrashRepeatRearmsOnlyWhenDisarmed(t *testing.T) {
 	}
 	if got := inner.crashes.Load(); got != 2 {
 		t.Fatalf("inner crashes = %d, want 2", got)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{DelayProb: -0.5},
+		{DropProb: 1.1},
+		{DuplicateProb: 2},
+		{ReorderProb: -1},
+		{Seed: -7},
+		{DelayProb: 0.5, DelayMin: time.Millisecond, DelayMax: time.Microsecond},
+		{DelayMin: -time.Second},
+		{StallEvery: -1},
+		{CrashAfter: -2},
+		{DownFor: -time.Second},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schedule %d accepted: %+v", i, s)
+		}
+	}
+	good := Schedule{Seed: 9, DelayProb: 0.2, DelayMin: time.Microsecond,
+		DelayMax: time.Millisecond, DropProb: 1, ReorderProb: 0.3, StallEvery: 4,
+		StallFor: time.Millisecond, CrashAfter: 10, DownFor: time.Millisecond}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapPanicsOnInvalidSchedule(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Wrap(&echoLink{}, Schedule{DropProb: 3})
+}
+
+// gateLink holds every accepted request and only answers when released —
+// or at Close, modelling an engine that flushes terminal verdicts during
+// shutdown. That timing is the trigger for the old Close race: the verdict
+// arrives (and, under a reorder fault, parks) while Close is already past
+// its held-verdict flush.
+type gateLink struct {
+	mu      sync.Mutex
+	pending []fpga.Request
+}
+
+func (l *gateLink) TrySubmit(r fpga.Request) error {
+	l.mu.Lock()
+	l.pending = append(l.pending, r)
+	l.mu.Unlock()
+	return nil
+}
+func (l *gateLink) Restart(next uint64) error { return nil }
+func (l *gateLink) Crash()                    { l.flush() }
+func (l *gateLink) Close()                    { l.flush() }
+func (l *gateLink) flush() {
+	l.mu.Lock()
+	p := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+	for _, r := range p {
+		r.Reply <- fpga.Verdict{OK: true}
+	}
+}
+
+// TestCloseFlushesLateParkedVerdict pins the Close/held-verdict race: a
+// verdict that parks (reorder fault) while Close is joining the deliver
+// goroutines must still reach the caller's sink, and Close must leak no
+// goroutines.
+func TestCloseFlushesLateParkedVerdict(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	inner := &gateLink{}
+	l := Wrap(inner, Schedule{ReorderProb: 1})
+	reply := make(chan fpga.Verdict, 1)
+	if err := l.TrySubmit(fpga.Request{Reply: reply}); err != nil {
+		t.Fatal(err)
+	}
+	// The verdict is released only inside inner.Close — after the point
+	// where the old Close flushed the held slot.
+	l.Close()
+	select {
+	case <-reply:
+	default:
+		t.Fatal("verdict parked by a reorder fault was stranded by Close")
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseAfterCrashNoLeak is the crash-then-close path: Crash releases
+// the inner engine's outstanding verdicts, one of which parks; the
+// subsequent Close must flush it and join every deliver goroutine.
+func TestCloseAfterCrashNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	inner := &gateLink{}
+	l := Wrap(inner, Schedule{ReorderProb: 1})
+	replies := make([]chan fpga.Verdict, 3)
+	for i := range replies {
+		replies[i] = make(chan fpga.Verdict, 1)
+		if err := l.TrySubmit(fpga.Request{Reply: replies[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Crash() // inner flushes; deliver goroutines race the shutdown below
+	l.Close()
+	deadline := time.After(2 * time.Second)
+	for _, r := range replies {
+		select {
+		case <-r:
+		case <-deadline:
+			t.Fatal("a verdict never reached its sink after Crash+Close")
+		}
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if i > 100 {
+			t.Fatalf("goroutines leaked after Crash+Close: %d > baseline %d",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDoubleRestartIdempotent: back-to-back Restarts (the recovery prober
+// does this) must both succeed outside an outage window, forward to the
+// inner link each time, and leave the fault state consistent.
+func TestDoubleRestartIdempotent(t *testing.T) {
+	inner := &echoLink{}
+	l := Wrap(inner, Schedule{CrashAfter: 2, CrashRepeat: true})
+	defer l.Close()
+	submitOK(t, l)
+	if err := l.TrySubmit(fpga.Request{Reply: make(chan fpga.Verdict, 1)}); !errors.Is(err, fpga.ErrClosed) {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	if err := l.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := inner.restarts.Load(); got != 2 {
+		t.Fatalf("inner restarts = %d, want 2 (both forwarded)", got)
+	}
+	submitOK(t, l) // link is live again
+	if got := l.Stats().Restarts; got != 2 {
+		t.Fatalf("Restarts = %d, want 2", got)
 	}
 }

@@ -1,0 +1,260 @@
+package mvstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rococotm/internal/mem"
+)
+
+func newStore(t *testing.T, heapWords int, cfg Config) (*Store, *mem.Heap) {
+	t.Helper()
+	h := mem.NewHeap(heapWords)
+	s, err := New(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, h
+}
+
+func TestConfigValidation(t *testing.T) {
+	h := mem.NewHeap(16)
+	if _, err := New(h, Config{Shards: 3}); err == nil {
+		t.Fatal("Shards=3 accepted")
+	}
+	if _, err := New(h, Config{Shards: 8, CompactEvery: -1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotSeesExactlyPrefix(t *testing.T) {
+	s, heap := newStore(t, 64, Config{Shards: 4})
+	a := heap.MustAlloc(1)
+	heap.Store(a, 7) // pre-history value
+
+	snaps := []*Snapshot{s.RetrieveSnapshot()} // height 0
+	for seq := uint64(0); seq < 5; seq++ {
+		s.ApplyUpdates(seq, []mem.Addr{a}, []mem.Word{mem.Word(100 + seq)})
+		heap.Store(a, mem.Word(100+seq)) // simulated write-back
+		snaps = append(snaps, s.RetrieveSnapshot())
+	}
+	for h, sn := range snaps {
+		want := mem.Word(7)
+		if h > 0 {
+			want = mem.Word(100 + h - 1)
+		}
+		if got := sn.Read(a); got != want {
+			t.Fatalf("snapshot at height %d: Read=%d want %d", h, got, want)
+		}
+		s.ReleaseSnapshot(sn)
+	}
+	if s.Height() != 5 {
+		t.Fatalf("Height=%d want 5", s.Height())
+	}
+}
+
+func TestNeverWrittenFallsBackToHeap(t *testing.T) {
+	s, heap := newStore(t, 64, Config{Shards: 4})
+	a, b := heap.MustAlloc(1), heap.MustAlloc(1)
+	heap.Store(a, 11)
+	heap.Store(b, 22)
+	s.ApplyUpdates(0, []mem.Addr{a}, []mem.Word{33})
+	sn := s.RetrieveSnapshot()
+	defer s.ReleaseSnapshot(sn)
+	if got := sn.Read(b); got != 22 {
+		t.Fatalf("never-written addr: Read=%d want 22", got)
+	}
+	if got := sn.Read(a); got != 33 {
+		t.Fatalf("versioned addr: Read=%d want 33", got)
+	}
+}
+
+func TestOutOfOrderApplyPanics(t *testing.T) {
+	s, heap := newStore(t, 64, Config{Shards: 4})
+	a := heap.MustAlloc(1)
+	s.ApplyUpdates(0, []mem.Addr{a}, []mem.Word{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on seq gap")
+		}
+	}()
+	s.ApplyUpdates(2, []mem.Addr{a}, []mem.Word{2})
+}
+
+func TestDuplicateAddrLastWins(t *testing.T) {
+	s, heap := newStore(t, 64, Config{Shards: 4})
+	a := heap.MustAlloc(1)
+	s.ApplyUpdates(0, []mem.Addr{a, a}, []mem.Word{1, 2})
+	sn := s.RetrieveSnapshot()
+	defer s.ReleaseSnapshot(sn)
+	if got := sn.Read(a); got != 2 {
+		t.Fatalf("Read=%d want 2 (last write wins)", got)
+	}
+	if st := s.Stats(); st.Versions != 1 {
+		t.Fatalf("Versions=%d want 1", st.Versions)
+	}
+}
+
+func TestCompactionPreservesPinnedViews(t *testing.T) {
+	s, heap := newStore(t, 64, Config{Shards: 4, CompactEvery: 8})
+	a := heap.MustAlloc(1)
+	heap.Store(a, 500)
+
+	var pinned *Snapshot
+	for seq := uint64(0); seq < 100; seq++ {
+		if seq == 40 {
+			pinned = s.RetrieveSnapshot() // pins height 40
+		}
+		s.ApplyUpdates(seq, []mem.Addr{a}, []mem.Word{mem.Word(seq)})
+		heap.Store(a, mem.Word(seq))
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("compaction never ran")
+	}
+	// Everything below the pin folded away; the pinned view must survive.
+	if st.Versions >= 100 {
+		t.Fatalf("Versions=%d: compaction retained full history", st.Versions)
+	}
+	if got := pinned.Read(a); got != 39 {
+		t.Fatalf("pinned snapshot Read=%d want 39", got)
+	}
+	s.ReleaseSnapshot(pinned)
+
+	// With the pin gone, further applies compact the tail too.
+	for seq := uint64(100); seq < 120; seq++ {
+		s.ApplyUpdates(seq, []mem.Addr{a}, []mem.Word{mem.Word(seq)})
+	}
+	if st := s.Stats(); st.Versions > 20 {
+		t.Fatalf("Versions=%d after release: old history not folded", st.Versions)
+	}
+	sn := s.RetrieveSnapshot()
+	defer s.ReleaseSnapshot(sn)
+	if got := sn.Read(a); got != 119 {
+		t.Fatalf("post-compaction Read=%d want 119", got)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	s, _ := newStore(t, 64, Config{Shards: 4})
+	sn := s.RetrieveSnapshot()
+	s.ReleaseSnapshot(sn)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	s.ReleaseSnapshot(sn)
+}
+
+// TestConcurrentSnapshotReads races snapshot readers against an
+// apply+write-back producer. Each address pair is kept balanced (sum
+// constant) by every commit; any snapshot that observes an unbalanced pair
+// has seen a torn view.
+func TestConcurrentSnapshotReads(t *testing.T) {
+	const pairs = 8
+	const total = 1000
+	s, heap := newStore(t, 64, Config{Shards: 8, CompactEvery: 64})
+	base := heap.MustAlloc(2 * pairs)
+	for i := 0; i < pairs; i++ {
+		heap.Store(base+mem.Addr(2*i), total)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				sn := s.RetrieveSnapshot()
+				for i := 0; i < pairs; i++ {
+					x := sn.Read(base + mem.Addr(2*i))
+					y := sn.Read(base + mem.Addr(2*i) + 1)
+					if x+y != total {
+						t.Errorf("height %d pair %d: %d+%d != %d", sn.Height(), i, x, y, total)
+						stop.Store(true)
+					}
+				}
+				s.ReleaseSnapshot(sn)
+			}
+		}()
+	}
+
+	addrs := make([]mem.Addr, 2)
+	vals := make([]mem.Word, 2)
+	for seq := uint64(0); seq < 5000 && !stop.Load(); seq++ {
+		i := int(seq) % pairs
+		x, y := base+mem.Addr(2*i), base+mem.Addr(2*i)+1
+		// Move one unit from x to y, reading current values from the heap
+		// (the producer is the only writer, so this is race-free).
+		xv, yv := heap.Load(x), heap.Load(y)
+		addrs[0], addrs[1] = x, y
+		vals[0], vals[1] = xv-1, yv+1
+		s.ApplyUpdates(seq, addrs, vals)
+		heap.Store(x, xv-1)
+		heap.Store(y, yv+1)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if st := s.Stats(); st.Pins != 0 {
+		t.Fatalf("Pins=%d after all readers released", st.Pins)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	s, heap := newStore(t, 64, Config{Shards: 4})
+	a, b := heap.MustAlloc(1), heap.MustAlloc(1)
+	s.ApplyUpdates(0, []mem.Addr{a, b}, []mem.Word{1, 2})
+	s.ApplyUpdates(1, []mem.Addr{a}, []mem.Word{3})
+	st := s.Stats()
+	if st.Chains != 2 || st.Versions != 3 || st.Height != 2 || st.Applies != 2 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+}
+
+func BenchmarkSnapshotRead(b *testing.B) {
+	heap := mem.NewHeap(1 << 16)
+	s, err := New(heap, Config{Shards: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := heap.MustAlloc(1024)
+	addrs := make([]mem.Addr, 1)
+	vals := make([]mem.Word, 1)
+	for seq := uint64(0); seq < 4096; seq++ {
+		addrs[0] = base + mem.Addr(seq%1024)
+		vals[0] = mem.Word(seq)
+		s.ApplyUpdates(seq, addrs, vals)
+	}
+	sn := s.RetrieveSnapshot()
+	defer s.ReleaseSnapshot(sn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink mem.Word
+	for i := 0; i < b.N; i++ {
+		sink += sn.Read(base + mem.Addr(i&1023))
+	}
+	_ = sink
+}
+
+func TestSnapshotReadZeroAllocs(t *testing.T) {
+	heap := mem.NewHeap(1 << 10)
+	s, err := New(heap, Config{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := heap.MustAlloc(1)
+	s.ApplyUpdates(0, []mem.Addr{a}, []mem.Word{9})
+	sn := s.RetrieveSnapshot()
+	defer s.ReleaseSnapshot(sn)
+	n := testing.AllocsPerRun(1000, func() {
+		if sn.Read(a) != 9 {
+			t.Fatal("bad read")
+		}
+	})
+	if n != 0 {
+		t.Fatalf("Snapshot.Read allocates %v per call", n)
+	}
+}

@@ -1,0 +1,184 @@
+package rococotm
+
+import (
+	"errors"
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/mvstore"
+	"rococotm/internal/tm"
+	"rococotm/internal/wal"
+)
+
+// This file is the durability half of the runtime: every committed write
+// transaction is drained, at its ordered publication point, into a
+// group-commit write-ahead log and a multi-version store.
+//
+// The hook sits in the ordered arm of Commit, immediately after the
+// CommitObserver call: GlobalTS still reads seq there, so exactly one
+// committer executes it at a time and sequences arrive contiguously in
+// publication order. That makes the WAL publication-ordered by
+// construction — recovery is a single forward replay, no sorting, no
+// holes (degradation reissues abandoned sequences before they ever reach
+// publication, so the stream the hook sees has no gaps). The multi-version
+// store is fed in the same breath, before the commit's own write-back
+// touches the heap, which is what makes its base-value capture sound (see
+// the mvstore package comment).
+//
+// Configuring durability disables the fastTurn commit chain for the same
+// reason an Observer does: the hook must see commits strictly one at a
+// time at their serialization point.
+
+// Durable binds a runtime to its durability backends. Build one by hand
+// over empty backends, or with RecoverDurable to resume from an existing
+// log.
+type Durable struct {
+	// Log receives one record per committed write transaction, appended in
+	// publication order. The runtime owns it from New onward and closes it
+	// in TM.Close.
+	Log *wal.Log
+	// Store receives the same write-sets, keyed by publication sequence;
+	// read-only snapshot transactions are served from it.
+	Store *mvstore.Store
+	// SyncCommit makes Commit wait until its record is fsync-durable
+	// before returning (group commit still batches the fsyncs; the wait is
+	// outside the ordered section, so committers overlap). When false,
+	// commits return as soon as the record is buffered and a crash may
+	// lose the most recent flush interval's worth of commits.
+	SyncCommit bool
+}
+
+// ErrNotDurable marks a commit that published in memory but whose WAL
+// record could not be confirmed durable (sticky log failure). The
+// transaction IS committed — callers must not retry it — but it may not
+// survive a crash.
+var ErrNotDurable = errors.New("rococotm: commit published but durability unconfirmed")
+
+// durableState is the runtime-side binding: the shared scratch is safe
+// because the hook runs only inside the ordered publication section.
+type durableState struct {
+	d      *Durable
+	rec    wal.Record
+	vals   []mem.Word // parallel to txn.writeOrder, for the store
+	vals64 []uint64   // same values, for the WAL record
+}
+
+// durableAppend drains one committed write-set into the log and the store.
+// Called with GlobalTS == seq (ordered publication section), before the
+// transaction's own write-back.
+func (r *TM) durableAppend(x *txn, seq uint64) {
+	ds := r.dur
+	ds.vals = ds.vals[:0]
+	ds.vals64 = ds.vals64[:0]
+	for _, a := range x.writeOrder {
+		v := x.redo[a]
+		ds.vals = append(ds.vals, v)
+		ds.vals64 = append(ds.vals64, uint64(v))
+	}
+	ds.rec.Seq = seq
+	ds.rec.ValidTS = x.validTS
+	ds.rec.Reads = x.readAddrs
+	ds.rec.WriteAddrs = x.writeAddrs
+	ds.rec.WriteVals = ds.vals64
+	// The log copies the record into its buffer synchronously, so the
+	// scratch slices are free for reuse when Append returns. A sticky log
+	// failure is surfaced to SyncCommit waiters via WaitDurable; the
+	// in-memory commit proceeds regardless — it is already published.
+	_ = ds.d.Log.Append(&ds.rec)
+	ds.d.Store.ApplyUpdates(seq, x.writeOrder, ds.vals)
+}
+
+// DurableStats reports the durability backends' counters; ok is false when
+// the runtime has no Durable configured.
+type DurableStats struct {
+	WAL   wal.Stats
+	Store mvstore.Stats
+}
+
+// DurableStats returns the durability counters.
+func (r *TM) DurableStats() (DurableStats, bool) {
+	if r.dur == nil {
+		return DurableStats{}, false
+	}
+	return DurableStats{
+		WAL:   r.dur.d.Log.Stats(),
+		Store: r.dur.d.Store.Stats(),
+	}, true
+}
+
+// Durable exposes the configured durability binding (nil if none).
+func (r *TM) Durable() *Durable {
+	if r.dur == nil {
+		return nil
+	}
+	return r.dur.d
+}
+
+// RetrieveSnapshot implements tm.Snapshotter: it pins the multi-version
+// store at the current commit height. It fails only when the runtime has
+// no durable store — tm.RunReadOnly then falls back to a transactional
+// read-only execution.
+func (r *TM) RetrieveSnapshot() (tm.Snapshot, error) {
+	if r.dur == nil {
+		return nil, errors.New("rococotm: no durable store configured")
+	}
+	return r.dur.d.Store.RetrieveSnapshot(), nil
+}
+
+// ReleaseSnapshot implements tm.Snapshotter.
+func (r *TM) ReleaseSnapshot(s tm.Snapshot) {
+	sn, ok := s.(*mvstore.Snapshot)
+	if !ok || r.dur == nil {
+		panic("rococotm: ReleaseSnapshot of a snapshot this runtime did not issue")
+	}
+	r.dur.d.Store.ReleaseSnapshot(sn)
+}
+
+// RecoverDurable rebuilds durable state from dev, as a process restart
+// would: truncate the torn tail off the log, replay every intact record —
+// into the multi-version store first (so base values are captured from the
+// pre-write heap), then into the heap — in publication order, and reopen
+// the log at the next sequence. The returned Durable plugs into
+// Config.Durable; New then reseeds GlobalTS and the engine window at the
+// recovered height. The replay result is returned alongside so callers can
+// certify the recovered commit stream (internal/audit) or assert on the
+// torn tail.
+//
+// The heap must be in its pre-crash initial state (recovery replays every
+// write since the log began; log checkpointing is future work, so a log
+// whose first record is not sequence 0 is rejected).
+func RecoverDurable(dev wal.Device, heap *mem.Heap, opts wal.Options, storeCfg mvstore.Config, syncCommit bool) (*Durable, *wal.ReplayResult, error) {
+	res, err := wal.Recover(dev)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rococotm: recover: %w", err)
+	}
+	if len(res.Records) > 0 && res.Records[0].Seq != 0 {
+		return nil, nil, fmt.Errorf("rococotm: recover: log starts at seq %d, not 0 (checkpointing unsupported)",
+			res.Records[0].Seq)
+	}
+	store, err := mvstore.New(heap, storeCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var addrs []mem.Addr
+	var vals []mem.Word
+	for i := range res.Records {
+		rec := &res.Records[i]
+		addrs = addrs[:0]
+		vals = vals[:0]
+		for j, a := range rec.WriteAddrs {
+			addrs = append(addrs, mem.Addr(a))
+			vals = append(vals, mem.Word(rec.WriteVals[j]))
+		}
+		// Store before heap: ApplyUpdates captures the pre-write base from
+		// the heap, the same ordering the live commit path guarantees.
+		store.ApplyUpdates(rec.Seq, addrs, vals)
+		for j, a := range addrs {
+			heap.Store(a, vals[j])
+		}
+	}
+	log := wal.Open(dev, res.NextSeq, opts)
+	return &Durable{Log: log, Store: store, SyncCommit: syncCommit}, res, nil
+}
+
+var _ tm.Snapshotter = (*TM)(nil)

@@ -158,6 +158,12 @@ type Config struct {
 	// its serialization point — the hook the serializability auditor
 	// (internal/audit) attaches to.
 	Observer CommitObserver
+	// Durable, when set, drains every committed write-set into a
+	// write-ahead log and multi-version store at its publication point
+	// (durable.go). The Log and Store must agree on their height; a
+	// non-zero height reseeds GlobalTS and the engine window (recovery).
+	// Like Observer, it disables the fastTurn commit chain.
+	Durable *Durable
 }
 
 func (c *Config) fill() {
@@ -284,6 +290,9 @@ type TM struct {
 
 	cnt tm.Counters
 
+	// Durability binding (durable.go); nil unless Config.Durable is set.
+	dur *durableState
+
 	// Fault-tolerant mode state (degrade.go). link is the possibly-wrapped
 	// engine connection; ftEnabled caches ValidateDeadline > 0.
 	link      Link
@@ -350,7 +359,31 @@ func New(heap *mem.Heap, cfg Config) *TM {
 	r.stop = make(chan struct{})
 	r.link = eng
 	r.ftEnabled = cfg.ValidateDeadline > 0
-	r.fastTurn = !r.ftEnabled && cfg.Observer == nil && !cfg.OrderedWriteback
+	r.fastTurn = !r.ftEnabled && cfg.Observer == nil && !cfg.OrderedWriteback &&
+		cfg.Durable == nil
+	if cfg.Durable != nil {
+		d := cfg.Durable
+		if d.Log == nil || d.Store == nil {
+			panic("rococotm: Config.Durable needs both Log and Store")
+		}
+		if d.Store.Heap() != heap {
+			panic("rococotm: Config.Durable.Store opened over a different heap")
+		}
+		if n, h := d.Log.NextSeq(), d.Store.Height(); n != h {
+			panic(fmt.Sprintf("rococotm: durable log at seq %d but store at height %d", n, h))
+		}
+		r.dur = &durableState{d: d}
+		if h := d.Store.Height(); h > 0 {
+			// Recovery reseed: the commit count resumes where the durable
+			// history ends, and the engine's sliding window rebases there
+			// (empty — the signatures it would need died with the crash, so
+			// pre-crash snapshots correctly read as out-of-window).
+			r.globalTS.Store(h)
+			if err := eng.Restart(h); err != nil {
+				panic("rococotm: reseed engine at recovered height: " + err.Error())
+			}
+		}
+	}
 	if r.ftEnabled {
 		if cfg.WrapLink != nil {
 			r.link = cfg.WrapLink(r.link)
@@ -459,11 +492,18 @@ func (r *TM) GlobalTS() uint64 { return r.globalTS.Load() }
 
 // Close shuts down the recovery prober and the FPGA engine. The prober is
 // joined first: it submits probes to the link, which must not race with
-// the link's own teardown.
+// the link's own teardown. A configured durable log is closed last (final
+// flush + flusher join); a tail that could not be made durable is logged,
+// not fatal — Close models a clean shutdown racing a flaky disk.
 func (r *TM) Close() {
 	r.once.Do(func() { close(r.stop) })
 	r.bg.Wait()
 	r.link.Close()
+	if r.dur != nil {
+		if err := r.dur.d.Log.Close(); err != nil {
+			r.cfg.Logf("rococotm: wal close: %v", err)
+		}
+	}
 }
 
 type txn struct {
@@ -983,6 +1023,12 @@ func (r *TM) Commit(t tm.Txn) error {
 			// committers.
 			r.cfg.Observer.ObserveCommit(seq, x.validTS, x.readAddrs, x.writeAddrs)
 		}
+		if r.dur != nil {
+			// Same serialization point: the WAL record and the
+			// multi-version store entry land in publication order, before
+			// this commit's own write-back can touch the heap.
+			r.durableAppend(x, seq)
+		}
 		if r.cfg.OrderedWriteback {
 			// Baseline arm: drain the redo log before releasing the
 			// timestamp, serializing write-backs in commit order — the
@@ -1032,6 +1078,15 @@ func (r *TM) Commit(t tm.Txn) error {
 	r.consec[x.thread] = 0
 	r.cnt.OnCommit(false)
 	r.recycle(x)
+	if r.dur != nil && r.dur.d.SyncCommit {
+		// Group-commit wait, outside the ordered section so committers
+		// overlap on one fsync. A failure here does NOT undo the commit —
+		// it is published and visible — it only means durability could not
+		// be confirmed; callers must not retry the transaction.
+		if err := r.dur.d.Log.WaitDurable(seq + 1); err != nil {
+			return fmt.Errorf("%w: %v", ErrNotDurable, err)
+		}
+	}
 	return nil
 }
 

@@ -88,6 +88,71 @@ type TM interface {
 	Close()
 }
 
+// Snapshot is a consistent read-only view of committed state at a fixed
+// commit height. Reads are infallible: a snapshot observes a prefix of the
+// commit order and nothing a later commit writes, so there is nothing to
+// validate and nothing to abort.
+type Snapshot interface {
+	// Read returns the word at a as of the snapshot's height.
+	Read(a mem.Addr) mem.Word
+}
+
+// Snapshotter is implemented by runtimes that can serve read-only
+// transactions from a pinned multi-version snapshot (ROCoCoTM with a
+// durable store configured). Every retrieved snapshot must be released, or
+// the runtime's version compaction stalls at its height.
+type Snapshotter interface {
+	// RetrieveSnapshot pins the current commit height and returns a
+	// snapshot reading at it. An error means the runtime cannot serve
+	// snapshots (not configured); callers fall back to a transaction.
+	RetrieveSnapshot() (Snapshot, error)
+	// ReleaseSnapshot unpins a snapshot returned by RetrieveSnapshot.
+	ReleaseSnapshot(Snapshot)
+}
+
+// ErrReadOnlyWrite is returned by the Txn handed to RunReadOnly when the
+// closure attempts a Write — a programming error, not a transactional
+// abort, so the run fails instead of retrying.
+var ErrReadOnlyWrite = errors.New("tm: write inside a read-only transaction")
+
+// RunReadOnly executes fn as a read-only transaction. On runtimes that
+// implement Snapshotter, fn runs against a pinned snapshot: its reads can
+// never conflict, never spin on in-flight committers, and never abort, and
+// the execution never enters the validation engine — it returns exactly
+// fn's error, with no retry loop at all. Otherwise fn runs under Run as an
+// ordinary transaction (whose empty write set commits on the CPU fast
+// path). Either way, a Write inside fn fails the run with ErrReadOnlyWrite.
+func RunReadOnly(m TM, thread int, fn func(Txn) error) error {
+	if sp, ok := m.(Snapshotter); ok {
+		if s, err := sp.RetrieveSnapshot(); err == nil {
+			defer sp.ReleaseSnapshot(s)
+			x := snapTxn{s: s}
+			return fn(&x)
+		}
+	}
+	return Run(m, thread, func(t Txn) error {
+		return fn(roTxn{t})
+	})
+}
+
+// snapTxn adapts a Snapshot to the Txn interface for RunReadOnly closures.
+type snapTxn struct{ s Snapshot }
+
+// Read delegates to the snapshot; it cannot fail.
+//
+//tm:hotpath
+func (x *snapTxn) Read(a mem.Addr) (mem.Word, error) { return x.s.Read(a), nil }
+
+// Write always fails: the transaction is read-only.
+func (x *snapTxn) Write(mem.Addr, mem.Word) error { return ErrReadOnlyWrite }
+
+// roTxn is the transactional fallback's write-rejecting wrapper, keeping
+// RunReadOnly semantics identical on runtimes without snapshots.
+type roTxn struct{ t Txn }
+
+func (x roTxn) Read(a mem.Addr) (mem.Word, error) { return x.t.Read(a) }
+func (x roTxn) Write(mem.Addr, mem.Word) error    { return ErrReadOnlyWrite }
+
 // Stats are cumulative runtime counters, collected with atomics.
 type Stats struct {
 	Starts   uint64 // transaction attempts begun

@@ -32,20 +32,25 @@
 #                    serializability auditor must certify acyclic, gated
 #                    by the auditor's self-test (a seeded wrong verdict
 #                    must be flagged exactly once)                 (~30s)
-#   8. go test -race ./internal/...
+#   8. recovery lane — go test -race over the durability surface: the
+#                    crash/recovery chaos soak (repeated crash images off
+#                    a fault-injecting disk, zero lost committed writes),
+#                    the WAL torn-tail/corruption fuzz sweeps, and the
+#                    recover-bench acceptance smoke                (~30s)
+#   9. go test -race ./internal/...
 #                  — the runtime and analyzer packages under the race
 #                    detector; OCC code is concurrency code, so the race
 #                    lane is not optional                          (~2min)
-#   9. bench smoke — every benchmark compiles and survives one iteration
+#  10. bench smoke — every benchmark compiles and survives one iteration
 #                    (benchtime=1x), so perf lanes cannot silently rot;
 #                    the non-race run also picks up the AllocsPerRun
-#                    zero-allocation tests excluded from lane 8    (~30s)
-#  10. bench gate  — cmd/benchgate re-measures the optimization-sensitive
+#                    zero-allocation tests excluded from lane 9    (~30s)
+#  11. bench gate  — cmd/benchgate re-measures the optimization-sensitive
 #                    microbenchmarks (pipelined/ordered counter throughput,
-#                    aggregate/per-commit extension folds) and fails on a
-#                    >20% regression vs internal/bench/baseline.json;
-#                    re-record an intentional move with `benchgate -record`
-#                                                                  (~2min)
+#                    aggregate/per-commit extension folds, WAL append,
+#                    snapshot read) and fails on a >20% regression vs
+#                    internal/bench/baseline.json; re-record an intentional
+#                    move with `benchgate -record`                 (~2min)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -79,6 +84,11 @@ go test -race -run Chaos -count=2 ./internal/fault/...
 echo "== audit lane: go test -race -run 'ChaosAuditSoak|SelfTest|Lifecycle|Watchdog|RunCtx' ./internal/audit/... ./internal/fault/... ./internal/rococotm/... ./internal/tm/..."
 go test -race -run 'ChaosAuditSoak|SelfTest|Lifecycle|Watchdog|RunCtx' \
     ./internal/audit/... ./internal/fault/... ./internal/rococotm/... ./internal/tm/...
+
+echo "== recovery lane: crash/recovery chaos + WAL fuzz + recover-bench smoke"
+go test -race -run 'ChaosRecoverDurable' -count=1 ./internal/fault/...
+go test -race -run 'TornTail|CorruptEveryByte|DiskWALRecovery|RecoverBenchSmoke' \
+    ./internal/wal/... ./internal/fault/... ./internal/bench/...
 
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
