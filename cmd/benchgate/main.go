@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"rococotm/internal/bench"
 )
@@ -24,6 +25,11 @@ func main() {
 	baseline := flag.String("baseline", "internal/bench/baseline.json", "baseline file")
 	record := flag.Bool("record", false, "re-measure and overwrite the baseline instead of gating")
 	flag.Parse()
+
+	if runtime.NumCPU() == 1 {
+		fmt.Fprintln(os.Stderr, "benchgate: warning: single-CPU host — concurrency-sensitive metrics"+
+			" (counter_*, shard_*) measure scheduling overhead, not parallelism; treat deltas accordingly")
+	}
 
 	if *record {
 		b, err := bench.RecordRegressBaseline(*baseline)

@@ -2,9 +2,15 @@
 //
 // Usage:
 //
-//	rococobench -exp fig7|fig9|fig10|fig11|resources|fault|soak|recover|transport|commitphase|ablation-window|ablation-sig|all
+//	rococobench -exp <name>|all
 //	            [-scale small|medium|large] [-app name] [-threads list] [-dur duration]
 //	            [-cpuprofile file] [-memprofile file]
+//
+// The experiment names — the authoritative list is the experiments table
+// below, which also drives the -exp usage string and the "all" order —
+// are: fig6, fig7, fig9, fig10, fig11, resources, fault, soak, recover,
+// transport, commitphase, shard, ablation-window, ablation-sig,
+// ablation-contention.
 //
 // Each experiment prints a paper-style text table; EXPERIMENTS.md records
 // the paper-vs-measured comparison. The profile flags capture pprof data
@@ -26,12 +32,154 @@ import (
 	"rococotm/internal/stamp"
 )
 
+// benchCtx carries the parsed flags into experiment runners.
+type benchCtx struct {
+	exp     string
+	scale   stamp.Scale
+	app     string
+	threads []int
+	dur     time.Duration
+}
+
+// experiments is the single source of truth for -exp: the usage string,
+// the "all" sweep order, and the dispatch are all derived from this
+// table. Add new experiments here and nowhere else.
+var experiments = []struct {
+	name string
+	run  func(c benchCtx)
+}{
+	{"fig6", func(c benchCtx) {
+		emit(bench.RunFig6(nil), nil)
+	}},
+	{"fig7", func(c benchCtx) {
+		rep, err := bench.RunFig7(bench.DefaultFig7())
+		emit(rep, err)
+	}},
+	{"fig9", func(c benchCtx) {
+		rep, err := bench.RunFig9(bench.DefaultFig9())
+		emit(rep, err)
+	}},
+	{"fig10", func(c benchCtx) {
+		cfg := bench.DefaultFig10()
+		cfg.Scale = c.scale
+		if len(c.threads) > 0 {
+			cfg.Threads = c.threads
+		}
+		if c.app != "" {
+			cfg.Apps = []string{c.app}
+		}
+		rep, err := bench.RunFig10(cfg)
+		emit(rep, err)
+	}},
+	{"fig11", func(c benchCtx) {
+		cfg := bench.DefaultFig11()
+		cfg.Scale = c.scale
+		if c.app != "" {
+			cfg.Apps = []string{c.app}
+		}
+		rep, err := bench.RunFig11(cfg)
+		emit(rep, err)
+	}},
+	{"resources", func(c benchCtx) {
+		rep, err := bench.RunResources(nil)
+		emit(rep, err)
+	}},
+	{"fault", func(c benchCtx) {
+		rep, err := bench.RunFaultBench(bench.FaultBenchConfig{})
+		emit(rep, err)
+	}},
+	{"soak", func(c benchCtx) {
+		d := c.dur
+		if d == 0 && c.exp == "all" {
+			d = 5 * time.Second // keep the full sweep tractable
+		}
+		rep, err := bench.RunSoak(bench.SoakConfig{Duration: d})
+		emit(rep, err)
+		if err == nil && rep.AuditErr != nil {
+			fatal(rep.AuditErr)
+		}
+	}},
+	{"recover", func(c benchCtx) {
+		cfg := bench.RecoverBenchConfig{SoakDuration: c.dur}
+		if c.exp == "all" {
+			cfg.Cycles = 10
+			if cfg.SoakDuration == 0 {
+				cfg.SoakDuration = 2 * time.Second
+			}
+		}
+		rep, err := bench.RunRecoverBench(cfg)
+		emit(rep, err)
+		if err == nil {
+			if verr := rep.Err(); verr != nil {
+				fatal(verr)
+			}
+		}
+	}},
+	{"transport", func(c benchCtx) {
+		cfg := bench.TransportBenchConfig{Scale: c.scale}
+		if c.app != "" {
+			cfg.App = c.app
+		}
+		if len(c.threads) > 0 {
+			cfg.Threads = c.threads[0]
+		}
+		rep, err := bench.RunTransportBench(cfg)
+		emit(rep, err)
+	}},
+	{"commitphase", func(c benchCtx) {
+		cfg := bench.CommitPhaseConfig{}
+		if len(c.threads) > 0 {
+			cfg.Threads = c.threads
+		}
+		rep, err := bench.RunCommitPhase(cfg)
+		emit(rep, err)
+	}},
+	{"shard", func(c benchCtx) {
+		cfg := bench.ShardBenchConfig{}
+		if len(c.threads) > 0 {
+			cfg.Threads = c.threads[0]
+		}
+		if c.dur != 0 {
+			cfg.Duration = c.dur
+		} else if c.exp == "all" {
+			cfg.Duration = 100 * time.Millisecond
+		}
+		rep, err := bench.RunShardBench(cfg)
+		emit(rep, err)
+	}},
+	{"ablation-window", func(c benchCtx) {
+		rep, err := bench.RunWindowAblation(nil, 16, 16, 25)
+		emit(rep, err)
+	}},
+	{"ablation-sig", func(c benchCtx) {
+		apps := []string{"vacation", "genome"}
+		if c.app != "" {
+			apps = []string{c.app}
+		}
+		rep, err := bench.RunSigAblation(apps, c.scale, 8, nil)
+		emit(rep, err)
+	}},
+	{"ablation-contention", func(c benchCtx) {
+		rep, err := bench.RunContentionAblation(c.scale, 8)
+		emit(rep, err)
+	}},
+}
+
+func experimentNames() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return names
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6, fig7, fig9, fig10, fig11, resources, fault, soak, recover, transport, commitphase, ablation-window, ablation-sig, ablation-contention, all")
+	exp := flag.String("exp", "all",
+		"experiment: "+strings.Join(experimentNames(), ", ")+", all")
 	scaleFlag := flag.String("scale", "medium", "STAMP input scale: small, medium, large")
 	app := flag.String("app", "", "restrict fig10/fig11 to one app")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10 (default 1,4,8,14,28)")
-	dur := flag.Duration("dur", 0, "wall-clock duration for -exp soak and the -exp recover snapshot phase (default 60s; \"all\" uses 5s/2s)")
+	dur := flag.Duration("dur", 0, "wall-clock duration for -exp soak, shard, and the -exp recover snapshot phase (default 60s; \"all\" uses 5s/2s)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -44,6 +192,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx := benchCtx{exp: *exp, scale: scale, app: *app, threads: threads, dur: *dur}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -70,109 +219,20 @@ func main() {
 		}()
 	}
 
-	run := func(name string) {
-		switch name {
-		case "fig6":
-			emit(bench.RunFig6(nil), nil)
-		case "fig7":
-			rep, err := bench.RunFig7(bench.DefaultFig7())
-			emit(rep, err)
-		case "fig9":
-			rep, err := bench.RunFig9(bench.DefaultFig9())
-			emit(rep, err)
-		case "fig10":
-			cfg := bench.DefaultFig10()
-			cfg.Scale = scale
-			if len(threads) > 0 {
-				cfg.Threads = threads
-			}
-			if *app != "" {
-				cfg.Apps = []string{*app}
-			}
-			rep, err := bench.RunFig10(cfg)
-			emit(rep, err)
-		case "fig11":
-			cfg := bench.DefaultFig11()
-			cfg.Scale = scale
-			if *app != "" {
-				cfg.Apps = []string{*app}
-			}
-			rep, err := bench.RunFig11(cfg)
-			emit(rep, err)
-		case "resources":
-			rep, err := bench.RunResources(nil)
-			emit(rep, err)
-		case "fault":
-			rep, err := bench.RunFaultBench(bench.FaultBenchConfig{})
-			emit(rep, err)
-		case "soak":
-			d := *dur
-			if d == 0 && *exp == "all" {
-				d = 5 * time.Second // keep the full sweep tractable
-			}
-			rep, err := bench.RunSoak(bench.SoakConfig{Duration: d})
-			emit(rep, err)
-			if err == nil && rep.AuditErr != nil {
-				fatal(rep.AuditErr)
-			}
-		case "recover":
-			cfg := bench.RecoverBenchConfig{SoakDuration: *dur}
-			if *exp == "all" {
-				cfg.Cycles = 10
-				if cfg.SoakDuration == 0 {
-					cfg.SoakDuration = 2 * time.Second
-				}
-			}
-			rep, err := bench.RunRecoverBench(cfg)
-			emit(rep, err)
-			if err == nil {
-				if verr := rep.Err(); verr != nil {
-					fatal(verr)
-				}
-			}
-		case "transport":
-			cfg := bench.TransportBenchConfig{Scale: scale}
-			if *app != "" {
-				cfg.App = *app
-			}
-			if len(threads) > 0 {
-				cfg.Threads = threads[0]
-			}
-			rep, err := bench.RunTransportBench(cfg)
-			emit(rep, err)
-		case "commitphase":
-			cfg := bench.CommitPhaseConfig{}
-			if len(threads) > 0 {
-				cfg.Threads = threads
-			}
-			rep, err := bench.RunCommitPhase(cfg)
-			emit(rep, err)
-		case "ablation-window":
-			rep, err := bench.RunWindowAblation(nil, 16, 16, 25)
-			emit(rep, err)
-		case "ablation-contention":
-			rep, err := bench.RunContentionAblation(scale, 8)
-			emit(rep, err)
-		case "ablation-sig":
-			apps := []string{"vacation", "genome"}
-			if *app != "" {
-				apps = []string{*app}
-			}
-			rep, err := bench.RunSigAblation(apps, scale, 8, nil)
-			emit(rep, err)
-		default:
-			fatal(fmt.Errorf("unknown experiment %q", name))
-		}
-	}
-
 	if *exp == "all" {
-		for _, name := range []string{"fig6", "fig7", "fig9", "fig10", "fig11", "resources", "fault", "soak", "recover", "transport", "commitphase", "ablation-window", "ablation-sig", "ablation-contention"} {
-			run(name)
+		for _, e := range experiments {
+			e.run(ctx)
 			fmt.Println()
 		}
 		return
 	}
-	run(*exp)
+	for _, e := range experiments {
+		if e.name == *exp {
+			e.run(ctx)
+			return
+		}
+	}
+	fatal(fmt.Errorf("unknown experiment %q (known: %s)", *exp, strings.Join(experimentNames(), ", ")))
 }
 
 func parseScale(s string) (stamp.Scale, error) {

@@ -1,0 +1,195 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file certifies the *merged* commit stream of a sharded runtime.
+// Per-shard streams are individually certifiable with Certify — each
+// shard's publication order is contiguous and per-shard acyclic — but
+// serializability of the whole history is a global property: a
+// cross-shard transaction is one node that appears in several per-shard
+// orders, and a cycle can thread through two shards without being
+// visible in either alone (the classic fracture: T1 before T2 on shard
+// A, T2 before T1 on shard B).
+//
+// CertifyMerged rebuilds the dependency graph with the same per-shard
+// edge derivation as the incremental Auditor — RAW, WAW, forward and
+// backward WAR against each shard's own writer/reader indexes — but
+// unifies every record carrying the same cross-shard transaction id
+// (XID) into a single graph node before searching for cycles. Addresses
+// are partitioned across shards, so every dependency edge is derived
+// within exactly one shard's stream; the union of those edges over the
+// unified nodes is the global graph.
+
+// ShardRecord is one observed commit in one shard's publication stream.
+// XID is zero for single-shard commits (and for the no-op fills an
+// aborted cross-shard transaction leaves behind); records with the same
+// nonzero XID across shards are one cross-shard transaction. XShards,
+// when nonzero, is the transaction's touched-shard mask; CertifyMerged
+// then also checks the record is present on every shard the mask names.
+type ShardRecord struct {
+	Record
+	XID     uint64
+	XShards uint64
+}
+
+// CertifyMerged certifies the merged history of a sharded runtime: every
+// per-shard stream must be gap-free, every cross-shard transaction
+// complete (present on each shard its mask names), and the unified
+// dependency graph acyclic. streams[i] is shard i's publication stream
+// in seq order.
+func CertifyMerged(streams [][]ShardRecord) error {
+	// Node unification: single-shard records get a fresh node; records
+	// sharing a nonzero XID share one.
+	type nodeRef struct {
+		label string
+		out   []int
+	}
+	var nodes []nodeRef
+	xidNode := map[uint64]int{}
+	xidSeen := map[uint64]uint64{} // xid → mask of shards it appeared on
+	xidMask := map[uint64]uint64{} // xid → declared XShards (first nonzero)
+	newNode := func(label string) int {
+		nodes = append(nodes, nodeRef{label: label})
+		return len(nodes) - 1
+	}
+	addEdge := func(from, to int) {
+		if from != to {
+			nodes[from].out = append(nodes[from].out, to)
+		}
+	}
+
+	type writer struct {
+		seq  uint64
+		node int
+	}
+	type pending struct {
+		validTS uint64
+		node    int
+	}
+	for shard, recs := range streams {
+		writers := map[uint64][]writer{}
+		readers := map[uint64][]pending{}
+		for k := range recs {
+			rec := &recs[k]
+			if k > 0 && rec.Seq != recs[k-1].Seq+1 {
+				return fmt.Errorf("audit: shard %d: sequence gap: record %d follows %d",
+					shard, rec.Seq, recs[k-1].Seq)
+			}
+			var nid int
+			if rec.XID != 0 {
+				var ok bool
+				if nid, ok = xidNode[rec.XID]; !ok {
+					nid = newNode(fmt.Sprintf("x%d", rec.XID))
+					xidNode[rec.XID] = nid
+				}
+				xidSeen[rec.XID] |= 1 << uint(shard)
+				if rec.XShards != 0 && xidMask[rec.XID] == 0 {
+					xidMask[rec.XID] = rec.XShards
+				}
+			} else {
+				nid = newNode(fmt.Sprintf("s%d/%d", shard, rec.Seq))
+			}
+
+			// Read edges: RAW from the latest writer before the snapshot,
+			// backward WAR to the first writer at or after it — the same
+			// derivation as Auditor.Observe, per shard.
+			for _, addr := range rec.Reads {
+				ws := writers[addr]
+				i := sort.Search(len(ws), func(i int) bool { return ws[i].seq >= rec.ValidTS })
+				if i > 0 {
+					addEdge(ws[i-1].node, nid)
+				}
+				if i < len(ws) {
+					addEdge(nid, ws[i].node)
+				}
+			}
+			// Write edges: WAW behind the previous writer, forward WAR
+			// from every pending reader we are the first overwriter of.
+			for _, addr := range rec.Writes {
+				ws := writers[addr]
+				last := uint64(0)
+				haveLast := false
+				if len(ws) > 0 {
+					last = ws[len(ws)-1].seq
+					haveLast = true
+					addEdge(ws[len(ws)-1].node, nid)
+				}
+				if rs := readers[addr]; len(rs) > 0 {
+					for _, r := range rs {
+						if r.node == nid {
+							continue
+						}
+						if !haveLast || last < r.validTS {
+							addEdge(r.node, nid)
+						}
+					}
+					delete(readers, addr)
+				}
+				writers[addr] = append(ws, writer{seq: rec.Seq, node: nid})
+			}
+			for _, addr := range rec.Reads {
+				readers[addr] = append(readers[addr], pending{validTS: rec.ValidTS, node: nid})
+			}
+		}
+	}
+
+	// Completeness: every cross-shard commit present on each shard its
+	// mask names (a torn record here means recovery reconciliation — or
+	// the observer plumbing — failed).
+	for xid, mask := range xidMask {
+		if missing := mask &^ xidSeen[xid]; missing != 0 {
+			return fmt.Errorf("audit: cross-shard transaction x%d missing on shard mask %#x", xid, missing)
+		}
+	}
+
+	// Global cycle search: iterative three-color DFS over the unified
+	// graph.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int8, len(nodes))
+	for root := range nodes {
+		if color[root] != white {
+			continue
+		}
+		type frame struct {
+			node int
+			next int
+		}
+		stack := []frame{{node: root}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(nodes[f.node].out) {
+				t := nodes[f.node].out[f.next]
+				f.next++
+				switch color[t] {
+				case white:
+					color[t] = gray
+					stack = append(stack, frame{node: t})
+				case gray:
+					// Reconstruct the cycle from the gray stack suffix.
+					var cyc []string
+					for i := range stack {
+						if stack[i].node == t {
+							for _, fr := range stack[i:] {
+								cyc = append(cyc, nodes[fr.node].label)
+							}
+							break
+						}
+					}
+					return fmt.Errorf("audit: merged serializability violation: cycle %v", cyc)
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}

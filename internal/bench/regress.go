@@ -144,6 +144,24 @@ func MeasureRegressMetrics() ([]RegressMetric, error) {
 		RegressMetric{Name: "wal_append_ns", Value: walNs, Unit: "ns", HigherBetter: false},
 		RegressMetric{Name: "snapshot_read_ns", Value: snapNs, Unit: "ns", HigherBetter: false},
 	)
+
+	// Sharded validation plane: 2-engine single-shard throughput (the
+	// scaling fast path must stay fast) and the same with 10% cross-shard
+	// traffic (the token protocol's overhead must stay bounded).
+	scfg := ShardBenchConfig{Duration: 150 * time.Millisecond}
+	scfg.fill()
+	scale2e, _, _, err := bestShardRun(scfg, 2, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	cross10, _, _, err := bestShardRun(scfg, 2, 0, 0.10)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		RegressMetric{Name: "shard_scaling_2e", Value: scale2e, Unit: "ktxn/s", HigherBetter: true},
+		RegressMetric{Name: "shard_crossfrac_10", Value: cross10, Unit: "ktxn/s", HigherBetter: true},
+	)
 	return out, nil
 }
 

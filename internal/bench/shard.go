@@ -1,0 +1,374 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rococotm/internal/audit"
+	"rococotm/internal/fpga"
+	"rococotm/internal/mem"
+	"rococotm/internal/mvstore"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/tm"
+	"rococotm/internal/wal"
+)
+
+// This file benchmarks the sharded validation plane: N engine instances,
+// each owning a partition of the address space and its own publication
+// order, with cross-shard transactions committed through the token
+// protocol (internal/rococotm/shard.go). Three sweeps:
+//
+//   - engine scaling: shards ∈ {1,2,4} at a fixed thread count, all
+//     traffic single-shard — the headline "does adding engines add
+//     throughput" number. Speedup is relative to 1 engine.
+//   - cross-shard fraction: throughput and abort rate as 0%/1%/10%/50%
+//     of transactions span two shards — the price of the token.
+//   - window ablation: W ∈ {64,128,256} × engines ∈ {1,2,4} — wide
+//     windows (the block-partitioned reachability matrix) against the
+//     sharding axis.
+//
+// The sweeps measure the real runtime, not the simclock model: genuine
+// goroutines committing through genuine engines. On a single-core host
+// the scaling rows still measure correctly but cannot show parallel
+// speedup — the report prints GOMAXPROCS so the reader can judge.
+
+// ShardScalingRow is one engine-count measurement.
+type ShardScalingRow struct {
+	Shards  int
+	KTxnSec float64
+	Speedup float64 // vs the 1-engine row
+}
+
+// ShardCrossRow is one cross-shard-fraction measurement.
+type ShardCrossRow struct {
+	CrossFrac float64
+	KTxnSec   float64
+	AbortRate float64
+	Cross     rococotm.CrossStats
+}
+
+// ShardWindowRow is one (W, engines) measurement.
+type ShardWindowRow struct {
+	W       int
+	Shards  int
+	KTxnSec float64
+}
+
+// ShardBenchConfig parameterizes RunShardBench.
+type ShardBenchConfig struct {
+	Threads    int           // worker goroutines; default 4
+	Duration   time.Duration // per measured cell; default 300ms
+	ScaleSet   []int         // engine counts for the scaling sweep; default 1,2,4
+	CrossFracs []float64     // default 0, 0.01, 0.10, 0.50
+	Windows    []int         // default 64, 128, 256
+}
+
+func (c *ShardBenchConfig) fill() {
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+	if c.Duration == 0 {
+		c.Duration = 300 * time.Millisecond
+	}
+	if len(c.ScaleSet) == 0 {
+		c.ScaleSet = []int{1, 2, 4}
+	}
+	if len(c.CrossFracs) == 0 {
+		c.CrossFracs = []float64{0, 0.01, 0.10, 0.50}
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []int{64, 128, 256}
+	}
+}
+
+// ShardBenchReport is the full sweep.
+type ShardBenchReport struct {
+	Cfg      ShardBenchConfig
+	MaxProcs int
+	Scaling  []ShardScalingRow
+	CrossFR  []ShardCrossRow
+	Window   []ShardWindowRow
+	// CertifiedCommits is the size of the audit-wired soak's merged
+	// history that CertifyMerged accepted (0 means the soak was skipped).
+	CertifiedCommits int
+}
+
+// runShardCounter drives threads of read-modify-write transactions
+// against a Sharded runtime for cfg.Duration and returns the commit
+// throughput in ktxn/s plus the front-end stats. A transaction touches
+// two counters: both on one (thread-preferred) shard, or — with
+// probability crossFrac — one each on two distinct shards.
+func runShardCounter(cfg ShardBenchConfig, shards, w int, crossFrac float64) (float64, tm.Stats, rococotm.CrossStats, error) {
+	const slotsPerShard = 1 << 12
+	heap := mem.NewHeap(slotsPerShard*shards + 64)
+	scfg := rococotm.ShardedConfig{Shards: shards}
+	if w != 0 {
+		scfg.Shard.Engine = fpga.Config{W: w, QueueDepth: w}
+	}
+	s := rococotm.NewSharded(heap, scfg)
+	defer s.Close()
+	base := heap.MustAlloc(slotsPerShard * shards)
+
+	// addr(sh, k) routes to shard sh under the default modulo route.
+	addr := func(sh, k int) mem.Addr {
+		return base + mem.Addr(k*shards+sh)
+	}
+
+	var stop atomic.Bool
+	var commits atomic.Uint64
+	var failure atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(th)*7919 + 1))
+			local := uint64(0)
+			for !stop.Load() {
+				s0 := th % shards
+				s1 := s0
+				if shards > 1 && rng.Float64() < crossFrac {
+					s1 = (s0 + 1 + rng.Intn(shards-1)) % shards
+				}
+				a0 := addr(s0, rng.Intn(slotsPerShard))
+				a1 := addr(s1, rng.Intn(slotsPerShard))
+				err := tm.Run(s, th, func(x tm.Txn) error {
+					v0, err := x.Read(a0)
+					if err != nil {
+						return err
+					}
+					if err := x.Write(a0, v0+1); err != nil {
+						return err
+					}
+					if a1 == a0 {
+						return nil
+					}
+					v1, err := x.Read(a1)
+					if err != nil {
+						return err
+					}
+					return x.Write(a1, v1+1)
+				})
+				if err != nil {
+					e := err
+					failure.Store(&e)
+					stop.Store(true)
+					return
+				}
+				local++
+			}
+			commits.Add(local)
+		}(th)
+	}
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if e := failure.Load(); e != nil {
+		return 0, tm.Stats{}, rococotm.CrossStats{}, *e
+	}
+	k := float64(commits.Load()) / elapsed.Seconds() / 1000
+	return k, s.Stats(), s.CrossStats(), nil
+}
+
+// bestShardRun is best-of-3: transient load only subtracts.
+func bestShardRun(cfg ShardBenchConfig, shards, w int, crossFrac float64) (float64, tm.Stats, rococotm.CrossStats, error) {
+	var bk float64
+	var bs tm.Stats
+	var bc rococotm.CrossStats
+	for i := 0; i < 3; i++ {
+		k, st, cs, err := runShardCounter(cfg, shards, w, crossFrac)
+		if err != nil {
+			return 0, tm.Stats{}, rococotm.CrossStats{}, err
+		}
+		if k > bk {
+			bk, bs, bc = k, st, cs
+		}
+	}
+	return bk, bs, bc, nil
+}
+
+// RunShardBench runs the three sweeps plus a short audit-wired soak whose
+// merged cross-shard history must certify.
+func RunShardBench(cfg ShardBenchConfig) (*ShardBenchReport, error) {
+	cfg.fill()
+	rep := &ShardBenchReport{Cfg: cfg, MaxProcs: runtime.GOMAXPROCS(0)}
+
+	// Engine scaling, single-shard traffic only.
+	var base float64
+	for _, n := range cfg.ScaleSet {
+		k, _, _, err := bestShardRun(cfg, n, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		if n == cfg.ScaleSet[0] {
+			base = k
+		}
+		sp := 0.0
+		if base > 0 {
+			sp = k / base
+		}
+		rep.Scaling = append(rep.Scaling, ShardScalingRow{Shards: n, KTxnSec: k, Speedup: sp})
+	}
+
+	// Cross-shard fraction sweep at 2 engines.
+	for _, f := range cfg.CrossFracs {
+		k, st, cs, err := bestShardRun(cfg, 2, 0, f)
+		if err != nil {
+			return nil, err
+		}
+		rep.CrossFR = append(rep.CrossFR, ShardCrossRow{
+			CrossFrac: f, KTxnSec: k, AbortRate: st.AbortRate(), Cross: cs,
+		})
+	}
+
+	// Window ablation: W × engines.
+	for _, w := range cfg.Windows {
+		for _, n := range cfg.ScaleSet {
+			k, _, _, err := bestShardRun(cfg, n, w, 0.10)
+			if err != nil {
+				return nil, err
+			}
+			rep.Window = append(rep.Window, ShardWindowRow{W: w, Shards: n, KTxnSec: k})
+		}
+	}
+
+	n, err := runShardCertifiedSoak(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.CertifiedCommits = n
+	return rep, nil
+}
+
+// runShardCertifiedSoak re-runs a short mixed workload with per-shard
+// auditors and WALs wired (which disables the fast turn path — hence a
+// separate, unmeasured run) and certifies the merged history.
+func runShardCertifiedSoak(cfg ShardBenchConfig) (int, error) {
+	const shards = 2
+	const iters = 200
+	heap := mem.NewHeap(1 << 14)
+	devs := make([]*wal.MemDevice, shards)
+	durables := make([]*rococotm.Durable, shards)
+	observers := make([]rococotm.CommitObserver, shards)
+	auditors := make([]*audit.Auditor, shards)
+	for i := range devs {
+		devs[i] = wal.NewMemDevice(nil)
+		d, _, err := rococotm.RecoverDurable(devs[i], heap,
+			wal.Options{FlushInterval: 100 * time.Microsecond}, mvstore.Config{}, false)
+		if err != nil {
+			return 0, err
+		}
+		durables[i] = d
+		auditors[i] = audit.New(audit.Config{})
+		observers[i] = auditors[i]
+	}
+	s := rococotm.NewSharded(heap, rococotm.ShardedConfig{
+		Shards: shards, Observers: observers, Durables: durables,
+	})
+	base := heap.MustAlloc(1 << 10)
+	var wg sync.WaitGroup
+	var failure atomic.Pointer[error]
+	for th := 0; th < cfg.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(th) + 42))
+			for i := 0; i < iters; i++ {
+				a0 := base + mem.Addr(rng.Intn(1<<10))
+				a1 := base + mem.Addr(rng.Intn(1<<10))
+				err := tm.Run(s, th, func(x tm.Txn) error {
+					v0, err := x.Read(a0)
+					if err != nil {
+						return err
+					}
+					if err := x.Write(a0, v0+1); err != nil {
+						return err
+					}
+					if a1 == a0 {
+						return nil
+					}
+					_, err = x.Read(a1)
+					return err
+				})
+				if err != nil {
+					e := err
+					failure.Store(&e)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	s.Close()
+	if e := failure.Load(); e != nil {
+		return 0, *e
+	}
+	for i, a := range auditors {
+		if err := a.Err(); err != nil {
+			return 0, fmt.Errorf("shard %d auditor: %w", i, err)
+		}
+	}
+	streams := make([][]audit.ShardRecord, shards)
+	total := 0
+	for i, dev := range devs {
+		data, err := dev.Contents()
+		if err != nil {
+			return 0, err
+		}
+		res, err := wal.Replay(data)
+		if err != nil {
+			return 0, err
+		}
+		streams[i] = make([]audit.ShardRecord, len(res.Records))
+		for k, r := range res.Records {
+			streams[i][k] = audit.ShardRecord{
+				Record:  audit.Record{Seq: r.Seq, ValidTS: r.ValidTS, Reads: r.Reads, Writes: r.WriteAddrs},
+				XID:     r.XID,
+				XShards: r.XShards,
+			}
+		}
+		total += len(res.Records)
+	}
+	if err := audit.CertifyMerged(streams); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// String renders the three tables.
+func (r *ShardBenchReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sharded validation plane (%d threads, %v per cell, best of 3, GOMAXPROCS=%d)\n",
+		r.Cfg.Threads, r.Cfg.Duration, r.MaxProcs)
+	if r.MaxProcs == 1 {
+		sb.WriteString("NOTE: single-core host — engine scaling measures overhead, not parallel speedup.\n")
+	}
+	sb.WriteString("\nEngine scaling (single-shard traffic):\n")
+	fmt.Fprintf(&sb, "%8s %12s %9s\n", "engines", "ktxn/s", "speedup")
+	for _, row := range r.Scaling {
+		fmt.Fprintf(&sb, "%8d %12.1f %8.2fx\n", row.Shards, row.KTxnSec, row.Speedup)
+	}
+	sb.WriteString("\nCross-shard fraction (2 engines):\n")
+	fmt.Fprintf(&sb, "%8s %12s %11s %10s %10s %8s\n", "cross", "ktxn/s", "abort rate", "single", "cross", "fills")
+	for _, row := range r.CrossFR {
+		fmt.Fprintf(&sb, "%7.0f%% %12.1f %10.2f%% %10d %10d %8d\n",
+			100*row.CrossFrac, row.KTxnSec, 100*row.AbortRate,
+			row.Cross.SingleCommits, row.Cross.CrossCommits, row.Cross.NoopFills)
+	}
+	sb.WriteString("\nWindow ablation (10% cross-shard traffic):\n")
+	fmt.Fprintf(&sb, "%6s %8s %12s\n", "W", "engines", "ktxn/s")
+	for _, row := range r.Window {
+		fmt.Fprintf(&sb, "%6d %8d %12.1f\n", row.W, row.Shards, row.KTxnSec)
+	}
+	if r.CertifiedCommits > 0 {
+		fmt.Fprintf(&sb, "\nAudit-wired soak: merged stream of %d commits certified serializable.\n", r.CertifiedCommits)
+	}
+	return sb.String()
+}

@@ -57,6 +57,20 @@ func (w *BigWindow) Slot(seq Seq) (int, bool) {
 // Stats returns a copy of the event counters.
 func (w *BigWindow) Stats() Stats { return w.stats }
 
+// ResetAt discards all window state and rebases sequence numbering at
+// next — the crash/recovery semantics, mirroring Window.ResetAt: whatever
+// the window knew about the last W commits is gone, and transactions with
+// snapshots older than next must abort with a window verdict until they
+// refresh.
+func (w *BigWindow) ResetAt(next Seq) {
+	for i := 0; i < w.w; i++ {
+		w.m.Row(i).Clear()
+	}
+	w.base = next
+	w.next = next
+	w.n = 0
+}
+
 // Validate computes p and s for adjacency vectors f and b (length ≥
 // Count(); longer vectors have their tail ignored) and reports whether the
 // transaction is acyclic against the window. f and b are not modified.

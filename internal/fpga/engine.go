@@ -105,10 +105,19 @@ func (t Transport) String() string {
 	return "ring"
 }
 
+// MaxW is the largest supported sliding-window capacity. Windows up to 64
+// run on the word-packed fast path (one machine word per matrix row, the
+// hardware deployment); larger windows — the W=128/256 ablation — run on
+// the bitmat-backed generic path, which models what a wider BRAM budget
+// would buy at the cost of a slower per-request probe.
+const MaxW = 256
+
 // Config parameterizes the engine.
 type Config struct {
-	// W is the sliding-window capacity; 1..64 (the fast-path matrix is one
-	// machine word per row). Default core.DefaultW = 64.
+	// W is the sliding-window capacity; 1..MaxW. W ≤ 64 selects the
+	// word-packed fast path (the hardware deployment); 64 < W ≤ MaxW
+	// selects the bitmat-backed wide-window path used by the window-size
+	// ablation. Default core.DefaultW = 64.
 	W int
 	// Sig is the signature geometry; default sig.Default512.
 	Sig sig.Config
@@ -143,6 +152,9 @@ func (c *Config) fill() {
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 64
+		if c.W > c.QueueDepth {
+			c.QueueDepth = c.W // one pull-queue slot per window entry
+		}
 	}
 	c.Model.fill()
 }
@@ -150,8 +162,11 @@ func (c *Config) fill() {
 // Validate rejects configurations that would misbehave at runtime with a
 // descriptive error. Zero fields are legal (they select defaults).
 func (c Config) Validate() error {
-	if c.W < 0 || c.W > 64 {
-		return fmt.Errorf("fpga: window size W=%d out of range [1,64] (0 selects the default %d)", c.W, core.DefaultW)
+	if c.W < 0 || c.W > MaxW {
+		return fmt.Errorf("fpga: window size W=%d out of range [1,%d] (0 selects the default %d)", c.W, MaxW, core.DefaultW)
+	}
+	if c.CycleLevel && c.W > 64 {
+		return fmt.Errorf("fpga: CycleLevel RTL backend models the word-packed hardware window and caps W at 64 (got %d)", c.W)
 	}
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("fpga: QueueDepth %d is negative", c.QueueDepth)

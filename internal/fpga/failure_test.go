@@ -21,7 +21,9 @@ func TestConfigValidate(t *testing.T) {
 		{"paper deployment", Config{W: 64, QueueDepth: 64}, ""},
 		{"small window", Config{W: 4}, ""},
 		{"negative W", Config{W: -1}, "out of range"},
-		{"oversized W", Config{W: 65}, "out of range"},
+		{"wide window", Config{W: 128, QueueDepth: 128}, ""},
+		{"oversized W", Config{W: MaxW + 1}, "out of range"},
+		{"cycle-level wide window", Config{W: 128, QueueDepth: 128, CycleLevel: true}, "caps W at 64"},
 		{"negative queue", Config{QueueDepth: -1}, "negative"},
 		{"queue shallower than window", Config{W: 16, QueueDepth: 8}, "shallower"},
 		{"queue shallower than default window", Config{QueueDepth: 32}, "shallower"},
@@ -46,8 +48,8 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestStartRejectsInvalidConfig(t *testing.T) {
-	if _, err := Start(Config{W: 65}); err == nil {
-		t.Fatal("Start accepted W=65")
+	if _, err := Start(Config{W: MaxW + 1}); err == nil {
+		t.Fatalf("Start accepted W=%d", MaxW+1)
 	}
 	if _, err := Start(Config{W: 16, QueueDepth: 4}); err == nil {
 		t.Fatal("Start accepted QueueDepth < W")

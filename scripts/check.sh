@@ -37,20 +37,28 @@
 #                    a fault-injecting disk, zero lost committed writes),
 #                    the WAL torn-tail/corruption fuzz sweeps, and the
 #                    recover-bench acceptance smoke                (~30s)
-#   9. go test -race ./internal/...
+#   9. shard lane  — go test -race over the sharded validation plane:
+#                    cross-shard atomicity stress (overlapping write
+#                    sets spanning two engines must never both commit),
+#                    the mixed single/cross soak with per-shard auditors
+#                    plus merged-stream certification, sharded recovery
+#                    with torn-cross-record reconciliation, and a short
+#                    `rococobench -exp shard` smoke                (~30s)
+#  10. go test -race ./internal/...
 #                  — the runtime and analyzer packages under the race
 #                    detector; OCC code is concurrency code, so the race
 #                    lane is not optional                          (~2min)
-#  10. bench smoke — every benchmark compiles and survives one iteration
+#  11. bench smoke — every benchmark compiles and survives one iteration
 #                    (benchtime=1x), so perf lanes cannot silently rot;
 #                    the non-race run also picks up the AllocsPerRun
-#                    zero-allocation tests excluded from lane 9    (~30s)
-#  11. bench gate  — cmd/benchgate re-measures the optimization-sensitive
+#                    zero-allocation tests excluded from lane 10   (~30s)
+#  12. bench gate  — cmd/benchgate re-measures the optimization-sensitive
 #                    microbenchmarks (pipelined/ordered counter throughput,
 #                    aggregate/per-commit extension folds, WAL append,
-#                    snapshot read) and fails on a >20% regression vs
-#                    internal/bench/baseline.json; re-record an intentional
-#                    move with `benchgate -record`                 (~2min)
+#                    snapshot read, sharded-plane throughput) and fails on
+#                    a >20% regression vs internal/bench/baseline.json;
+#                    re-record an intentional move with
+#                    `benchgate -record`                           (~3min)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -89,6 +97,11 @@ echo "== recovery lane: crash/recovery chaos + WAL fuzz + recover-bench smoke"
 go test -race -run 'ChaosRecoverDurable' -count=1 ./internal/fault/...
 go test -race -run 'TornTail|CorruptEveryByte|DiskWALRecovery|RecoverBenchSmoke' \
     ./internal/wal/... ./internal/fault/... ./internal/bench/...
+
+echo "== shard lane: cross-shard atomicity + merged certification + sharded recovery + bench smoke"
+go test -race -run 'Sharded|RecoverSharded|FileRecover' -count=1 \
+    ./internal/rococotm/... ./internal/audit/... ./internal/fault/...
+go run ./cmd/rococobench -exp shard -dur 50ms >/dev/null
 
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
