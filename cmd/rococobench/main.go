@@ -7,10 +7,10 @@
 //	            [-cpuprofile file] [-memprofile file]
 //
 // The experiment names — the authoritative list is the experiments table
-// below, which also drives the -exp usage string and the "all" order —
-// are: fig6, fig7, fig9, fig10, fig11, resources, fault, soak, recover,
-// transport, commitphase, shard, ablation-window, ablation-sig,
-// ablation-contention.
+// below, which also drives the -exp usage string, the unknown-experiment
+// listing, and the "all" order — are: fig6, fig7, fig9, fig10, fig11,
+// resources, fault, soak, recover, transport, commitphase, shard, serve,
+// ablation-window, ablation-sig, ablation-contention.
 //
 // Each experiment prints a paper-style text table; EXPERIMENTS.md records
 // the paper-vs-measured comparison. The profile flags capture pprof data
@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -39,27 +40,41 @@ type benchCtx struct {
 	app     string
 	threads []int
 	dur     time.Duration
+	stdout  io.Writer
+}
+
+// errExit signals a runner-level failure to run() without os.Exit, so the
+// driver stays testable.
+type errExit struct{ err error }
+
+func (e errExit) Error() string { return e.err.Error() }
+
+// fatal aborts the current experiment run; run() turns it into exit code 1.
+func fatal(err error) {
+	panic(errExit{err})
 }
 
 // experiments is the single source of truth for -exp: the usage string,
-// the "all" sweep order, and the dispatch are all derived from this
-// table. Add new experiments here and nowhere else.
+// the unknown-experiment table, the "all" sweep order, and the dispatch
+// are all derived from this table. Add new experiments here and nowhere
+// else.
 var experiments = []struct {
 	name string
+	desc string
 	run  func(c benchCtx)
 }{
-	{"fig6", func(c benchCtx) {
-		emit(bench.RunFig6(nil), nil)
+	{"fig6", "validation latency vs update-set size (paper Fig. 6)", func(c benchCtx) {
+		c.emit(bench.RunFig6(nil), nil)
 	}},
-	{"fig7", func(c benchCtx) {
+	{"fig7", "validation throughput vs pipeline depth (paper Fig. 7)", func(c benchCtx) {
 		rep, err := bench.RunFig7(bench.DefaultFig7())
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"fig9", func(c benchCtx) {
+	{"fig9", "commit-queue occupancy under contention (paper Fig. 9)", func(c benchCtx) {
 		rep, err := bench.RunFig9(bench.DefaultFig9())
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"fig10", func(c benchCtx) {
+	{"fig10", "STAMP speedup vs thread count (paper Fig. 10)", func(c benchCtx) {
 		cfg := bench.DefaultFig10()
 		cfg.Scale = c.scale
 		if len(c.threads) > 0 {
@@ -69,37 +84,37 @@ var experiments = []struct {
 			cfg.Apps = []string{c.app}
 		}
 		rep, err := bench.RunFig10(cfg)
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"fig11", func(c benchCtx) {
+	{"fig11", "STAMP abort rates per application (paper Fig. 11)", func(c benchCtx) {
 		cfg := bench.DefaultFig11()
 		cfg.Scale = c.scale
 		if c.app != "" {
 			cfg.Apps = []string{c.app}
 		}
 		rep, err := bench.RunFig11(cfg)
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"resources", func(c benchCtx) {
+	{"resources", "modeled FPGA resource usage (paper Table 3)", func(c benchCtx) {
 		rep, err := bench.RunResources(nil)
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"fault", func(c benchCtx) {
+	{"fault", "fault-injection sweep: degraded-mode throughput", func(c benchCtx) {
 		rep, err := bench.RunFaultBench(bench.FaultBenchConfig{})
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"soak", func(c benchCtx) {
+	{"soak", "long-run mixed workload with serializability audit", func(c benchCtx) {
 		d := c.dur
 		if d == 0 && c.exp == "all" {
 			d = 5 * time.Second // keep the full sweep tractable
 		}
 		rep, err := bench.RunSoak(bench.SoakConfig{Duration: d})
-		emit(rep, err)
+		c.emit(rep, err)
 		if err == nil && rep.AuditErr != nil {
 			fatal(rep.AuditErr)
 		}
 	}},
-	{"recover", func(c benchCtx) {
+	{"recover", "crash/recover cycles: WAL replay and re-serve", func(c benchCtx) {
 		cfg := bench.RecoverBenchConfig{SoakDuration: c.dur}
 		if c.exp == "all" {
 			cfg.Cycles = 10
@@ -108,14 +123,14 @@ var experiments = []struct {
 			}
 		}
 		rep, err := bench.RunRecoverBench(cfg)
-		emit(rep, err)
+		c.emit(rep, err)
 		if err == nil {
 			if verr := rep.Err(); verr != nil {
 				fatal(verr)
 			}
 		}
 	}},
-	{"transport", func(c benchCtx) {
+	{"transport", "host-engine transport latency breakdown", func(c benchCtx) {
 		cfg := bench.TransportBenchConfig{Scale: c.scale}
 		if c.app != "" {
 			cfg.App = c.app
@@ -124,17 +139,17 @@ var experiments = []struct {
 			cfg.Threads = c.threads[0]
 		}
 		rep, err := bench.RunTransportBench(cfg)
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"commitphase", func(c benchCtx) {
+	{"commitphase", "commit pipeline phase timing and ordered-vs-pipelined", func(c benchCtx) {
 		cfg := bench.CommitPhaseConfig{}
 		if len(c.threads) > 0 {
 			cfg.Threads = c.threads
 		}
 		rep, err := bench.RunCommitPhase(cfg)
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"shard", func(c benchCtx) {
+	{"shard", "sharded validation plane scaling and cross-shard cost", func(c benchCtx) {
 		cfg := bench.ShardBenchConfig{}
 		if len(c.threads) > 0 {
 			cfg.Threads = c.threads[0]
@@ -145,23 +160,48 @@ var experiments = []struct {
 			cfg.Duration = 100 * time.Millisecond
 		}
 		rep, err := bench.RunShardBench(cfg)
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"ablation-window", func(c benchCtx) {
+	{"serve", "overload sweep: admission control, deadlines, shedding, tail SLOs", func(c benchCtx) {
+		cfg := bench.ServeBenchConfig{}
+		if c.threads != nil {
+			cfg.Workers = c.threads[0]
+		}
+		if c.dur != 0 {
+			cfg.Duration = c.dur
+		}
+		if c.exp == "all" {
+			// Keep the full sweep tractable: one fleet size, short cells.
+			cfg.Clients = []int{1_000}
+			cfg.Runtimes = []string{"single"}
+			if cfg.Duration == 0 {
+				cfg.Duration = 150 * time.Millisecond
+			}
+			cfg.Calibrate = 100 * time.Millisecond
+		}
+		rep, err := bench.RunServeBench(cfg)
+		c.emit(rep, err)
+		if err == nil {
+			if cerr := rep.Err(); cerr != nil {
+				fatal(cerr)
+			}
+		}
+	}},
+	{"ablation-window", "sliding-window size ablation", func(c benchCtx) {
 		rep, err := bench.RunWindowAblation(nil, 16, 16, 25)
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"ablation-sig", func(c benchCtx) {
+	{"ablation-sig", "signature width ablation on STAMP apps", func(c benchCtx) {
 		apps := []string{"vacation", "genome"}
 		if c.app != "" {
 			apps = []string{c.app}
 		}
 		rep, err := bench.RunSigAblation(apps, c.scale, 8, nil)
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
-	{"ablation-contention", func(c benchCtx) {
+	{"ablation-contention", "contention-level ablation", func(c benchCtx) {
 		rep, err := bench.RunContentionAblation(c.scale, 8)
-		emit(rep, err)
+		c.emit(rep, err)
 	}},
 }
 
@@ -173,16 +213,49 @@ func experimentNames() []string {
 	return names
 }
 
+// experimentTable renders the name + one-line description listing shown
+// for an unknown -exp.
+func experimentTable() string {
+	var sb strings.Builder
+	sb.WriteString("available experiments:\n")
+	for _, e := range experiments {
+		fmt.Fprintf(&sb, "  %-20s %s\n", e.name, e.desc)
+	}
+	fmt.Fprintf(&sb, "  %-20s %s\n", "all", "run every experiment in table order")
+	return sb.String()
+}
+
 func main() {
-	exp := flag.String("exp", "all",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver: it parses args, dispatches experiments, and
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("rococobench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all",
 		"experiment: "+strings.Join(experimentNames(), ", ")+", all")
-	scaleFlag := flag.String("scale", "medium", "STAMP input scale: small, medium, large")
-	app := flag.String("app", "", "restrict fig10/fig11 to one app")
-	threadsFlag := flag.String("threads", "", "comma-separated thread counts for fig10 (default 1,4,8,14,28)")
-	dur := flag.Duration("dur", 0, "wall-clock duration for -exp soak, shard, and the -exp recover snapshot phase (default 60s; \"all\" uses 5s/2s)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
-	flag.Parse()
+	scaleFlag := fs.String("scale", "medium", "STAMP input scale: small, medium, large")
+	app := fs.String("app", "", "restrict fig10/fig11 to one app")
+	threadsFlag := fs.String("threads", "", "comma-separated thread counts for fig10 (default 1,4,8,14,28)")
+	dur := fs.Duration("dur", 0, "wall-clock duration for -exp soak, shard, serve, and the -exp recover snapshot phase (default 60s; \"all\" uses 5s/2s)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			ee, ok := r.(errExit)
+			if !ok {
+				panic(r)
+			}
+			fmt.Fprintln(stderr, "rococobench:", ee.err)
+			code = 1
+		}
+	}()
 
 	scale, err := parseScale(*scaleFlag)
 	if err != nil {
@@ -192,7 +265,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctx := benchCtx{exp: *exp, scale: scale, app: *app, threads: threads, dur: *dur}
+	ctx := benchCtx{exp: *exp, scale: scale, app: *app, threads: threads, dur: *dur, stdout: stdout}
+
+	if *exp != "all" {
+		known := false
+		for _, e := range experiments {
+			known = known || e.name == *exp
+		}
+		if !known {
+			fmt.Fprintf(stderr, "rococobench: unknown experiment %q\n%s", *exp, experimentTable())
+			return 1
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -222,17 +306,17 @@ func main() {
 	if *exp == "all" {
 		for _, e := range experiments {
 			e.run(ctx)
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
-		return
+		return 0
 	}
 	for _, e := range experiments {
 		if e.name == *exp {
 			e.run(ctx)
-			return
+			return 0
 		}
 	}
-	fatal(fmt.Errorf("unknown experiment %q (known: %s)", *exp, strings.Join(experimentNames(), ", ")))
+	return 0 // unreachable: unknown names were rejected above
 }
 
 func parseScale(s string) (stamp.Scale, error) {
@@ -263,14 +347,9 @@ func parseThreads(s string) ([]int, error) {
 	return out, nil
 }
 
-func emit(rep fmt.Stringer, err error) {
+func (c benchCtx) emit(rep fmt.Stringer, err error) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(rep.String())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rococobench:", err)
-	os.Exit(1)
+	fmt.Fprint(c.stdout, rep.String())
 }

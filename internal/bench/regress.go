@@ -162,6 +162,16 @@ func MeasureRegressMetrics() ([]RegressMetric, error) {
 		RegressMetric{Name: "shard_scaling_2e", Value: scale2e, Unit: "ktxn/s", HigherBetter: true},
 		RegressMetric{Name: "shard_crossfrac_10", Value: cross10, Unit: "ktxn/s", HigherBetter: true},
 	)
+
+	// Serving front end: light-load p99 sojourn — the fixed overhead the
+	// admission/queue/histogram stack adds to a transaction.
+	serveP99, err := measureServeP99Us()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		RegressMetric{Name: "serve_p99_us", Value: serveP99, Unit: "us", HigherBetter: false},
+	)
 	return out, nil
 }
 

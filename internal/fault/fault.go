@@ -70,6 +70,17 @@ type Schedule struct {
 	StallEvery int
 	StallFor   time.Duration
 
+	// StallBurstEvery > 0 rejects the next StallBurstLen admission
+	// attempts with fpga.ErrFull after every StallBurstEvery-th accepted
+	// submission — a correlated run of rejections rather than a timed
+	// window. This models the burst shape real pull queues exhibit when a
+	// DMA batch lands: every submitter that races the full ring bounces,
+	// however fast they arrive, which is exactly the signal shape an
+	// admission controller must ride out without collapsing its limit.
+	// Both fields must be set together.
+	StallBurstEvery int
+	StallBurstLen   int
+
 	// CrashAfter > 0 crashes the engine at the CrashAfter-th submission:
 	// outstanding requests get terminal verdicts, window state is lost,
 	// and Restart is refused until DownFor has elapsed. CrashRepeat
@@ -89,6 +100,7 @@ type Stats struct {
 	Duplicated      uint64
 	Reordered       uint64
 	Stalls          uint64 // stall windows opened
+	Bursts          uint64 // rejection bursts opened
 	Crashes         uint64 // injected engine crashes
 	Restarts        uint64 // restarts allowed through
 	RestartsRefused uint64 // restarts refused during an outage window
@@ -104,6 +116,7 @@ type Link struct {
 	rng        *rand.Rand
 	submits    int
 	crashAt    int // next submission index that triggers a crash; 0 = armed off
+	burstLeft  int // remaining rejections in an open stall burst
 	stallUntil time.Time
 	downUntil  time.Time
 	held       *heldVerdict // verdict parked by a reorder fault
@@ -112,6 +125,7 @@ type Link struct {
 
 	nSubmits, nRejected, nDelayed, nDropped    atomic.Uint64
 	nDuplicated, nReordered, nStalls, nCrashes atomic.Uint64
+	nBursts                                    atomic.Uint64
 	nRestarts, nRestartsRefused                atomic.Uint64
 }
 
@@ -154,6 +168,13 @@ func (s *Schedule) Validate() error {
 	}
 	if s.StallEvery < 0 || s.StallFor < 0 {
 		return fmt.Errorf("fault: stall config (%d, %v) negative", s.StallEvery, s.StallFor)
+	}
+	if s.StallBurstEvery < 0 || s.StallBurstLen < 0 {
+		return fmt.Errorf("fault: stall burst config (%d, %d) negative", s.StallBurstEvery, s.StallBurstLen)
+	}
+	if (s.StallBurstEvery > 0) != (s.StallBurstLen > 0) {
+		return fmt.Errorf("fault: StallBurstEvery (%d) and StallBurstLen (%d) must be set together",
+			s.StallBurstEvery, s.StallBurstLen)
 	}
 	if s.CrashAfter < 0 || s.DownFor < 0 {
 		return fmt.Errorf("fault: crash config (%d, %v) negative", s.CrashAfter, s.DownFor)
@@ -202,6 +223,7 @@ func (l *Link) Stats() Stats {
 		Duplicated:      l.nDuplicated.Load(),
 		Reordered:       l.nReordered.Load(),
 		Stalls:          l.nStalls.Load(),
+		Bursts:          l.nBursts.Load(),
 		Crashes:         l.nCrashes.Load(),
 		Restarts:        l.nRestarts.Load(),
 		RestartsRefused: l.nRestartsRefused.Load(),
@@ -215,6 +237,12 @@ func (l *Link) TrySubmit(r fpga.Request) error {
 	l.mu.Lock()
 	now := time.Now()
 	if now.Before(l.stallUntil) {
+		l.nRejected.Add(1)
+		l.mu.Unlock()
+		return fpga.ErrFull
+	}
+	if l.burstLeft > 0 {
+		l.burstLeft--
 		l.nRejected.Add(1)
 		l.mu.Unlock()
 		return fpga.ErrFull
@@ -234,6 +262,10 @@ func (l *Link) TrySubmit(r fpga.Request) error {
 	if l.sched.StallEvery > 0 && l.submits%l.sched.StallEvery == 0 {
 		l.stallUntil = now.Add(l.sched.StallFor)
 		l.nStalls.Add(1)
+	}
+	if l.sched.StallBurstEvery > 0 && l.submits%l.sched.StallBurstEvery == 0 {
+		l.burstLeft = l.sched.StallBurstLen
+		l.nBursts.Add(1)
 	}
 	f := l.drawFateLocked()
 	l.mu.Unlock()

@@ -94,6 +94,10 @@ func TestScheduleValidate(t *testing.T) {
 		{DelayProb: 0.5, DelayMin: time.Millisecond, DelayMax: time.Microsecond},
 		{DelayMin: -time.Second},
 		{StallEvery: -1},
+		{StallBurstEvery: -1, StallBurstLen: 2},
+		{StallBurstEvery: 4, StallBurstLen: -1},
+		{StallBurstEvery: 4}, // missing StallBurstLen
+		{StallBurstLen: 3},   // missing StallBurstEvery
 		{CrashAfter: -2},
 		{DownFor: -time.Second},
 	}
@@ -104,9 +108,57 @@ func TestScheduleValidate(t *testing.T) {
 	}
 	good := Schedule{Seed: 9, DelayProb: 0.2, DelayMin: time.Microsecond,
 		DelayMax: time.Millisecond, DropProb: 1, ReorderProb: 0.3, StallEvery: 4,
-		StallFor: time.Millisecond, CrashAfter: 10, DownFor: time.Millisecond}
+		StallFor: time.Millisecond, StallBurstEvery: 16, StallBurstLen: 8,
+		CrashAfter: 10, DownFor: time.Millisecond}
 	if err := good.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStallBurstCorrelatedRejections pins the burst admission mode: after
+// every StallBurstEvery-th accepted submission, exactly StallBurstLen
+// back-to-back attempts bounce with ErrFull — a correlated run, not a
+// timed window — and the link then admits normally again.
+func TestStallBurstCorrelatedRejections(t *testing.T) {
+	inner := &echoLink{}
+	l := Wrap(inner, Schedule{StallBurstEvery: 3, StallBurstLen: 4})
+	defer l.Close()
+
+	try := func() error {
+		return l.TrySubmit(fpga.Request{Reply: make(chan fpga.Verdict, 1)})
+	}
+	for i := 0; i < 3; i++ { // accepted 1..3; the 3rd opens a burst
+		if err := try(); err != nil {
+			t.Fatalf("submission %d: %v", i+1, err)
+		}
+	}
+	for i := 0; i < 4; i++ { // the whole burst bounces, back to back
+		if err := try(); !errors.Is(err, fpga.ErrFull) {
+			t.Fatalf("burst attempt %d = %v, want ErrFull", i+1, err)
+		}
+	}
+	for i := 0; i < 2; i++ { // burst drained: admission resumes
+		if err := try(); err != nil {
+			t.Fatalf("post-burst submission %d: %v", i+1, err)
+		}
+	}
+	st := l.Stats()
+	if st.Bursts != 1 {
+		t.Errorf("Bursts = %d, want 1", st.Bursts)
+	}
+	if st.Rejected != 4 {
+		t.Errorf("Rejected = %d, want 4", st.Rejected)
+	}
+	if st.Submits != 5 {
+		t.Errorf("Submits = %d, want 5 (rejected attempts are not submissions)", st.Submits)
+	}
+
+	// The 6th accepted submission (3 more) opens the next burst.
+	if err := try(); err != nil {
+		t.Fatalf("6th accepted submission: %v", err)
+	}
+	if err := try(); !errors.Is(err, fpga.ErrFull) {
+		t.Fatal("second burst did not open at the next multiple")
 	}
 }
 

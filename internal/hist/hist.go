@@ -1,0 +1,168 @@
+// Package hist is an allocation-conscious latency histogram for the
+// serving and benchmark layers: fixed-size log-linear buckets over
+// nanosecond durations, recorded with a single atomic increment, read out
+// as p50/p99/p999 quantiles. A histogram is safe for concurrent Record
+// from any number of goroutines; quantile reads are taken over an explicit
+// Snapshot so a monitoring loop can diff two snapshots and compute
+// windowed quantiles without stopping recorders.
+//
+// Bucketing is HDR-style log-linear: values are grouped by binary exponent
+// and each exponent is subdivided into 16 linear sub-buckets, bounding the
+// relative quantile error at ~±3% — far below what scheduling noise does
+// to a tail latency — while keeping the whole histogram at a fixed 8 KiB
+// of counters, no allocation per Record, and no locks anywhere.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits subdivides each binary order of magnitude into 2^subBits
+	// linear buckets.
+	subBits = 4
+	subs    = 1 << subBits
+	// buckets covers exponents 0..63, each with subs sub-buckets.
+	buckets = 64 * subs
+)
+
+// Histogram is a concurrent log-linear latency histogram.
+type Histogram struct {
+	counts [buckets]atomic.Uint64
+	total  atomic.Uint64
+	sumNs  atomic.Uint64
+}
+
+// New returns an empty histogram.
+func New() *Histogram { return &Histogram{} }
+
+// index maps a nanosecond value to its bucket.
+//
+//tm:hotpath
+func index(ns uint64) int {
+	if ns < subs {
+		return int(ns) // exact buckets for the first 16 ns
+	}
+	e := bits.Len64(ns) - 1
+	sub := (ns >> (uint(e) - subBits)) & (subs - 1)
+	return e<<subBits + int(sub)
+}
+
+// lowerBound is the smallest value mapping to bucket i; with width it
+// brackets the bucket's value range.
+func lowerBound(i int) (lo, width uint64) {
+	e := i >> subBits
+	sub := uint64(i & (subs - 1))
+	if e < subBits {
+		// The exact low range (index maps ns < 16 to buckets 0..15; the
+		// remaining e < subBits indexes are never produced).
+		return uint64(i), 1
+	}
+	step := uint64(1) << (uint(e) - subBits)
+	return (uint64(1) << uint(e)) + sub*step, step
+}
+
+// Record adds one duration observation. Negative durations clamp to zero.
+//
+//tm:hotpath
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.counts[index(ns)].Add(1)
+	h.total.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Snapshot is a point-in-time copy of a histogram's counters, cheap to
+// subtract and query. The zero Snapshot is empty.
+type Snapshot struct {
+	counts [buckets]uint64
+	total  uint64
+	sumNs  uint64
+}
+
+// Snapshot copies the current counters. Concurrent recorders may land
+// between bucket reads; the copy is still a valid histogram (each
+// observation is either wholly in or wholly out of some later snapshot).
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+	}
+	s.total = h.total.Load()
+	s.sumNs = h.sumNs.Load()
+	return s
+}
+
+// Sub returns the window s − prev: the observations recorded between the
+// two snapshots. prev must be an earlier snapshot of the same histogram.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	var out Snapshot
+	for i := range s.counts {
+		out.counts[i] = s.counts[i] - prev.counts[i]
+	}
+	out.total = s.total - prev.total
+	out.sumNs = s.sumNs - prev.sumNs
+	return out
+}
+
+// Count returns the number of observations in the snapshot.
+func (s Snapshot) Count() uint64 { return s.total }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s Snapshot) Mean() time.Duration {
+	if s.total == 0 {
+		return 0
+	}
+	return time.Duration(s.sumNs / s.total)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as a duration, using the
+// midpoint of the containing bucket. Returns 0 when the snapshot is empty.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.total-1))
+	var seen uint64
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			lo, width := lowerBound(i)
+			return time.Duration(lo + width/2)
+		}
+	}
+	// Unreachable when total > 0; keep the compiler and the reader calm.
+	return 0
+}
+
+// P50, P99 and P999 are the quantiles the serving layer reports.
+func (s Snapshot) P50() time.Duration  { return s.Quantile(0.50) }
+func (s Snapshot) P99() time.Duration  { return s.Quantile(0.99) }
+func (s Snapshot) P999() time.Duration { return s.Quantile(0.999) }
+
+// String renders the headline quantiles.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%v p50=%v p99=%v p999=%v",
+		s.total, s.Mean(), s.P50(), s.P99(), s.P999())
+	return sb.String()
+}

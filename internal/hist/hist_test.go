@@ -1,0 +1,101 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileAccuracy checks the log-linear approximation stays within
+// its documented relative-error bound against exact order statistics.
+func TestQuantileAccuracy(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(1))
+	var exact []uint64
+	for i := 0; i < 100000; i++ {
+		// Log-uniform over ~1µs..100ms, the serving latency range.
+		ns := uint64(1000 * (1 << uint(rng.Intn(17))))
+		ns += uint64(rng.Int63n(int64(ns)))
+		exact = append(exact, ns)
+		h.Record(time.Duration(ns))
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	s := h.Snapshot()
+	if s.Count() != uint64(len(exact)) {
+		t.Fatalf("count = %d, want %d", s.Count(), len(exact))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := float64(exact[int(q*float64(len(exact)-1))])
+		got := float64(s.Quantile(q))
+		if rel := (got - want) / want; rel < -0.07 || rel > 0.07 {
+			t.Errorf("q=%v: got %v want %v (rel %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+// TestWindowedSub diffs two snapshots and checks only the window shows.
+func TestWindowedSub(t *testing.T) {
+	h := New()
+	for i := 0; i < 100; i++ {
+		h.Record(time.Microsecond)
+	}
+	s1 := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Record(time.Millisecond)
+	}
+	w := h.Snapshot().Sub(s1)
+	if w.Count() != 50 {
+		t.Fatalf("window count = %d, want 50", w.Count())
+	}
+	if p := w.P50(); p < 900*time.Microsecond || p > 1100*time.Microsecond {
+		t.Errorf("window p50 = %v, want ~1ms", p)
+	}
+}
+
+// TestEmptyAndClamp covers the zero snapshot and negative durations.
+func TestEmptyAndClamp(t *testing.T) {
+	var s Snapshot
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Errorf("empty snapshot must report zeros")
+	}
+	h := New()
+	h.Record(-time.Second)
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("negative duration should clamp to bucket 0, got %v", got)
+	}
+	small := New()
+	small.Record(20) // 20ns: first log-linear bucket range
+	if got := small.Snapshot().Quantile(0.5); got < 20 || got > 21 {
+		t.Errorf("20ns lands in bucket [20,21), got %v", got)
+	}
+}
+
+// TestConcurrentRecord exercises Record under the race detector.
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	const per = 10000
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 4*per {
+		t.Fatalf("count = %d, want %d", got, 4*per)
+	}
+}
+
+// TestZeroAllocsRecord pins the no-allocation contract of the hot path.
+func TestZeroAllocsRecord(t *testing.T) {
+	h := New()
+	if n := testing.AllocsPerRun(1000, func() { h.Record(123 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Record allocates %v times per call; want 0", n)
+	}
+}

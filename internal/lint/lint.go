@@ -5,7 +5,7 @@
 // library (go/ast, go/parser, go/types, go/importer) so the module stays
 // dependency-free.
 //
-// Ten passes are provided. Six enforce the tm programming model:
+// Eleven passes are provided. Seven enforce the tm programming model:
 //
 //   - aborterr: an error produced by Txn.Read, Txn.Write, TM.Commit or
 //     tm.Run is discarded, never inspected, or caught by a branch that
@@ -26,6 +26,10 @@
 //     unconditional loop that never crosses a transaction boundary or
 //     consults the context — cancellation (and the watchdog) can never
 //     reach it.
+//   - deadlinectx: a closure passed to tm.RunCtx/tm.RunCtxBackoff builds
+//     a fresh root context (context.Background/context.TODO), severing
+//     the caller's deadline and cancellation chain — sub-operations then
+//     outlive the per-request budget the context was meant to enforce.
 //   - updatelock: a function acquires a commit-time update-set entry
 //     (`u.active.Store(1)`, the write-set lock of the decoupled commit
 //     pipeline) and then returns on some path before releasing it —
@@ -120,6 +124,11 @@ var registry = []*Pass{
 		Name: "runctx",
 		Doc:  "tm.RunCtx closures must stay cancellable: no boundary-free unconditional loops",
 		Run:  runRunCtx,
+	},
+	{
+		Name: "deadlinectx",
+		Doc:  "tm.RunCtx closures must not build root contexts (context.Background/TODO) — the caller's deadline governs",
+		Run:  runDeadlineCtx,
 	},
 	{
 		Name: "updatelock",

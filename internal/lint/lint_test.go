@@ -20,8 +20,8 @@ import (
 // directive). Lines without annotations must produce no findings.
 func TestGolden(t *testing.T) {
 	for _, name := range []string{
-		"aborterr", "txnescape", "retrypure", "deadtxn", "runctx", "updatelock",
-		"atomicmix", "seqlock", "spinpark",
+		"aborterr", "txnescape", "retrypure", "deadtxn", "runctx", "deadlinectx",
+		"updatelock", "atomicmix", "seqlock", "spinpark",
 	} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)

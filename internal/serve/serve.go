@@ -1,0 +1,687 @@
+// Package serve is the TM-as-a-service front end: an in-process request
+// server that drives OLTP-shaped transactions from a simulated client
+// fleet through the ROCoCoTM runtime while staying live under overload.
+//
+// The problem it solves is the classic saturation collapse: an optimistic
+// TM under 2× its capacity does not degrade gracefully on its own — retry
+// storms multiply the offered load, the validation ring backs up
+// (fpga.ErrFull), tail latency runs away, and goodput falls off a cliff.
+// The server interposes three mechanisms between clients and tm.RunCtx:
+//
+//   - Admission control: a concurrency limit adapted by AIMD from live
+//     pressure signals (windowed p99 drift against the SLO, submission
+//     ring ErrFull rate, watchdog fires, retry-budget exhaustions). Work
+//     beyond the limit is shed at the door — cheaply, before it holds any
+//     transactional state.
+//
+//   - Deadlines: every request carries a latency budget, mapped to a
+//     context deadline on tm.RunCtxBackoff. A request whose estimated
+//     queue wait already exceeds its remaining budget is shed at
+//     admission rather than admitted to time out; a request is never
+//     cancelled mid-commit (the runtime's commit-wins-cancel contract).
+//
+//   - Graceful degradation tiers: under sustained pressure the server
+//     sheds the lowest-priority class first (Batch, then Normal writes);
+//     at the deepest tier read-only requests are demoted to snapshot
+//     service via tm.RunReadOnly, which on a durable runtime can never
+//     abort or conflict. The service degrades by policy, never collapses.
+//
+// Every admitted request resolves to exactly one outcome — committed,
+// deadline-expired, or finally aborted — and every offered request is
+// either admitted or shed, so the accounting identity
+//
+//	Offered == Shed + Committed + Expired + AbortedFinal
+//
+// holds at quiescence; Stats.CheckAccounting certifies it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rococotm/internal/hist"
+	"rococotm/internal/tm"
+)
+
+// Class is a request priority class. Shedding order under pressure is
+// Batch first, then Normal, while High is shed only by the concurrency
+// limit itself — a degraded service still serves its most important
+// traffic.
+type Class int
+
+const (
+	// Batch is best-effort traffic: analytics sweeps, background fixups.
+	Batch Class = iota
+	// Normal is the default interactive class.
+	Normal
+	// High is latency-critical traffic, shed last.
+	High
+)
+
+func (c Class) String() string {
+	switch c {
+	case Batch:
+		return "batch"
+	case Normal:
+		return "normal"
+	case High:
+		return "high"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Outcome is the terminal disposition of one offered request.
+type Outcome int
+
+const (
+	// Committed: the transaction committed within its deadline.
+	Committed Outcome = iota
+	// Shed: rejected at admission (overload, tier policy, or a queue wait
+	// already exceeding the deadline budget). No transactional work ran.
+	Shed
+	// Expired: admitted, but the deadline fired before a commit; the
+	// in-flight attempt was rolled back at a transactional boundary.
+	Expired
+	// AbortedFinal: admitted, but retries were exhausted (attempt cap or
+	// retry-token budget) or the closure failed non-transactionally.
+	AbortedFinal
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Committed:
+		return "committed"
+	case Shed:
+		return "shed"
+	case Expired:
+		return "expired"
+	case AbortedFinal:
+		return "aborted"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// ErrShed is wrapped by every admission rejection.
+var ErrShed = errors.New("serve: shed")
+
+// ErrClosed is returned for requests offered after Close began.
+var ErrClosed = errors.New("serve: server closed")
+
+// errRetryLimit and errRetryBudget are the in-band signals that stop the
+// tm retry loop: returned from the closure they are non-transactional
+// errors, so runLoop rolls the attempt back and propagates instead of
+// retrying.
+var (
+	errRetryLimit  = errors.New("serve: per-request retry limit exhausted")
+	errRetryBudget = errors.New("serve: retry-token budget exhausted")
+)
+
+// Request is one unit of client work.
+type Request struct {
+	// Class is the priority class; the zero value is Batch (shed first).
+	Class Class
+	// Budget is the end-to-end latency budget, measured from Do. Zero
+	// means DefaultBudget.
+	Budget time.Duration
+	// ReadOnly marks the closure as write-free. Read-only requests stay
+	// servable at the deepest degradation tier (via snapshot service on
+	// runtimes that support it) and must not Write — a Write fails the
+	// request with tm.ErrReadOnlyWrite when degraded service routes it
+	// through RunReadOnly.
+	ReadOnly bool
+	// Fn is the transaction body. It may be re-executed once per attempt;
+	// any non-transactional error it returns finishes the request as
+	// AbortedFinal.
+	Fn func(tm.Txn) error
+}
+
+// Signal is a snapshot of cumulative runtime pressure counters sampled by
+// the controller; deltas between ticks feed the AIMD decision. Wire it to
+// rococotm.FaultStats / tm.Stats / fault.Link.Stats as available.
+type Signal struct {
+	// ErrFull counts submission-ring admission rejections (backpressure).
+	ErrFull uint64
+	// EngineErrors counts submissions refused or killed by a dead engine.
+	EngineErrors uint64
+	// WatchdogFires counts watchdog-detected stuck commits.
+	WatchdogFires uint64
+}
+
+// Config parameterizes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the executor pool size; worker i runs on tm thread
+	// ThreadBase+i, so the runtime's MaxThreads must cover
+	// ThreadBase+Workers. Default 4.
+	Workers int
+	// ThreadBase is the first tm thread id the pool uses. Default 0.
+	ThreadBase int
+
+	// MaxInflight caps the concurrency limit (and is its initial value).
+	// Default 2×Workers.
+	MaxInflight int
+	// MinInflight floors the AIMD decrease. Default 1.
+	MinInflight int
+	// QueueCap bounds the admitted-but-not-executing queue. Default
+	// 4×MaxInflight.
+	QueueCap int
+
+	// DefaultBudget applies to requests with a zero Budget. Default 50ms.
+	DefaultBudget time.Duration
+
+	// MaxAttempts caps transactional attempts per request (first try plus
+	// retries). Default 16.
+	MaxAttempts int
+	// RetryTokensPerAdmit is the retry-budget replenishment: each
+	// admitted request earns this many retry tokens for the shared
+	// bucket, and every retry (attempt beyond the first) spends one.
+	// An exhausted bucket finishes the request as AbortedFinal instead of
+	// letting retry storms multiply offered load. Default 3.
+	RetryTokensPerAdmit float64
+	// RetryTokenCap bounds the bucket. Default 64×RetryTokensPerAdmit.
+	RetryTokenCap float64
+
+	// TargetP99 is the tail-latency SLO the controller defends. Windowed
+	// p99 above it is treated as pressure. Default 4×DefaultBudget/5.
+	TargetP99 time.Duration
+	// AdaptEvery is the controller tick. Default 10ms.
+	AdaptEvery time.Duration
+	// ErrFullPerTick is the ring-rejection delta per tick treated as
+	// pressure. Default 8.
+	ErrFullPerTick uint64
+	// TierAfter is how many consecutive pressured ticks at the minimum
+	// limit escalate the degradation tier (and how many calm ticks step
+	// it back). Default 3.
+	TierAfter int
+
+	// Signals, when set, is sampled once per controller tick with
+	// cumulative runtime counters; deltas feed the AIMD decision.
+	Signals func() Signal
+
+	// Backoff is the retry backoff policy for admitted requests.
+	// EscalateAfter is clamped to MaxAttempts (escalation is reserved for
+	// un-deadlined work; a serving request gives up long before).
+	Backoff tm.BackoffPolicy
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * c.Workers
+	}
+	if c.MinInflight <= 0 {
+		c.MinInflight = 1
+	}
+	if c.MinInflight > c.MaxInflight {
+		c.MinInflight = c.MaxInflight
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.MaxInflight
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 50 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 16
+	}
+	if c.RetryTokensPerAdmit == 0 {
+		c.RetryTokensPerAdmit = 3
+	}
+	if c.RetryTokenCap == 0 {
+		c.RetryTokenCap = 64 * c.RetryTokensPerAdmit
+	}
+	if c.TargetP99 <= 0 {
+		c.TargetP99 = c.DefaultBudget * 4 / 5
+	}
+	if c.AdaptEvery <= 0 {
+		c.AdaptEvery = 10 * time.Millisecond
+	}
+	if c.ErrFullPerTick == 0 {
+		c.ErrFullPerTick = 8
+	}
+	if c.TierAfter <= 0 {
+		c.TierAfter = 3
+	}
+}
+
+// Stats is a snapshot of the server's outcome accounting and controller
+// state.
+type Stats struct {
+	Offered      uint64 // requests presented to Do
+	Shed         uint64 // rejected at admission
+	Committed    uint64
+	Expired      uint64
+	AbortedFinal uint64
+
+	ShedClass    uint64 // shed by tier policy (class too low)
+	ShedLimit    uint64 // shed by the concurrency limit / full queue
+	ShedDeadline uint64 // shed because estimated wait exceeded the budget
+
+	Retries        uint64 // attempts beyond each request's first
+	BudgetExhausts uint64 // requests finished by the retry-token budget
+	SnapshotServed uint64 // read-only requests served via RunReadOnly
+
+	Limit int // current concurrency limit
+	Tier  int // current degradation tier (0 = full service)
+
+	LimitDecreases uint64 // AIMD multiplicative decreases
+	TierEntries    uint64 // tier escalations
+}
+
+// CheckAccounting verifies the outcome identity at quiescence: every
+// offered request resolved exactly once.
+func (s Stats) CheckAccounting() error {
+	if got := s.Shed + s.Committed + s.Expired + s.AbortedFinal; got != s.Offered {
+		return fmt.Errorf("serve: accounting violated: shed %d + committed %d + expired %d + aborted %d = %d, offered %d",
+			s.Shed, s.Committed, s.Expired, s.AbortedFinal, got, s.Offered)
+	}
+	if got := s.ShedClass + s.ShedLimit + s.ShedDeadline; got != s.Shed {
+		return fmt.Errorf("serve: shed breakdown %d != shed %d", got, s.Shed)
+	}
+	return nil
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("offered=%d committed=%d shed=%d (class=%d limit=%d deadline=%d) expired=%d aborted=%d retries=%d limit=%d tier=%d",
+		s.Offered, s.Committed, s.Shed, s.ShedClass, s.ShedLimit, s.ShedDeadline,
+		s.Expired, s.AbortedFinal, s.Retries, s.Limit, s.Tier)
+}
+
+// pending is one admitted request waiting for a worker.
+type pending struct {
+	req     Request
+	arrive  time.Time
+	dead    time.Time
+	outcome Outcome
+	err     error
+	done    chan struct{}
+}
+
+// Server is the TM-as-a-service front end. Construct with New, offer work
+// with Do, and Close to drain.
+type Server struct {
+	cfg Config
+	m   tm.TM
+
+	queue chan *pending
+	lat   *hist.Histogram
+
+	inflight atomic.Int64 // admitted, not yet resolved
+	limit    atomic.Int64 // current concurrency limit
+	tier     atomic.Int64 // degradation tier: 0 none, 1 shed Batch, 2 read-mostly
+	ewmaSvc  atomic.Int64 // EWMA of per-request service ns (worker-observed)
+
+	retryTokens atomic.Int64 // fixed-point (×1024) retry-token bucket
+
+	// admitMu serializes admission against Close: Do enqueues under the
+	// read lock, Close takes the write lock before closing the queue, so
+	// no enqueue can race the close.
+	admitMu sync.RWMutex
+	closed  atomic.Bool
+	stopCtl chan struct{}
+	workers sync.WaitGroup
+	ctl     sync.WaitGroup
+
+	offered, shed                  atomic.Uint64
+	committed, expired, abortFinal atomic.Uint64
+	shedClass, shedLimit, shedDead atomic.Uint64
+	retries, budgetExhausts        atomic.Uint64
+	snapServed                     atomic.Uint64
+	limitDecreases, tierEntries    atomic.Uint64
+}
+
+const tokenScale = 1024 // fixed-point scale for the retry-token bucket
+
+// New starts a server over runtime m. The runtime must be configured with
+// at least cfg.ThreadBase+cfg.Workers threads.
+func New(m tm.TM, cfg Config) *Server {
+	cfg.fill()
+	if cfg.Backoff.EscalateAfter == 0 || cfg.Backoff.EscalateAfter > cfg.MaxAttempts {
+		cfg.Backoff.EscalateAfter = cfg.MaxAttempts
+	}
+	s := &Server{
+		cfg:     cfg,
+		m:       m,
+		queue:   make(chan *pending, cfg.QueueCap),
+		lat:     hist.New(),
+		stopCtl: make(chan struct{}),
+	}
+	s.limit.Store(int64(cfg.MaxInflight))
+	s.retryTokens.Store(int64(cfg.RetryTokenCap * tokenScale))
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker(cfg.ThreadBase + i)
+	}
+	s.ctl.Add(1)
+	go s.controller()
+	return s
+}
+
+// Do offers one request and blocks until it resolves. The returned error
+// is nil for Committed; for Shed it wraps ErrShed, for Expired it is the
+// deadline error, for AbortedFinal the terminal failure.
+func (s *Server) Do(r Request) (Outcome, error) {
+	s.admitMu.RLock()
+	p, outcome, err := s.admit(r)
+	s.admitMu.RUnlock()
+	if p == nil {
+		return outcome, err
+	}
+	<-p.done
+	return p.outcome, p.err
+}
+
+// admit runs the admission pipeline under the read lock and either
+// enqueues (returning the pending) or resolves the request immediately.
+func (s *Server) admit(r Request) (*pending, Outcome, error) {
+	if s.closed.Load() {
+		return nil, Shed, ErrClosed
+	}
+	s.offered.Add(1)
+	if r.Budget <= 0 {
+		r.Budget = s.cfg.DefaultBudget
+	}
+
+	// Tier policy: shed low classes before holding any state.
+	tier := s.tier.Load()
+	if tier >= 1 && r.Class == Batch {
+		return s.reject(&s.shedClass, errShedTier)
+	}
+	if tier >= 2 && !r.ReadOnly && r.Class != High {
+		return s.reject(&s.shedClass, errShedTierWrite)
+	}
+
+	// Concurrency limit: admitted work (queued + executing) stays under
+	// the adaptive limit.
+	limit := s.limit.Load()
+	if s.inflight.Load() >= limit {
+		return s.reject(&s.shedLimit, errShedLimit)
+	}
+
+	// Deadline-aware shedding: if the estimated queue wait alone exceeds
+	// the budget, admission would only manufacture a timeout.
+	if svc := s.ewmaSvc.Load(); svc > 0 {
+		est := time.Duration(int64(len(s.queue)+1) * svc / int64(s.cfg.Workers))
+		if est > r.Budget {
+			return s.reject(&s.shedDead, errShedWait)
+		}
+	}
+
+	now := time.Now()
+	p := &pending{req: r, arrive: now, dead: now.Add(r.Budget), done: make(chan struct{})}
+	s.inflight.Add(1)
+	s.retryRefill()
+	select {
+	case s.queue <- p:
+	default:
+		s.inflight.Add(-1)
+		return s.reject(&s.shedLimit, errShedQueue)
+	}
+	return p, Committed, nil
+}
+
+// Shed-path errors are prebuilt: under overload the reject path runs at
+// the full offered rate — orders of magnitude hotter than the serve path
+// — and must not allocate, or the act of shedding starves the workers it
+// is protecting. The per-cause counters carry the diagnostic detail.
+var (
+	errShedTier      = fmt.Errorf("%w: degradation tier sheds this class", ErrShed)
+	errShedTierWrite = fmt.Errorf("%w: degradation tier sheds writes", ErrShed)
+	errShedLimit     = fmt.Errorf("%w: admitted work at concurrency limit", ErrShed)
+	errShedWait      = fmt.Errorf("%w: estimated queue wait exceeds budget", ErrShed)
+	errShedQueue     = fmt.Errorf("%w: queue full", ErrShed)
+)
+
+// reject accounts one shed request against the given breakdown counter.
+func (s *Server) reject(c *atomic.Uint64, err error) (*pending, Outcome, error) {
+	c.Add(1)
+	s.shed.Add(1)
+	return nil, Shed, err
+}
+
+// retryRefill credits the token bucket for one admission.
+func (s *Server) retryRefill() {
+	add := int64(s.cfg.RetryTokensPerAdmit * tokenScale)
+	ceil := int64(s.cfg.RetryTokenCap * tokenScale)
+	if v := s.retryTokens.Add(add); v > ceil {
+		s.retryTokens.Store(ceil)
+	}
+}
+
+// retrySpend takes one retry token; false means the bucket is dry.
+func (s *Server) retrySpend() bool {
+	if v := s.retryTokens.Add(-tokenScale); v < 0 {
+		s.retryTokens.Add(tokenScale)
+		return false
+	}
+	return true
+}
+
+// worker executes admitted requests on one tm thread.
+func (s *Server) worker(thread int) {
+	defer s.workers.Done()
+	for p := range s.queue {
+		s.execute(thread, p)
+	}
+}
+
+// execute runs one admitted request to its terminal outcome.
+func (s *Server) execute(thread int, p *pending) {
+	start := time.Now()
+	var outcome Outcome
+	var err error
+	switch {
+	case !start.Before(p.dead):
+		// Expired while queued: resolve without touching the runtime.
+		outcome, err = Expired, context.DeadlineExceeded
+	case p.req.ReadOnly && s.tier.Load() >= 2:
+		// Deepest tier: read-only traffic is demoted to snapshot service —
+		// abort-free on a Snapshotter runtime, and never competing with
+		// the writes the tier is protecting.
+		s.snapServed.Add(1)
+		if err = tm.RunReadOnly(s.m, thread, p.req.Fn); err != nil {
+			outcome = AbortedFinal
+		} else {
+			outcome = Committed
+		}
+	default:
+		outcome, err = s.runTxn(thread, p)
+	}
+
+	p.outcome = outcome
+	p.err = err
+	switch outcome {
+	case Committed:
+		s.committed.Add(1)
+	case Expired:
+		s.expired.Add(1)
+	case AbortedFinal:
+		s.abortFinal.Add(1)
+	}
+	s.lat.Record(time.Since(p.arrive)) // sojourn: queue wait + service
+	s.observeService(time.Since(start))
+	s.inflight.Add(-1)
+	close(p.done)
+}
+
+// runTxn drives one request through the tm retry loop with its deadline
+// and retry bounds attached.
+func (s *Server) runTxn(thread int, p *pending) (Outcome, error) {
+	ctx, cancel := context.WithDeadline(context.Background(), p.dead)
+	defer cancel()
+	attempts := 0
+	budgetDry := false
+	err := tm.RunCtxBackoff(ctx, s.m, thread, s.cfg.Backoff, func(x tm.Txn) error {
+		attempts++
+		if attempts > 1 {
+			s.retries.Add(1)
+			if attempts > s.cfg.MaxAttempts {
+				return errRetryLimit
+			}
+			if !s.retrySpend() {
+				budgetDry = true
+				return errRetryBudget
+			}
+		}
+		return p.req.Fn(x)
+	})
+	switch {
+	case err == nil:
+		return Committed, nil
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return Expired, err
+	default:
+		if budgetDry {
+			s.budgetExhausts.Add(1)
+		}
+		return AbortedFinal, err
+	}
+}
+
+// observeService folds one service duration into the EWMA the admission
+// wait estimate uses (α = 1/8).
+func (s *Server) observeService(d time.Duration) {
+	ns := int64(d)
+	for {
+		old := s.ewmaSvc.Load()
+		var next int64
+		if old == 0 {
+			next = ns
+		} else {
+			next = old + (ns-old)/8
+		}
+		if s.ewmaSvc.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// controller is the AIMD loop: each tick it classifies the window as
+// pressured or calm from the live signals and adjusts the concurrency
+// limit (multiplicative decrease, additive increase) and, at the extremes,
+// the degradation tier.
+func (s *Server) controller() {
+	defer s.ctl.Done()
+	tick := time.NewTicker(s.cfg.AdaptEvery)
+	defer tick.Stop()
+	var prevLat hist.Snapshot
+	var prevSig Signal
+	if s.cfg.Signals != nil {
+		prevSig = s.cfg.Signals()
+	}
+	pressured, calm := 0, 0
+	var lastExhaust uint64
+	for {
+		select {
+		case <-s.stopCtl:
+			return
+		case <-tick.C:
+		}
+
+		pressure := false
+		cur := s.lat.Snapshot()
+		win := cur.Sub(prevLat)
+		prevLat = cur
+		if win.Count() > 0 && win.P99() > s.cfg.TargetP99 {
+			pressure = true
+		}
+		if s.cfg.Signals != nil {
+			sig := s.cfg.Signals()
+			if sig.ErrFull-prevSig.ErrFull >= s.cfg.ErrFullPerTick ||
+				sig.EngineErrors > prevSig.EngineErrors ||
+				sig.WatchdogFires > prevSig.WatchdogFires {
+				pressure = true
+			}
+			prevSig = sig
+		}
+		if exh := s.budgetExhausts.Load(); exh != lastExhaust {
+			// Retry-budget exhaustions this tick: the loop is eating more
+			// retries than admissions replenish — classic metastable
+			// retry-storm territory.
+			lastExhaust = exh
+			pressure = true
+		}
+
+		limit := s.limit.Load()
+		if pressure {
+			pressured++
+			calm = 0
+			next := limit * 7 / 10
+			if next < int64(s.cfg.MinInflight) {
+				next = int64(s.cfg.MinInflight)
+			}
+			if next < limit {
+				s.limit.Store(next)
+				s.limitDecreases.Add(1)
+			} else if pressured >= s.cfg.TierAfter && s.tier.Load() < 2 {
+				// Limit already at the floor and still pressured: step the
+				// degradation tier instead of collapsing the limit.
+				s.tier.Add(1)
+				s.tierEntries.Add(1)
+				pressured = 0
+			}
+		} else {
+			calm++
+			pressured = 0
+			if limit < int64(s.cfg.MaxInflight) {
+				s.limit.Store(limit + 1)
+			}
+			if calm >= s.cfg.TierAfter && s.tier.Load() > 0 {
+				s.tier.Add(-1)
+				calm = 0
+			}
+		}
+	}
+}
+
+// Stats snapshots the accounting and controller state.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Offered:        s.offered.Load(),
+		Shed:           s.shed.Load(),
+		Committed:      s.committed.Load(),
+		Expired:        s.expired.Load(),
+		AbortedFinal:   s.abortFinal.Load(),
+		ShedClass:      s.shedClass.Load(),
+		ShedLimit:      s.shedLimit.Load(),
+		ShedDeadline:   s.shedDead.Load(),
+		Retries:        s.retries.Load(),
+		BudgetExhausts: s.budgetExhausts.Load(),
+		SnapshotServed: s.snapServed.Load(),
+		Limit:          int(s.limit.Load()),
+		Tier:           int(s.tier.Load()),
+		LimitDecreases: s.limitDecreases.Load(),
+		TierEntries:    s.tierEntries.Load(),
+	}
+}
+
+// Latency snapshots the sojourn-time histogram (queue wait + service).
+func (s *Server) Latency() hist.Snapshot { return s.lat.Snapshot() }
+
+// Tier returns the current degradation tier (0 = full service).
+func (s *Server) Tier() int { return int(s.tier.Load()) }
+
+// Limit returns the current concurrency limit.
+func (s *Server) Limit() int { return int(s.limit.Load()) }
+
+// Close rejects new work, drains admitted requests, and stops the pool
+// and controller. Safe to call more than once.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	// Every in-flight admission holds the read lock while enqueueing;
+	// taking the write lock after flipping closed guarantees no further
+	// sends can race the close below.
+	s.admitMu.Lock()
+	close(s.queue)
+	s.admitMu.Unlock()
+	s.workers.Wait()
+	close(s.stopCtl)
+	s.ctl.Wait()
+}

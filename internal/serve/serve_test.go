@@ -1,0 +1,472 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rococotm/internal/audit"
+	"rococotm/internal/fault"
+	"rococotm/internal/mem"
+	"rococotm/internal/mvstore"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/serve"
+	"rococotm/internal/tm"
+	"rococotm/internal/tmds"
+	"rococotm/internal/wal"
+)
+
+// incrFn returns a request body that increments word a.
+func incrFn(a mem.Addr) func(tm.Txn) error {
+	return func(x tm.Txn) error {
+		v, err := x.Read(a)
+		if err != nil {
+			return err
+		}
+		return x.Write(a, v+1)
+	}
+}
+
+// mustAccounting certifies the outcome identity and returns the stats.
+func mustAccounting(t *testing.T, s *serve.Server) serve.Stats {
+	t.Helper()
+	st := s.Stats()
+	if err := st.CheckAccounting(); err != nil {
+		t.Error(err)
+	}
+	return st
+}
+
+// TestServeCommitsAndAccounting: light load commits everything and the
+// accounting identity holds.
+func TestServeCommitsAndAccounting(t *testing.T) {
+	h := mem.NewHeap(1 << 10)
+	m := rococotm.New(h, rococotm.Config{MaxThreads: 8})
+	defer m.Close()
+	a := h.MustAlloc(1)
+	s := serve.New(m, serve.Config{Workers: 2})
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		out, err := s.Do(serve.Request{Class: serve.Normal, Fn: incrFn(a)})
+		if err != nil || out != serve.Committed {
+			t.Fatalf("request %d: outcome %v err %v", i, out, err)
+		}
+	}
+	s.Close()
+	st := mustAccounting(t, s)
+	if st.Committed != n || st.Offered != n {
+		t.Fatalf("stats: %+v", st)
+	}
+	if got := h.Load(a); got != n {
+		t.Fatalf("word = %d, want %d", got, n)
+	}
+	if out, err := s.Do(serve.Request{Fn: incrFn(a)}); out != serve.Shed || !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("Do after Close = %v, %v; want Shed, ErrClosed", out, err)
+	}
+}
+
+// TestServeOverloadSheds: far more concurrent offers than the concurrency
+// limit admits — the excess is shed at the door, nothing deadlocks, and
+// the accounting identity still balances.
+func TestServeOverloadSheds(t *testing.T) {
+	h := mem.NewHeap(1 << 10)
+	m := rococotm.New(h, rococotm.Config{MaxThreads: 8})
+	defer m.Close()
+	a := h.MustAlloc(1)
+	s := serve.New(m, serve.Config{
+		Workers:     1,
+		MaxInflight: 2,
+		QueueCap:    2,
+		// Keep the limit pinned: no signals, generous SLO.
+		TargetP99: time.Second,
+	})
+
+	const clients = 64
+	var wg sync.WaitGroup
+	var shed, committed atomic.Uint64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, _ := s.Do(serve.Request{Class: serve.High, Fn: incrFn(a)})
+			switch out {
+			case serve.Shed:
+				shed.Add(1)
+			case serve.Committed:
+				committed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s.Close()
+	st := mustAccounting(t, s)
+	if committed.Load() == 0 {
+		t.Error("no request committed under overload")
+	}
+	if shed.Load() == 0 {
+		t.Errorf("no request shed with limit 2 and %d concurrent clients: %+v", clients, st)
+	}
+	if st.ShedLimit == 0 {
+		t.Errorf("expected limit sheds, got %+v", st)
+	}
+}
+
+// TestServeDeadlineExpiry: a request whose budget is gone before a worker
+// picks it up resolves as Expired without touching the runtime.
+func TestServeDeadlineExpiry(t *testing.T) {
+	h := mem.NewHeap(1 << 10)
+	m := rococotm.New(h, rococotm.Config{MaxThreads: 8})
+	defer m.Close()
+	a := h.MustAlloc(1)
+	s := serve.New(m, serve.Config{Workers: 1})
+	defer s.Close()
+
+	out, err := s.Do(serve.Request{Class: serve.High, Budget: time.Nanosecond, Fn: incrFn(a)})
+	if out != serve.Expired {
+		t.Fatalf("outcome = %v (err %v), want Expired", out, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if st := s.Stats(); st.Expired != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// conflictOnce returns a request body whose first attempt is guaranteed to
+// lose validation: between its read and its commit, a conflicting
+// transaction commits a write to the same word on a separate thread.
+func conflictOnce(m tm.TM, thread int, a mem.Addr) func(tm.Txn) error {
+	first := true
+	return func(x tm.Txn) error {
+		v, err := x.Read(a)
+		if err != nil {
+			return err
+		}
+		if first {
+			first = false
+			if err := tm.Run(m, thread, incrFn(a)); err != nil {
+				return fmt.Errorf("spoiler: %w", err)
+			}
+		}
+		return x.Write(a, v+1)
+	}
+}
+
+// TestServeRetryLimit: MaxAttempts 1 plus a guaranteed first-attempt
+// conflict finishes the request as AbortedFinal via the attempt cap.
+func TestServeRetryLimit(t *testing.T) {
+	h := mem.NewHeap(1 << 10)
+	m := rococotm.New(h, rococotm.Config{MaxThreads: 8})
+	defer m.Close()
+	a := h.MustAlloc(1)
+	s := serve.New(m, serve.Config{Workers: 1, MaxAttempts: 1})
+	defer s.Close()
+
+	out, err := s.Do(serve.Request{Class: serve.High, Budget: time.Second,
+		Fn: conflictOnce(m, 7, a)})
+	if out != serve.AbortedFinal || err == nil {
+		t.Fatalf("outcome = %v err %v, want AbortedFinal", out, err)
+	}
+	st := s.Stats()
+	if st.Retries == 0 || st.AbortedFinal != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestServeRetryBudgetExhausted: a nearly-empty retry-token bucket turns
+// the first retry into a terminal abort and counts the exhaustion.
+func TestServeRetryBudgetExhausted(t *testing.T) {
+	h := mem.NewHeap(1 << 10)
+	m := rococotm.New(h, rococotm.Config{MaxThreads: 8})
+	defer m.Close()
+	a := h.MustAlloc(1)
+	s := serve.New(m, serve.Config{
+		Workers: 1,
+		// Bucket capacity under one token: any retry finds it dry.
+		RetryTokensPerAdmit: 0.001,
+		RetryTokenCap:       0.05,
+	})
+	defer s.Close()
+
+	out, err := s.Do(serve.Request{Class: serve.High, Budget: time.Second,
+		Fn: conflictOnce(m, 7, a)})
+	if out != serve.AbortedFinal || err == nil {
+		t.Fatalf("outcome = %v err %v, want AbortedFinal", out, err)
+	}
+	if st := s.Stats(); st.BudgetExhausts != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// newDurableTM builds a runtime with a durable store so snapshot service
+// (tier-2 read-only demotion) is genuine rather than the Run fallback.
+func newDurableTM(t *testing.T, heapWords, maxThreads int) (*rococotm.TM, *mem.Heap) {
+	t.Helper()
+	heap := mem.NewHeap(heapWords)
+	dev := wal.NewMemDevice(nil)
+	d, _, err := rococotm.RecoverDurable(dev, heap,
+		wal.Options{FlushInterval: 100 * time.Microsecond}, mvstore.Config{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rococotm.New(heap, rococotm.Config{MaxThreads: maxThreads, Durable: d}), heap
+}
+
+// TestServeTierDegradation drives sustained artificial pressure through
+// the Signals hook and asserts the full degradation ladder: the AIMD limit
+// collapses to its floor, the tier escalates, Batch then Normal writes are
+// shed while High writes still commit, read-only traffic is demoted to
+// snapshot service — and when pressure stops, the server climbs back to
+// full service instead of latching degraded.
+func TestServeTierDegradation(t *testing.T) {
+	m, h := newDurableTM(t, 1<<10, 8)
+	defer m.Close()
+	a := h.MustAlloc(1)
+
+	var pressured atomic.Bool
+	var errFull atomic.Uint64
+	pressured.Store(true)
+	s := serve.New(m, serve.Config{
+		Workers:     2,
+		MaxInflight: 4,
+		AdaptEvery:  time.Millisecond,
+		TierAfter:   2,
+		Signals: func() serve.Signal {
+			if pressured.Load() {
+				// Grow the cumulative count a full tick-threshold per
+				// sample so every tick classifies as pressured.
+				return serve.Signal{ErrFull: errFull.Add(8)}
+			}
+			return serve.Signal{ErrFull: errFull.Load()}
+		},
+	})
+	defer s.Close()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (stats %+v)", what, s.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("tier 2", func() bool { return s.Tier() >= 2 })
+
+	if out, err := s.Do(serve.Request{Class: serve.Batch, Fn: incrFn(a)}); out != serve.Shed || !errors.Is(err, serve.ErrShed) {
+		t.Fatalf("Batch at tier 2 = %v, %v; want Shed", out, err)
+	}
+	if out, err := s.Do(serve.Request{Class: serve.Normal, Fn: incrFn(a)}); out != serve.Shed || !errors.Is(err, serve.ErrShed) {
+		t.Fatalf("Normal write at tier 2 = %v, %v; want Shed", out, err)
+	}
+	if out, err := s.Do(serve.Request{Class: serve.High, Budget: time.Second, Fn: incrFn(a)}); out != serve.Committed {
+		t.Fatalf("High write at tier 2 = %v, %v; want Committed (never collapse)", out, err)
+	}
+	var got mem.Word
+	if out, err := s.Do(serve.Request{Class: serve.Normal, ReadOnly: true, Budget: time.Second,
+		Fn: func(x tm.Txn) error {
+			v, err := x.Read(a)
+			got = v
+			return err
+		}}); out != serve.Committed || err != nil {
+		t.Fatalf("read-only at tier 2 = %v, %v; want snapshot service", out, err)
+	}
+	if got != 1 {
+		t.Fatalf("snapshot read = %d, want 1 (post-High-commit height)", got)
+	}
+	st := s.Stats()
+	if st.SnapshotServed == 0 {
+		t.Fatalf("read-only request did not use snapshot service: %+v", st)
+	}
+	if st.ShedClass < 2 || st.TierEntries == 0 || st.LimitDecreases == 0 {
+		t.Fatalf("degradation counters: %+v", st)
+	}
+
+	// Pressure off: the server must recover to full service.
+	pressured.Store(false)
+	waitFor("tier 0", func() bool { return s.Tier() == 0 })
+	waitFor("limit recovery", func() bool { return s.Limit() == 4 })
+	if out, err := s.Do(serve.Request{Class: serve.Batch, Budget: time.Second, Fn: incrFn(a)}); out != serve.Committed {
+		t.Fatalf("Batch after recovery = %v, %v; want Committed", out, err)
+	}
+	mustAccounting(t, s)
+}
+
+// TestServeStallBurstChaos runs a smallbank mix through a runtime whose
+// engine link injects correlated ErrFull bursts (fault.StallBurst*), with
+// the controller fed from the live fault counters and every commit watched
+// by the serializability auditor. The service must keep goodput above
+// zero, account for every request, preserve balance conservation, and
+// leave no pool leaks.
+func TestServeStallBurstChaos(t *testing.T) {
+	const (
+		workers   = 4
+		clients   = 8
+		perClient = 60
+	)
+	h := mem.NewHeap(1 << 12)
+	auditor := audit.New(audit.Config{})
+	var link *fault.Link
+	m := rococotm.New(h, rococotm.Config{
+		MaxThreads:       workers + 2,
+		ValidateDeadline: 1500 * time.Microsecond,
+		ProbeInterval:    200 * time.Microsecond,
+		Observer:         auditor,
+		WrapLink: fault.Wrapper(fault.Schedule{
+			Seed:            3,
+			StallBurstEvery: 40,
+			StallBurstLen:   16,
+		}, &link),
+	})
+	defer m.Close()
+	b, err := tmds.NewSmallBank(h, 32, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := serve.New(m, serve.Config{
+		Workers:       workers,
+		DefaultBudget: 100 * time.Millisecond,
+		AdaptEvery:    2 * time.Millisecond,
+		Signals: func() serve.Signal {
+			fs := m.FaultStats()
+			var rej uint64
+			if link != nil {
+				rej = link.Stats().Rejected
+			}
+			return serve.Signal{
+				ErrFull:       rej,
+				EngineErrors:  fs.EngineErrors,
+				WatchdogFires: m.Stats().WatchdogFires,
+			}
+		},
+	})
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 11))
+			for i := 0; i < perClient; i++ {
+				from, to := rng.Intn(32), rng.Intn(32)
+				amt := mem.Word(rng.Intn(20) + 1)
+				s.Do(serve.Request{Class: serve.Normal, Fn: func(x tm.Txn) error {
+					return b.SendPayment(x, from, to, amt)
+				}})
+			}
+		}(c)
+	}
+	wg.Wait()
+	s.Close()
+
+	st := mustAccounting(t, s)
+	if st.Committed == 0 {
+		t.Fatalf("no goodput under stall bursts: %+v", st)
+	}
+	if link.Stats().Bursts == 0 {
+		t.Error("chaos schedule injected no bursts — test exercised nothing")
+	}
+	if err := tm.Run(m, workers+1, b.CheckConservation); err != nil {
+		t.Errorf("conservation after chaos: %v", err)
+	}
+	if err := auditor.Err(); err != nil {
+		t.Errorf("auditor: %v", err)
+	}
+	if live, _ := m.PoolCheck(); live != 0 {
+		t.Errorf("pool leak: %d live txns after Close", live)
+	}
+}
+
+// TestServeShardedNewOrder serves a new-order mix on the sharded runtime
+// and certifies the workload invariants plus the outcome accounting.
+func TestServeShardedNewOrder(t *testing.T) {
+	const workers = 4
+	h := mem.NewHeap(1 << 12)
+	m := rococotm.NewSharded(h, rococotm.ShardedConfig{
+		Shards:     2,
+		MaxThreads: workers + 2,
+		Shard:      rococotm.Config{MaxThreads: workers + 2},
+	})
+	defer m.Close()
+	db, err := tmds.NewNewOrderDB(h, 4, 32, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := serve.New(m, serve.Config{Workers: workers, DefaultBudget: 200 * time.Millisecond})
+	var wg sync.WaitGroup
+	var committed atomic.Uint64
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 41))
+			pick := make([]int, 3)
+			for i := 0; i < 60; i++ {
+				d := rng.Intn(4)
+				for j := range pick {
+					pick[j] = rng.Intn(32)
+				}
+				out, _ := s.Do(serve.Request{Class: serve.Normal, Fn: func(x tm.Txn) error {
+					_, err := db.NewOrder(x, d, pick, 2)
+					return err
+				}})
+				if out == serve.Committed {
+					committed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	s.Close()
+
+	st := mustAccounting(t, s)
+	if st.Committed != committed.Load() {
+		t.Errorf("server counted %d commits, clients saw %d", st.Committed, committed.Load())
+	}
+	if err := tm.Run(m, workers+1, func(x tm.Txn) error {
+		orders, err := db.CheckInvariants(x)
+		if err != nil {
+			return err
+		}
+		if uint64(orders) != committed.Load() {
+			t.Errorf("orders = %d, committed = %d", orders, committed.Load())
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+	if live, _ := m.PoolCheck(); live != 0 {
+		t.Errorf("pool leak: %d live txns", live)
+	}
+}
+
+// TestServeLatencyRecorded: the sojourn histogram sees every admitted
+// request.
+func TestServeLatencyRecorded(t *testing.T) {
+	h := mem.NewHeap(1 << 10)
+	m := rococotm.New(h, rococotm.Config{MaxThreads: 8})
+	defer m.Close()
+	a := h.MustAlloc(1)
+	s := serve.New(m, serve.Config{Workers: 2})
+	for i := 0; i < 20; i++ {
+		s.Do(serve.Request{Class: serve.Normal, Fn: incrFn(a)})
+	}
+	s.Close()
+	lat := s.Latency()
+	if lat.Count() != 20 {
+		t.Fatalf("latency count = %d, want 20", lat.Count())
+	}
+	if lat.P99() <= 0 {
+		t.Fatalf("p99 = %v, want > 0", lat.P99())
+	}
+}

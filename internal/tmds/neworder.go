@@ -1,0 +1,175 @@
+package tmds
+
+import (
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// NewOrderDB is the TPC-C new-order-shaped schema over the word heap: D
+// district records, each carrying the next order id, and I item records,
+// each carrying {stock, sold, restocks}. A NewOrder transaction claims the
+// district's next order id (making per-district order ids dense and
+// strictly monotone — the monotonicity invariant the checkers assert) and
+// then decrements stock for a handful of items, restocking by a fixed
+// quantum when an item would run dry, TPC-C style.
+//
+// Two invariants hold in every serializable execution:
+//
+//   - order-count monotonicity: a district's next order id never
+//     decreases, and the sum of (nextOID − 1) over districts equals the
+//     number of committed NewOrder transactions;
+//   - stock conservation: per item, stock + sold − restockQuantum·restocks
+//     equals the initial stock.
+type NewOrderDB struct {
+	base      mem.Addr
+	districts int
+	items     int
+	initial   mem.Word
+}
+
+// District record layout.
+const (
+	noNextOID = 0
+	noDWords  = 1
+)
+
+// Item record layout.
+const (
+	noStock    = 0
+	noSold     = 1
+	noRestocks = 2
+	noIWords   = 3
+)
+
+// RestockQuantum is added to an item's stock when an order would exhaust
+// it (TPC-C adds 91; a power of two keeps the arithmetic obvious).
+const RestockQuantum = 64
+
+// NewNewOrderDB allocates the schema with every item stocked at initial
+// and every district's next order id at 1.
+func NewNewOrderDB(h *mem.Heap, districts, items int, initial mem.Word) (*NewOrderDB, error) {
+	if districts < 1 || items < 1 {
+		return nil, fmt.Errorf("tmds: neworder needs at least one district and item")
+	}
+	base, err := h.Alloc(districts*noDWords + items*noIWords)
+	if err != nil {
+		return nil, err
+	}
+	db := &NewOrderDB{base: base, districts: districts, items: items, initial: initial}
+	for d := 0; d < districts; d++ {
+		h.Store(db.daddr(d, noNextOID), 1)
+	}
+	for i := 0; i < items; i++ {
+		h.Store(db.iaddr(i, noStock), initial)
+	}
+	return db, nil
+}
+
+// Districts and Items return the schema dimensions.
+func (db *NewOrderDB) Districts() int { return db.districts }
+func (db *NewOrderDB) Items() int     { return db.items }
+
+func (db *NewOrderDB) daddr(d, f int) mem.Addr {
+	return db.base + mem.Addr(d*noDWords+f)
+}
+
+func (db *NewOrderDB) iaddr(i, f int) mem.Addr {
+	return db.base + mem.Addr(db.districts*noDWords+i*noIWords+f)
+}
+
+// NewOrder places one order in district d for the given item ids with
+// quantity qty each, returning the claimed order id.
+func (db *NewOrderDB) NewOrder(x tm.Txn, d int, items []int, qty mem.Word) (mem.Word, error) {
+	oid, err := x.Read(db.daddr(d, noNextOID))
+	if err != nil {
+		return 0, err
+	}
+	if err := x.Write(db.daddr(d, noNextOID), oid+1); err != nil {
+		return 0, err
+	}
+	for _, it := range items {
+		stock, err := x.Read(db.iaddr(it, noStock))
+		if err != nil {
+			return 0, err
+		}
+		if stock < qty {
+			restocks, err := x.Read(db.iaddr(it, noRestocks))
+			if err != nil {
+				return 0, err
+			}
+			if err := x.Write(db.iaddr(it, noRestocks), restocks+1); err != nil {
+				return 0, err
+			}
+			stock += RestockQuantum
+		}
+		if err := x.Write(db.iaddr(it, noStock), stock-qty); err != nil {
+			return 0, err
+		}
+		sold, err := x.Read(db.iaddr(it, noSold))
+		if err != nil {
+			return 0, err
+		}
+		if err := x.Write(db.iaddr(it, noSold), sold+qty); err != nil {
+			return 0, err
+		}
+	}
+	return oid, nil
+}
+
+// NextOID reads district d's next order id — the read-only probe the
+// monotonicity checker samples.
+func (db *NewOrderDB) NextOID(x tm.Txn, d int) (mem.Word, error) {
+	return x.Read(db.daddr(d, noNextOID))
+}
+
+// StockLevel sums the stock of a contiguous item range — the mix's
+// read-only analytics operation.
+func (db *NewOrderDB) StockLevel(x tm.Txn, from, n int) (mem.Word, error) {
+	var sum mem.Word
+	for i := from; i < from+n && i < db.items; i++ {
+		v, err := x.Read(db.iaddr(i, noStock))
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// CheckInvariants verifies stock conservation for every item and returns
+// the total number of orders placed (the sum of nextOID−1 over districts),
+// all inside the given transaction.
+func (db *NewOrderDB) CheckInvariants(x tm.Txn) (orders mem.Word, err error) {
+	for d := 0; d < db.districts; d++ {
+		oid, err := x.Read(db.daddr(d, noNextOID))
+		if err != nil {
+			return 0, err
+		}
+		if oid < 1 {
+			return 0, fmt.Errorf("tmds: neworder district %d next oid %d below initial", d, oid)
+		}
+		orders += oid - 1
+	}
+	for i := 0; i < db.items; i++ {
+		stock, err := x.Read(db.iaddr(i, noStock))
+		if err != nil {
+			return 0, err
+		}
+		sold, err := x.Read(db.iaddr(i, noSold))
+		if err != nil {
+			return 0, err
+		}
+		restocks, err := x.Read(db.iaddr(i, noRestocks))
+		if err != nil {
+			return 0, err
+		}
+		if stock+sold != db.initial+restocks*RestockQuantum {
+			return 0, fmt.Errorf(
+				"tmds: neworder item %d stock conservation violated: stock %d + sold %d != initial %d + %d restocks",
+				i, stock, sold, db.initial, restocks)
+		}
+	}
+	return orders, nil
+}

@@ -1,0 +1,182 @@
+package tmds
+
+import (
+	"fmt"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// SmallBank is the smallbank OLTP schema over the word heap: N customer
+// accounts, each a two-word record {checking, savings}, plus a bank
+// reserve record the deposit/withdrawal operations draw from. Every
+// mutating operation is a pure transfer — money moves between accounts or
+// between an account and the reserve, never appearing or vanishing — so
+// the sum of all balances is invariant under any serializable execution.
+// CheckConservation re-reads the whole bank transactionally and compares
+// against that constant: a violation is direct evidence of a lost update
+// or a torn snapshot, which is what the serve soak asserts under load.
+//
+// Balances are unsigned words; every debit is guarded (insufficient funds
+// makes the operation a committed no-op, as in the TATP/smallbank
+// convention), so balances can never underflow.
+type SmallBank struct {
+	base     mem.Addr
+	accounts int
+	total    mem.Word // conserved sum, fixed at construction
+}
+
+// Record layout: accounts are two consecutive words; the reserve is one
+// extra two-word record after the last account.
+const (
+	sbChecking = 0
+	sbSavings  = 1
+	sbWords    = 2
+)
+
+// NewSmallBank allocates the schema: accounts customer records seeded with
+// initial in both checking and savings, and a reserve seeded with
+// accounts*initial so deposits have headroom.
+func NewSmallBank(h *mem.Heap, accounts int, initial mem.Word) (*SmallBank, error) {
+	if accounts < 1 {
+		return nil, fmt.Errorf("tmds: smallbank needs at least one account")
+	}
+	base, err := h.Alloc((accounts + 1) * sbWords)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < accounts; c++ {
+		h.Store(base+mem.Addr(c*sbWords+sbChecking), initial)
+		h.Store(base+mem.Addr(c*sbWords+sbSavings), initial)
+	}
+	reserve := mem.Word(accounts) * initial
+	h.Store(base+mem.Addr(accounts*sbWords+sbChecking), reserve)
+	h.Store(base+mem.Addr(accounts*sbWords+sbSavings), 0)
+	return &SmallBank{
+		base:     base,
+		accounts: accounts,
+		total:    2*mem.Word(accounts)*initial + reserve,
+	}, nil
+}
+
+// Accounts returns the customer account count.
+func (b *SmallBank) Accounts() int { return b.accounts }
+
+// ExpectedTotal returns the conserved sum of every balance including the
+// reserve.
+func (b *SmallBank) ExpectedTotal() mem.Word { return b.total }
+
+func (b *SmallBank) addr(acct, f int) mem.Addr {
+	return b.base + mem.Addr(acct*sbWords+f)
+}
+
+// reserveAcct is the index of the bank reserve record.
+func (b *SmallBank) reserveAcct() int { return b.accounts }
+
+// transfer moves amt from (fromA,fromF) to (toA,toF), a committed no-op
+// when the source balance is insufficient. Returns whether it moved.
+func (b *SmallBank) transfer(x tm.Txn, fromA, fromF, toA, toF int, amt mem.Word) (bool, error) {
+	src, err := x.Read(b.addr(fromA, fromF))
+	if err != nil {
+		return false, err
+	}
+	if src < amt {
+		return false, nil
+	}
+	dst, err := x.Read(b.addr(toA, toF))
+	if err != nil {
+		return false, err
+	}
+	if err := x.Write(b.addr(fromA, fromF), src-amt); err != nil {
+		return false, err
+	}
+	return true, x.Write(b.addr(toA, toF), dst+amt)
+}
+
+// Balance reads one account's checking+savings sum — the read-only
+// operation of the mix, eligible for snapshot service under degradation.
+func (b *SmallBank) Balance(x tm.Txn, acct int) (mem.Word, error) {
+	c, err := x.Read(b.addr(acct, sbChecking))
+	if err != nil {
+		return 0, err
+	}
+	s, err := x.Read(b.addr(acct, sbSavings))
+	if err != nil {
+		return 0, err
+	}
+	return c + s, nil
+}
+
+// DepositChecking credits acct's checking from the reserve.
+func (b *SmallBank) DepositChecking(x tm.Txn, acct int, amt mem.Word) error {
+	_, err := b.transfer(x, b.reserveAcct(), sbChecking, acct, sbChecking, amt)
+	return err
+}
+
+// TransactSavings credits acct's savings from the reserve.
+func (b *SmallBank) TransactSavings(x tm.Txn, acct int, amt mem.Word) error {
+	_, err := b.transfer(x, b.reserveAcct(), sbChecking, acct, sbSavings, amt)
+	return err
+}
+
+// WriteCheck debits acct's checking back to the reserve.
+func (b *SmallBank) WriteCheck(x tm.Txn, acct int, amt mem.Word) error {
+	_, err := b.transfer(x, acct, sbChecking, b.reserveAcct(), sbChecking, amt)
+	return err
+}
+
+// SendPayment moves amt from one checking account to another.
+func (b *SmallBank) SendPayment(x tm.Txn, from, to int, amt mem.Word) error {
+	if from == to {
+		return nil
+	}
+	_, err := b.transfer(x, from, sbChecking, to, sbChecking, amt)
+	return err
+}
+
+// Amalgamate empties src's checking and savings into dst's checking.
+func (b *SmallBank) Amalgamate(x tm.Txn, src, dst int) error {
+	if src == dst {
+		return nil
+	}
+	c, err := x.Read(b.addr(src, sbChecking))
+	if err != nil {
+		return err
+	}
+	s, err := x.Read(b.addr(src, sbSavings))
+	if err != nil {
+		return err
+	}
+	d, err := x.Read(b.addr(dst, sbChecking))
+	if err != nil {
+		return err
+	}
+	if err := x.Write(b.addr(src, sbChecking), 0); err != nil {
+		return err
+	}
+	if err := x.Write(b.addr(src, sbSavings), 0); err != nil {
+		return err
+	}
+	return x.Write(b.addr(dst, sbChecking), d+c+s)
+}
+
+// CheckConservation sums every balance (accounts plus reserve) inside the
+// given transaction and fails if the total drifted from the constructed
+// constant. Run it under tm.Run or tm.RunReadOnly; a non-nil error with a
+// nil abort reason is a genuine invariant violation.
+func (b *SmallBank) CheckConservation(x tm.Txn) error {
+	var sum mem.Word
+	for a := 0; a <= b.accounts; a++ {
+		for f := 0; f < sbWords; f++ {
+			v, err := x.Read(b.addr(a, f))
+			if err != nil {
+				return err
+			}
+			sum += v
+		}
+	}
+	if sum != b.total {
+		return fmt.Errorf("tmds: smallbank conservation violated: sum %d, want %d", sum, b.total)
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package tmds
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/tm"
+)
+
+// These tests cover the OLTP workload schemas (smallbank, new-order) under
+// genuine concurrency on the ROCoCoTM runtime: worker goroutines drive
+// randomized operation mixes while a checker thread samples the invariants
+// mid-run; a final transactional sweep re-verifies them at quiescence.
+// They are the invariant machinery the internal/serve soak reuses.
+
+// TestSmallBankSequential pins the per-operation semantics on one thread.
+func TestSmallBankSequential(t *testing.T) {
+	h, m := newEnv()
+	b, err := NewSmallBank(h, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, m, func(x tm.Txn) error {
+		if err := b.DepositChecking(x, 0, 50); err != nil {
+			return err
+		}
+		if err := b.SendPayment(x, 0, 1, 75); err != nil {
+			return err
+		}
+		if err := b.TransactSavings(x, 2, 10); err != nil {
+			return err
+		}
+		if err := b.WriteCheck(x, 1, 25); err != nil {
+			return err
+		}
+		return b.Amalgamate(x, 3, 2)
+	})
+	run(t, m, func(x tm.Txn) error {
+		for acct, want := range map[int]mem.Word{
+			0: 175, // 100+100 +50 deposit −75 payment
+			1: 250, // 100+100 +75 payment −25 check
+			2: 410, // 100+110 savings + 200 amalgamated
+			3: 0,   // emptied
+		} {
+			got, err := b.Balance(x, acct)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				t.Errorf("account %d balance = %d, want %d", acct, got, want)
+			}
+		}
+		return b.CheckConservation(x)
+	})
+	// A guarded debit on an empty account is a committed no-op.
+	run(t, m, func(x tm.Txn) error {
+		if err := b.WriteCheck(x, 3, 1); err != nil {
+			return err
+		}
+		got, err := b.Balance(x, 3)
+		if err != nil {
+			return err
+		}
+		if got != 0 {
+			t.Errorf("underflow: balance = %d after overdraft attempt", got)
+		}
+		return b.CheckConservation(x)
+	})
+}
+
+// TestNewOrderSequential pins order-id density and restock arithmetic.
+func TestNewOrderSequential(t *testing.T) {
+	h, m := newEnv()
+	db, err := NewNewOrderDB(h, 2, 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, m, func(x tm.Txn) error {
+		for k := 0; k < 3; k++ {
+			oid, err := db.NewOrder(x, 0, []int{0, 1}, 4)
+			if err != nil {
+				return err
+			}
+			if oid != mem.Word(k+1) {
+				t.Errorf("order %d got oid %d", k, oid)
+			}
+		}
+		return nil
+	})
+	run(t, m, func(x tm.Txn) error {
+		// Item 0 sold 12 from initial 10: one restock must have landed.
+		orders, err := db.CheckInvariants(x)
+		if err != nil {
+			return err
+		}
+		if orders != 3 {
+			t.Errorf("orders = %d, want 3", orders)
+		}
+		return nil
+	})
+}
+
+// TestSmallBankConcurrentConservation hammers the mix from several client
+// threads on rococotm while a checker thread repeatedly certifies balance
+// conservation mid-flight.
+func TestSmallBankConcurrentConservation(t *testing.T) {
+	const (
+		accounts = 64
+		threads  = 4
+		iters    = 400
+	)
+	h := mem.NewHeap(1 << 12)
+	m := rococotm.New(h, rococotm.Config{MaxThreads: threads + 2})
+	defer m.Close()
+	b, err := NewSmallBank(h, accounts, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var workers sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		workers.Add(1)
+		go func(th int) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(int64(th) + 7))
+			for i := 0; i < iters; i++ {
+				a := rng.Intn(accounts)
+				c := rng.Intn(accounts)
+				amt := mem.Word(rng.Intn(50) + 1)
+				op := rng.Intn(6)
+				err := tm.Run(m, th, func(x tm.Txn) error {
+					switch op {
+					case 0:
+						return b.DepositChecking(x, a, amt)
+					case 1:
+						return b.TransactSavings(x, a, amt)
+					case 2:
+						return b.WriteCheck(x, a, amt)
+					case 3:
+						return b.SendPayment(x, a, c, amt)
+					case 4:
+						return b.Amalgamate(x, a, c)
+					default:
+						_, err := b.Balance(x, a)
+						return err
+					}
+				})
+				if err != nil {
+					t.Errorf("thread %d op %d: %v", th, op, err)
+					return
+				}
+			}
+		}(th)
+	}
+
+	// Checker thread: transactional conservation sweeps while the mix
+	// runs. The sweep reads the whole bank, so under write traffic it
+	// conflicts with nearly every commit; a tight escalation budget lets
+	// it finish each sweep via one irrevocable turn instead of livelocking
+	// (and throttling keeps it from serializing the workers).
+	sweepPol := tm.BackoffPolicy{EscalateAfter: 32}
+	var checks atomic.Uint64
+	checkerDone := make(chan struct{})
+	go func() {
+		defer close(checkerDone)
+		for !stop.Load() {
+			if err := tm.RunBackoff(m, threads, sweepPol, b.CheckConservation); err != nil {
+				t.Errorf("mid-run conservation: %v", err)
+				return
+			}
+			checks.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	workers.Wait()
+	stop.Store(true)
+	<-checkerDone
+
+	if checks.Load() == 0 {
+		t.Log("checker never completed a sweep mid-run (acceptable on a loaded host)")
+	}
+	if err := tm.Run(m, threads+1, b.CheckConservation); err != nil {
+		t.Fatalf("final conservation: %v", err)
+	}
+}
+
+// TestNewOrderConcurrentInvariants drives concurrent NewOrder traffic and
+// checks order-count monotonicity (sampled live) plus stock conservation
+// and the committed-order identity at quiescence.
+func TestNewOrderConcurrentInvariants(t *testing.T) {
+	const (
+		districts = 4
+		items     = 32
+		threads   = 4
+		iters     = 300
+	)
+	h := mem.NewHeap(1 << 12)
+	m := rococotm.New(h, rococotm.Config{MaxThreads: threads + 2})
+	defer m.Close()
+	db, err := NewNewOrderDB(h, districts, items, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var committed atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(th) + 31))
+			pick := make([]int, 3)
+			for i := 0; i < iters; i++ {
+				d := rng.Intn(districts)
+				for j := range pick {
+					pick[j] = rng.Intn(items)
+				}
+				qty := mem.Word(rng.Intn(5) + 1)
+				err := tm.Run(m, th, func(x tm.Txn) error {
+					_, err := db.NewOrder(x, d, pick, qty)
+					return err
+				})
+				if err != nil {
+					t.Errorf("thread %d: %v", th, err)
+					return
+				}
+				committed.Add(1)
+			}
+		}(th)
+	}
+
+	// Monotonicity checker: per-district next-oid samples never decrease.
+	// Paced so the probe traffic observes the run without serializing it.
+	checkerDone := make(chan struct{})
+	go func() {
+		defer close(checkerDone)
+		last := make([]mem.Word, districts)
+		for !stop.Load() {
+			for d := 0; d < districts; d++ {
+				var oid mem.Word
+				err := tm.Run(m, threads, func(x tm.Txn) error {
+					var err error
+					oid, err = db.NextOID(x, d)
+					return err
+				})
+				if err != nil {
+					t.Errorf("monotonicity probe: %v", err)
+					return
+				}
+				if oid < last[d] {
+					t.Errorf("district %d next oid went backward: %d after %d", d, oid, last[d])
+					return
+				}
+				last[d] = oid
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	<-checkerDone
+
+	if err := tm.Run(m, threads+1, func(x tm.Txn) error {
+		orders, err := db.CheckInvariants(x)
+		if err != nil {
+			return err
+		}
+		if uint64(orders) != committed.Load() {
+			t.Errorf("orders = %d, committed NewOrder count = %d", orders, committed.Load())
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+}

@@ -44,21 +44,28 @@
 #                    plus merged-stream certification, sharded recovery
 #                    with torn-cross-record reconciliation, and a short
 #                    `rococobench -exp shard` smoke                (~30s)
-#  10. go test -race ./internal/...
+#  10. serve lane  — the TM-as-a-service overload smoke: the serve front
+#                    end's race-detected unit surface (admission, AIMD,
+#                    deadlines, degradation tiers, StallBurst chaos), then
+#                    a bounded `rococobench -exp serve` sweep through the
+#                    real driver — goodput must stay positive while
+#                    shedding, with the accounting identity, conservation
+#                    invariant, auditor and pool checks all certified (~15s)
+#  11. go test -race ./internal/...
 #                  — the runtime and analyzer packages under the race
 #                    detector; OCC code is concurrency code, so the race
 #                    lane is not optional                          (~2min)
-#  11. bench smoke — every benchmark compiles and survives one iteration
+#  12. bench smoke — every benchmark compiles and survives one iteration
 #                    (benchtime=1x), so perf lanes cannot silently rot;
 #                    the non-race run also picks up the AllocsPerRun
-#                    zero-allocation tests excluded from lane 10   (~30s)
-#  12. bench gate  — cmd/benchgate re-measures the optimization-sensitive
+#                    zero-allocation tests excluded from lane 11   (~30s)
+#  13. bench gate  — cmd/benchgate re-measures the optimization-sensitive
 #                    microbenchmarks (pipelined/ordered counter throughput,
 #                    aggregate/per-commit extension folds, WAL append,
-#                    snapshot read, sharded-plane throughput) and fails on
-#                    a >20% regression vs internal/bench/baseline.json;
-#                    re-record an intentional move with
-#                    `benchgate -record`                           (~3min)
+#                    snapshot read, sharded-plane throughput, serve-stack
+#                    p99 overhead) and fails on a >20% regression vs
+#                    internal/bench/baseline.json; re-record an
+#                    intentional move with `benchgate -record`     (~3min)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -102,6 +109,10 @@ echo "== shard lane: cross-shard atomicity + merged certification + sharded reco
 go test -race -run 'Sharded|RecoverSharded|FileRecover' -count=1 \
     ./internal/rococotm/... ./internal/audit/... ./internal/fault/...
 go run ./cmd/rococobench -exp shard -dur 50ms >/dev/null
+
+echo "== serve lane: overload smoke — goodput under shedding, accounting/auditor certification"
+go test -race -run 'TestServe' -count=1 ./internal/serve/...
+go test -count=1 ./cmd/rococobench/
 
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
