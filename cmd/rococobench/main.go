@@ -10,7 +10,7 @@
 // below, which also drives the -exp usage string, the unknown-experiment
 // listing, and the "all" order — are: fig6, fig7, fig9, fig10, fig11,
 // resources, fault, soak, recover, transport, commitphase, shard, serve,
-// ablation-window, ablation-sig, ablation-contention.
+// hybrid, ablation-window, ablation-sig, ablation-contention.
 //
 // Each experiment prints a paper-style text table; EXPERIMENTS.md records
 // the paper-vs-measured comparison. The profile flags capture pprof data
@@ -186,6 +186,19 @@ var experiments = []struct {
 				fatal(cerr)
 			}
 		}
+	}},
+	{"hybrid", "hybrid fast-path crossover grid: engine-only vs adaptive", func(c benchCtx) {
+		cfg := bench.HybridBenchConfig{}
+		if len(c.threads) > 0 {
+			cfg.Threads = c.threads[0]
+		}
+		if c.dur != 0 {
+			cfg.Duration = c.dur
+		} else if c.exp == "all" {
+			cfg.Duration = 50 * time.Millisecond
+		}
+		rep, err := bench.RunHybridBench(cfg)
+		c.emit(rep, err)
 	}},
 	{"ablation-window", "sliding-window size ablation", func(c benchCtx) {
 		rep, err := bench.RunWindowAblation(nil, 16, 16, 25)

@@ -172,6 +172,28 @@ func MeasureRegressMetrics() ([]RegressMetric, error) {
 	out = append(out,
 		RegressMetric{Name: "serve_p99_us", Value: serveP99, Unit: "us", HigherBetter: false},
 	)
+
+	// Hybrid fast path: uncontended single-thread commit latency (the
+	// number the fast path exists to shrink) and 4-thread uncontended
+	// adaptive throughput (routing overhead must stay invisible).
+	fastNs := 0.0
+	for i := 0; i < 3; i++ {
+		ns, err := measureHybridFastCommitNs()
+		if err != nil {
+			return nil, err
+		}
+		if fastNs == 0 || ns < fastNs {
+			fastNs = ns
+		}
+	}
+	hybridK, err := bestHybridCounterK()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out,
+		RegressMetric{Name: "hybrid_fast_commit_ns", Value: fastNs, Unit: "ns", HigherBetter: false},
+		RegressMetric{Name: "hybrid_counter_ktxns", Value: hybridK, Unit: "ktxn/s", HigherBetter: true},
+	)
 	return out, nil
 }
 

@@ -735,6 +735,50 @@ func (e *Engine) Process(r Request) Verdict {
 	return e.pl.Process(r)
 }
 
+// ErrCycleLevel is returned by RecordFast on a cycle-level engine: there
+// the RTL model owns the sliding window (e.pl only tracks statistics), so
+// a synchronous direct insert has no sequence authority to claim from.
+var ErrCycleLevel = errors.New("fpga: RecordFast unsupported on a cycle-level engine")
+
+// RecordFast claims the next commit sequence for a transaction validated
+// outside the engine — the hybrid fast path — and inserts its footprint
+// into the sliding window, so subsequent engine validations observe its
+// writes as committed history (without this, write skew between a fast
+// and a slow transaction would be invisible to both paths).
+//
+// The claim is sound because the caller guarantees the transaction's reads
+// are current as of this call (it revalidates its read lines before
+// publishing, aborting — and filling the claimed slot with a no-op — if
+// they moved): a current-as-of-claim snapshot means ValidTS = NextSeq, the
+// new node has no forward dependencies, and the window insert cannot
+// reject it. Claim and insert happen in one critical section with the
+// normal Process path, so no engine-validated commit can take a sequence
+// between them.
+func (e *Engine) RecordFast(token uint64, readAddrs, writeAddrs []uint64) (Verdict, error) {
+	if e.cfg.CycleLevel {
+		return Verdict{}, ErrCycleLevel
+	}
+	select {
+	case <-e.port.Load().done:
+		return Verdict{}, ErrClosed
+	default:
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := e.pl.Process(Request{
+		Token:      token,
+		ValidTS:    uint64(e.pl.NextSeq()),
+		ReadAddrs:  readAddrs,
+		WriteAddrs: writeAddrs,
+	})
+	if !v.OK {
+		// Impossible by construction (ValidTS == NextSeq ⇒ f = 0); surface
+		// a broken invariant rather than a silent sequence gap.
+		return v, fmt.Errorf("fpga: RecordFast rejected (%s)", v.Reason)
+	}
+	return v, nil
+}
+
 // loopRTL drives the cycle-level pipeline: requests drain from the pull
 // queue into the pipeline as they arrive, overlapping in flight, and the
 // model ticks while anything is outstanding.

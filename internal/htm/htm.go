@@ -174,8 +174,11 @@ func (h *TM) Begin(thread int) (tm.Txn, error) {
 	}, nil
 }
 
-// abortSpec rolls back a speculative attempt and releases its lines.
-func (x *txn) abortSpec(reason string) error {
+// abortSpec rolls back a speculative attempt and releases its lines. The
+// structured code is what the returned error carries (so the hybrid router
+// can classify the abort without string matching); the counter and the
+// Error() message still use the legacy string reason.
+func (x *txn) abortSpec(code tm.Code) error {
 	// Restore values before releasing exclusive ownership.
 	for i := len(x.undo) - 1; i >= 0; i-- {
 		x.h.heap.Store(x.undo[i].addr, x.undo[i].old)
@@ -184,8 +187,8 @@ func (x *txn) abortSpec(reason string) error {
 	x.dead = true
 	x.h.active.Add(-1)
 	x.h.consec[x.thread]++
-	x.h.cnt.OnAbort(reason)
-	return tm.Abort(reason)
+	x.h.cnt.OnAbort(code.Reason())
+	return tm.AbortCode(code)
 }
 
 func (x *txn) releaseLines() {
@@ -220,24 +223,24 @@ func (x *txn) releaseLines() {
 // Read implements tm.Txn.
 func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 	if x.dead {
-		return 0, tm.Abort(tm.ReasonConflict)
+		return 0, tm.AbortCode(tm.CodeConflict)
 	}
 	if x.fallback {
 		return x.h.heap.Load(a), nil
 	}
 	if x.h.fallbackHeld.Load() {
-		return 0, x.abortSpec(tm.ReasonFallback)
+		return 0, x.abortSpec(tm.CodeFallback)
 	}
 	l := mem.LineOf(a)
 	if !x.rlines[l] && !x.wlines[l] {
 		if len(x.rlines) >= x.h.cfg.ReadCapacityLines {
-			return 0, x.abortSpec(tm.ReasonCapacity)
+			return 0, x.abortSpec(tm.CodeCapacity)
 		}
 		st := &x.h.lines[l]
 		for {
 			s := st.Load()
 			if w := writerOf(s); w >= 0 && w != x.thread {
-				return 0, x.abortSpec(tm.ReasonConflict) // requester loses
+				return 0, x.abortSpec(tm.CodeConflict) // requester loses
 			}
 			if st.CompareAndSwap(s, s|readerBit(x.thread)) {
 				break
@@ -251,28 +254,28 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 // Write implements tm.Txn: eager store with undo logging.
 func (x *txn) Write(a mem.Addr, v mem.Word) error {
 	if x.dead {
-		return tm.Abort(tm.ReasonConflict)
+		return tm.AbortCode(tm.CodeConflict)
 	}
 	if x.fallback {
 		x.h.heap.Store(a, v)
 		return nil
 	}
 	if x.h.fallbackHeld.Load() {
-		return x.abortSpec(tm.ReasonFallback)
+		return x.abortSpec(tm.CodeFallback)
 	}
 	l := mem.LineOf(a)
 	if !x.wlines[l] {
 		if len(x.wlines) >= x.h.cfg.WriteCapacityLines {
-			return x.abortSpec(tm.ReasonCapacity)
+			return x.abortSpec(tm.CodeCapacity)
 		}
 		st := &x.h.lines[l]
 		for {
 			s := st.Load()
 			if w := writerOf(s); w >= 0 && w != x.thread {
-				return x.abortSpec(tm.ReasonConflict)
+				return x.abortSpec(tm.CodeConflict)
 			}
 			if s&^readerBit(x.thread)&(1<<writerShift-1) != 0 {
-				return x.abortSpec(tm.ReasonConflict) // other readers hold it
+				return x.abortSpec(tm.CodeConflict) // other readers hold it
 			}
 			if st.CompareAndSwap(s, withWriter(s, x.thread)) {
 				break
@@ -292,7 +295,7 @@ func (x *txn) Write(a mem.Addr, v mem.Word) error {
 func (h *TM) Commit(t tm.Txn) error {
 	x := t.(*txn)
 	if x.dead {
-		return tm.Abort(tm.ReasonConflict)
+		return tm.AbortCode(tm.CodeConflict)
 	}
 	if x.fallback {
 		x.dead = true
@@ -303,14 +306,14 @@ func (h *TM) Commit(t tm.Txn) error {
 		return nil
 	}
 	if h.fallbackHeld.Load() {
-		return x.abortSpec(tm.ReasonFallback)
+		return x.abortSpec(tm.CodeFallback)
 	}
 	if h.cfg.SpuriousProb > 0 {
 		h.rngMu.Lock()
 		hit := h.rng.Float64() < h.cfg.SpuriousProb
 		h.rngMu.Unlock()
 		if hit {
-			return x.abortSpec(tm.ReasonSpurious)
+			return x.abortSpec(tm.CodeSpurious)
 		}
 	}
 	// Eager versioning: values are already in place; committing is

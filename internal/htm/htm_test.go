@@ -71,6 +71,17 @@ func TestCapacityAbort(t *testing.T) {
 	if !ok || reason != tm.ReasonCapacity {
 		t.Fatalf("expected capacity abort, got %v", lastErr)
 	}
+	// The abort must also carry the structured code (what the hybrid
+	// router classifies on) and the legacy message format.
+	if code, ok := tm.CodeOf(lastErr); !ok || code != tm.CodeCapacity {
+		t.Fatalf("CodeOf = %v,%v, want CodeCapacity", code, ok)
+	}
+	if !tm.CodeCapacity.Structural() {
+		t.Fatal("capacity aborts must classify as structural (go slow)")
+	}
+	if lastErr.Error() != "tm: aborted (capacity)" {
+		t.Fatalf("message drift: %q", lastErr.Error())
+	}
 	// The eager writes must have been rolled back.
 	for i := 0; i < 64; i++ {
 		if h.Load(base+mem.Addr(i*8)) != 0 {

@@ -1,0 +1,15 @@
+package hybrid
+
+// Routing-state introspection for the black-box tests.
+
+const (
+	SiteFastState  = siteFast
+	SiteSlowState  = siteSlow
+	SiteProbeState = siteProbe
+)
+
+// SiteState exposes a site's routing state and fast-abort EWMA.
+func SiteState(h *TM, id uint64) (state uint32, ewma uint64) {
+	st := h.site(id)
+	return st.state.Load(), st.ewma.Load()
+}

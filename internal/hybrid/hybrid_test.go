@@ -1,0 +1,442 @@
+package hybrid_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rococotm/internal/audit"
+	"rococotm/internal/fault"
+	"rococotm/internal/hybrid"
+	"rococotm/internal/mem"
+	"rococotm/internal/rococotm"
+	"rococotm/internal/tm"
+	"rococotm/internal/tm/tmtest"
+)
+
+func newHybrid(t *testing.T, cfg hybrid.Config) (*hybrid.TM, *mem.Heap) {
+	t.Helper()
+	heap := mem.NewHeap(1 << 12)
+	if cfg.Slow.MaxThreads == 0 {
+		cfg.Slow.MaxThreads = 8
+	}
+	h := hybrid.New(heap, cfg)
+	t.Cleanup(h.Close)
+	return h, heap
+}
+
+// TestHybridCounterSmoke: disjoint per-thread counters stay entirely on
+// the fast path; the totals and the per-path accounting identity hold.
+func TestHybridCounterSmoke(t *testing.T) {
+	h, heap := newHybrid(t, hybrid.Config{})
+	const threads, each = 4, 500
+	base := heap.MustAlloc(threads * 8) // one line per thread: no contention
+
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			a := base + mem.Addr(th*8)
+			for i := 0; i < each; i++ {
+				err := tm.Run(h, th, func(x tm.Txn) error {
+					v, err := x.Read(a)
+					if err != nil {
+						return err
+					}
+					return x.Write(a, v+1)
+				})
+				if err != nil {
+					t.Errorf("thread %d: %v", th, err)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+
+	for th := 0; th < threads; th++ {
+		if v := heap.Load(base + mem.Addr(th*8)); v != each {
+			t.Errorf("counter %d = %d, want %d", th, v, each)
+		}
+	}
+	s := h.Stats()
+	if s.Starts != s.Commits+s.Aborts {
+		t.Errorf("accounting: starts %d != commits %d + aborts %d", s.Starts, s.Commits, s.Aborts)
+	}
+	if s.FastCommits == 0 {
+		t.Error("no fast commits on an uncontended workload")
+	}
+	if s.FastCommits+s.FastAborts > s.Starts {
+		t.Errorf("fast attempts %d exceed starts %d", s.FastCommits+s.FastAborts, s.Starts)
+	}
+	if live, _ := h.PoolCheck(); live != 0 {
+		t.Errorf("descriptor leak: %d live", live)
+	}
+}
+
+// TestHybridLostUpdate: every thread increments one shared word — the
+// classic lost-update oracle. Any torn fast/slow interleaving loses an
+// increment.
+func TestHybridLostUpdate(t *testing.T) {
+	h, heap := newHybrid(t, hybrid.Config{})
+	const threads, each = 8, 300
+	a := heap.MustAlloc(1)
+
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				err := tm.RunBackoff(h, th, tm.DefaultBackoff, func(x tm.Txn) error {
+					v, err := x.Read(a)
+					if err != nil {
+						return err
+					}
+					return x.Write(a, v+1)
+				})
+				if err != nil {
+					t.Errorf("thread %d: %v", th, err)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if v := heap.Load(a); v != threads*each {
+		t.Fatalf("counter = %d, want %d (lost updates)", v, threads*each)
+	}
+	s := h.Stats()
+	if s.Starts != s.Commits+s.Aborts {
+		t.Errorf("accounting: starts %d != commits %d + aborts %d", s.Starts, s.Commits, s.Aborts)
+	}
+}
+
+// TestHybridWriteSkewCrossPath pins the cross-path write-skew cycle: one
+// side commits through the uninstrumented fast path, the other through
+// the engine-validated slow path (driven directly on the inner runtime),
+// under the invariant x+y ≥ 1. A serializable implementation never lets
+// both decrements commit in one round.
+func TestHybridWriteSkewCrossPath(t *testing.T) {
+	h, heap := newHybrid(t, hybrid.Config{})
+	base := heap.MustAlloc(16)
+	x, y := base, base+8
+	slow := h.Slow()
+
+	for round := 0; round < 400; round++ {
+		heap.Store(x, 1)
+		heap.Store(y, 1)
+		var wg sync.WaitGroup
+		run := func(m tm.TM, thread int, dec, other mem.Addr) {
+			defer wg.Done()
+			_ = tm.RunBackoff(m, thread, tm.DefaultBackoff, func(t tm.Txn) error {
+				a, err := t.Read(dec)
+				if err != nil {
+					return err
+				}
+				b, err := t.Read(other)
+				if err != nil {
+					return err
+				}
+				if a+b >= 2 {
+					return t.Write(dec, a-1)
+				}
+				return nil
+			})
+		}
+		wg.Add(2)
+		go run(h, 0, x, y)    // adaptive: starts (and stays) fast
+		go run(slow, 1, y, x) // pinned to the engine-validated path
+		wg.Wait()
+		if heap.Load(x)+heap.Load(y) < 1 {
+			t.Fatalf("round %d: write skew committed (x=%d y=%d)", round, heap.Load(x), heap.Load(y))
+		}
+	}
+	if s := h.Stats(); s.FastCommits == 0 {
+		t.Error("workload never exercised the fast path")
+	}
+}
+
+// TestHybridHistorySerializable runs the token-based end-to-end history
+// oracle over the mixed-path runtime with the serializability auditor
+// watching the merged commit stream from the inside.
+func TestHybridHistorySerializable(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			auditor := audit.New(audit.Config{})
+			var h *hybrid.TM
+			tmtest.HistorySerializable(t, func() tm.TM {
+				h = hybrid.New(mem.NewHeap(1<<12), hybrid.Config{
+					Slow: rococotm.Config{MaxThreads: 8, Observer: auditor},
+				})
+				return h
+			}, tmtest.HistoryOptions{
+				Threads:   4,
+				TxnsEach:  150,
+				Addresses: 10, // few addresses → real cross-path conflicts
+				Readers:   false,
+				Seed:      seed,
+			})
+			if err := auditor.Err(); err != nil {
+				t.Errorf("auditor: %v", err)
+			}
+			if st := auditor.Stats(); st.Observed == 0 {
+				t.Error("auditor observed no commits")
+			}
+			s := h.Stats()
+			if s.Starts != s.Commits+s.Aborts {
+				t.Errorf("accounting: starts %d != commits %d + aborts %d", s.Starts, s.Commits, s.Aborts)
+			}
+		})
+	}
+}
+
+// TestHybridRouterDemotion walks the full per-site policy cycle
+// deterministically: conflict aborts (a slow commit lands between a fast
+// read and its write) push the site's EWMA over the demotion threshold;
+// the demoted site routes slow, then grants a probing fast attempt; the
+// probe commits and re-promotes the site.
+func TestHybridRouterDemotion(t *testing.T) {
+	// ConsecAborts high so the per-thread guard doesn't mask the per-site
+	// policy; ProbeAfter small so the probe arrives quickly.
+	h, heap := newHybrid(t, hybrid.Config{ProbeAfter: 2, ConsecAborts: 100})
+	a := heap.MustAlloc(1)
+	slow := h.Slow()
+	const site = 9001
+
+	conflicts := 0
+	for i := 0; i < 30; i++ {
+		if st, _ := hybrid.SiteState(h, site); st != hybrid.SiteFastState {
+			break
+		}
+		xt, err := h.BeginSite(0, site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := xt.Read(a)
+		if err != nil {
+			t.Fatalf("attempt %d: read: %v", i, err)
+		}
+		// A slow commit slips in between the fast read and its write: the
+		// write-back bumps the line version, dooming the fast attempt.
+		if err := tm.Run(slow, 1, func(s tm.Txn) error {
+			w, err := s.Read(a)
+			if err != nil {
+				return err
+			}
+			return s.Write(a, w+1)
+		}); err != nil {
+			t.Fatalf("attempt %d: interleaved slow commit: %v", i, err)
+		}
+		werr := xt.Write(a, v+100)
+		if werr == nil {
+			werr = h.Commit(xt)
+		}
+		if code, ok := tm.CodeOf(werr); !ok || code != tm.CodeConflict {
+			t.Fatalf("attempt %d: stale fast write: err = %v, want CodeConflict", i, werr)
+		}
+		conflicts++
+	}
+	if st, ewma := hybrid.SiteState(h, site); st != hybrid.SiteSlowState {
+		t.Fatalf("site state = %d after %d conflicts (ewma %d), want slow", st, conflicts, ewma)
+	}
+	s := h.Stats()
+	if s.FastAborts == 0 {
+		t.Fatal("no fast aborts recorded")
+	}
+
+	// Demoted: attempts route slow until ProbeAfter of them pass, then one
+	// probing fast attempt runs uncontended, commits, and re-promotes.
+	fastBefore := s.FastCommits
+	inc := func(x tm.Txn) error {
+		v, err := x.Read(a)
+		if err != nil {
+			return err
+		}
+		return x.Write(a, v+1)
+	}
+	for i := 0; i < 2*2+1; i++ {
+		if err := tm.RunSite(h, 0, site, inc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = h.Stats()
+	if s.Probations == 0 {
+		t.Error("demoted site never granted a probe")
+	}
+	if s.FastCommits == fastBefore {
+		t.Error("probe never committed on the fast path")
+	}
+	if st, _ := hybrid.SiteState(h, site); st != hybrid.SiteFastState {
+		t.Errorf("site state = %d after a committed probe, want fast", st)
+	}
+	t.Logf("conflicts=%d fast=%d/%d probations=%d",
+		conflicts, s.FastCommits, s.FastAborts, s.Probations)
+}
+
+// TestHybridEscalate: an escalated thread's next attempt routes slow and
+// arms the inner runtime's starvation escalation.
+func TestHybridEscalate(t *testing.T) {
+	h, heap := newHybrid(t, hybrid.Config{})
+	a := heap.MustAlloc(1)
+	h.Escalate(0)
+	if err := tm.Run(h, 0, func(x tm.Txn) error {
+		return x.Write(a, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := h.Stats()
+	if s.SlowFallbacks != 1 {
+		t.Errorf("SlowFallbacks = %d, want 1 (escalated attempt)", s.SlowFallbacks)
+	}
+	if s.FastCommits != 0 {
+		t.Errorf("FastCommits = %d, want 0", s.FastCommits)
+	}
+}
+
+// TestHybridIrrevocableCoexistence: fast traffic runs while one thread
+// repeatedly conflicts into irrevocable turns; nothing deadlocks and no
+// update is lost.
+func TestHybridIrrevocableCoexistence(t *testing.T) {
+	h, heap := newHybrid(t, hybrid.Config{
+		Slow: rococotm.Config{MaxThreads: 8, IrrevocableAfter: 2},
+	})
+	a := heap.MustAlloc(1)
+	const threads, each = 6, 200
+
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				err := tm.RunBackoff(h, th, tm.DefaultBackoff, func(x tm.Txn) error {
+					v, err := x.Read(a)
+					if err != nil {
+						return err
+					}
+					return x.Write(a, v+1)
+				})
+				if err != nil {
+					t.Errorf("thread %d: %v", th, err)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if v := heap.Load(a); v != threads*each {
+		t.Fatalf("counter = %d, want %d", v, threads*each)
+	}
+}
+
+// TestHybridChaosFallback: engine link stalls trip the FT degradation
+// machinery while fast and slow traffic keeps flowing. Fast sequence
+// claims bypass the link (RecordFast inserts directly into the window),
+// so the slow-path threads drive the stalls; fast claims must follow the
+// runtime into the software fallback window and no update may be lost
+// across the transitions.
+func TestHybridChaosFallback(t *testing.T) {
+	var link *fault.Link
+	heap := mem.NewHeap(1 << 12)
+	h := hybrid.New(heap, hybrid.Config{
+		Slow: rococotm.Config{
+			MaxThreads:       8,
+			ValidateDeadline: 1500 * time.Microsecond,
+			ProbeInterval:    200 * time.Microsecond,
+			WrapLink: fault.Wrapper(fault.Schedule{
+				Seed:       42,
+				StallEvery: 25,
+				StallFor:   3 * time.Millisecond,
+			}, &link),
+		},
+	})
+	defer h.Close()
+	a := heap.MustAlloc(1)
+	const threads, each = 6, 250
+	slow := h.Slow()
+
+	inc := func(x tm.Txn) error {
+		v, err := x.Read(a)
+		if err != nil {
+			return err
+		}
+		return x.Write(a, v+1)
+	}
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			var m tm.TM = h
+			if th%2 == 1 {
+				m = slow // engine-validated: every commit crosses the link
+			}
+			for i := 0; i < each; i++ {
+				if err := tm.RunBackoff(m, th, tm.DefaultBackoff, inc); err != nil {
+					t.Errorf("thread %d: %v", th, err)
+					return
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	if v := heap.Load(a); v != threads*each {
+		t.Fatalf("counter = %d, want %d (lost across degradation)", v, threads*each)
+	}
+	fs := slow.FaultStats()
+	if fs.FallbackEntries == 0 {
+		t.Error("link stalls never tripped the software fallback")
+	}
+	t.Logf("fallback entries=%d exits=%d fallback validations=%d stalls hit=%d",
+		fs.FallbackEntries, fs.FallbackExits, fs.FallbackValidations, link.Stats().Stalls)
+	s := h.Stats()
+	if s.Starts != s.Commits+s.Aborts {
+		t.Errorf("accounting: starts %d != commits %d + aborts %d", s.Starts, s.Commits, s.Aborts)
+	}
+}
+
+// TestHybridZeroAllocFastPath gates the fast path's steady state: an
+// uncontended read-modify-write transaction allocates nothing end to end.
+func TestHybridZeroAllocFastPath(t *testing.T) {
+	h, heap := newHybrid(t, hybrid.Config{})
+	a := heap.MustAlloc(1)
+	// Warm up: allocate the descriptor and route the site to steady state.
+	for i := 0; i < 10; i++ {
+		if err := tm.Run(h, 0, func(x tm.Txn) error {
+			v, err := x.Read(a)
+			if err != nil {
+				return err
+			}
+			return x.Write(a, v+1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := func(x tm.Txn) error {
+		v, err := x.Read(a)
+		if err != nil {
+			return err
+		}
+		return x.Write(a, v+1)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		xt, err := h.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := body(xt); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Commit(xt); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("fast-path RMW allocates %.1f objects/txn, want 0", avg)
+	}
+	if s := h.Stats(); s.FastCommits < 200 {
+		t.Errorf("alloc loop left the fast path (fast commits = %d)", s.FastCommits)
+	}
+}

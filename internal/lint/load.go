@@ -27,9 +27,12 @@ type Loader struct {
 
 	Fset *token.FileSet
 
-	std     types.Importer
-	pkgs    map[string]*Package // pure (non-test) packages by import path
-	loading map[string]bool     // cycle guard
+	std types.Importer
+	// pkgs caches the importable view of each package: normally the pure
+	// (non-test) files, transiently the test-inclusive view while its own
+	// external test package is being checked (see LoadDir).
+	pkgs    map[string]*Package
+	loading map[string]bool // cycle guard
 }
 
 // Package is one type-checked package ready for analysis.
@@ -208,7 +211,26 @@ func (l *Loader) LoadDir(dir string) ([]*Package, error) {
 		out = append(out, p)
 	}
 	if len(xtests) > 0 {
+		// The external test package compiles against the sibling package's
+		// test-inclusive view — export_test.go helpers are visible to it —
+		// so seed the import cache with that view for the duration of the
+		// check, restoring the pure entry afterwards.
+		var restore func()
+		if len(out) > 0 && out[0].Tests {
+			prev, had := l.pkgs[path]
+			l.pkgs[path] = out[0]
+			restore = func() {
+				if had {
+					l.pkgs[path] = prev
+				} else {
+					delete(l.pkgs, path)
+				}
+			}
+		}
 		p, err := l.check(path+"_test", dir, xtests, true)
+		if restore != nil {
+			restore()
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,71 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLineTableEncoding(t *testing.T) {
+	var s uint64
+	if LineWriterOf(s) != -1 {
+		t.Fatalf("empty writer = %d", LineWriterOf(s))
+	}
+	s = LineWithWriter(s, 7)
+	if LineWriterOf(s) != 7 {
+		t.Fatalf("writer = %d, want 7", LineWriterOf(s))
+	}
+	s |= LineReaderBit(3)
+	if LineWriterOf(s) != 7 || s&LineReaderBit(3) == 0 {
+		t.Fatal("reader bit interfered with writer field")
+	}
+	s = LineWithWriter(s, 55)
+	if LineWriterOf(s) != 55 || s&LineReaderBit(3) == 0 {
+		t.Fatal("writer update lost reader bit")
+	}
+}
+
+func TestLineTableSizing(t *testing.T) {
+	for _, tc := range []struct{ words, lines int }{
+		{1, 1}, {8, 1}, {9, 2}, {64, 8}, {65, 9},
+	} {
+		if got := NewLineTable(tc.words).Lines(); got != tc.lines {
+			t.Errorf("NewLineTable(%d).Lines() = %d, want %d", tc.words, got, tc.lines)
+		}
+	}
+	// Every address of a heap must map to a valid line.
+	h := NewHeap(1000)
+	lt := NewLineTable(h.Cap())
+	if l := LineOf(Addr(h.Cap() - 1)); int(l) >= lt.Lines() {
+		t.Fatalf("last address line %d out of range %d", l, lt.Lines())
+	}
+}
+
+func TestLineTableSeqlock(t *testing.T) {
+	lt := NewLineTable(64)
+	if v := lt.Version(0); v != 0 {
+		t.Fatalf("initial version = %d", v)
+	}
+	lt.BeginApply(0)
+	if v := lt.Version(0); v%2 != 1 {
+		t.Fatalf("version during apply = %d, want odd", v)
+	}
+	lt.EndApply(0)
+	if v := lt.Version(0); v != 2 {
+		t.Fatalf("version after apply = %d, want 2", v)
+	}
+	// Concurrent clock bumps are a plain atomic counter.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				lt.BumpClock()
+			}
+		}()
+	}
+	wg.Wait()
+	if c := lt.Clock(); c != 4000 {
+		t.Fatalf("clock = %d, want 4000", c)
+	}
+}

@@ -1,0 +1,337 @@
+package rococotm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"rococotm/internal/fpga"
+	"rococotm/internal/mem"
+	"rococotm/internal/tm"
+)
+
+// This file is the slow-path half of the hybrid runtime's commit protocol:
+// how an uninstrumented fast-path transaction (internal/hybrid) publishes
+// its already-applied writes into the global commit order so that engine
+// validation, the commit queue, the auditor, and every concurrent slow
+// transaction observe it exactly like an engine-validated commit.
+//
+// A fast transaction executes with no signatures and no engine round trip:
+// it takes encounter-time write ownership of heap lines (LineTable), stores
+// eagerly with an undo log, and records the seqlock version of every line
+// it reads. At commit it calls PublishFast, which
+//
+//  1. claims the next commit sequence — by recording the footprint in the
+//     engine's sliding window (Engine.RecordFast), so later slow
+//     validations see the fast commit's read and write sets and cross-path
+//     write skew is caught; in degraded mode the software fallback window
+//     records it instead;
+//  2. installs the thread's update-set entry, the same commit-time lock
+//     slow committers use, so later write-backs order WAW against it and
+//     slow readers keep spinning on the footprint;
+//  3. waits for its exact turn (GlobalTS == seq). Group advance cannot
+//     pass it: the commit-queue slot stays unpublished until the turn is
+//     taken;
+//  4. at the turn, scans for still-active earlier write-backs that may
+//     overlap its footprint (they could still be storing, with version
+//     bumps in flight) and fails conservatively on any hit — the scan
+//     never waits, so it cannot deadlock with a write-back that is itself
+//     waiting out one of our owned lines;
+//  5. validates every recorded read-line version by equality — any slow
+//     write-back or fast commit that touched a read line since the read
+//     moved the version and fails us;
+//  6. publishes: the real write signature into the commit queue on
+//     success, the empty signature on failure (the sequence is consumed
+//     either way — the engine window already holds the footprint, which is
+//     conservative-safe), then the observer record and the GlobalTS
+//     advance. On failure the undo values are restored first, while the
+//     lines are still owned and the update-set entry still held, so the
+//     rollback is invisible to every other path.
+//
+// PublishFast always finalizes the heap: on a nil return the eager stores
+// are the committed values; on any error return the undo values have been
+// restored. The caller keeps line ownership (odd line versions) across the
+// whole call and releases it — EndApply then ownership-word clear — only
+// after PublishFast returns, which is what makes the restore invisible.
+
+// FastFootprint is the commit-time footprint a fast-path transaction hands
+// to PublishFast. The slices stay owned by the caller and are not retained
+// past the call (the engine window copies what it keeps).
+type FastFootprint struct {
+	// Thread is the committing thread id (also the update-slot index).
+	Thread int
+	// ReadAddrs is every heap word address the transaction read, for the
+	// engine window and the observer.
+	ReadAddrs []uint64
+	// WriteAddrs64 is every written heap word address, for the engine
+	// window, the write signature, and the observer.
+	WriteAddrs64 []uint64
+	// WriteOrder/NewVals/OldVals are the undo log: one entry per written
+	// address (first-write order), with the eagerly-stored new value and
+	// the pre-transaction value. NewVals is already in the heap when
+	// PublishFast is called; OldVals is what a failure restores.
+	WriteOrder []mem.Addr
+	NewVals    []mem.Word
+	OldVals    []mem.Word
+	// ReadLines/ReadVers are the recorded seqlock versions of the lines
+	// read (even values, captured at first read), validated by equality at
+	// the turn. Lines the transaction also write-owns may be omitted:
+	// ownership plus the slow write-back's line sentinel already exclude
+	// every foreign store from them.
+	ReadLines []uint64
+	ReadVers  []uint64
+}
+
+// PublishFast publishes one fast-path commit into the global commit order.
+// It returns nil when the commit is published (the eager stores stand), a
+// tm abort error when the attempt must be retried (undo values restored):
+// CodeFallback when an irrevocable transaction holds the gate, CodeEngine
+// when the engine path is unavailable mid-degradation, CodeConflict when
+// validation failed at the turn. Any other error is a hard runtime fault.
+func (r *TM) PublishFast(f *FastFootprint) error {
+	if r.lt == nil {
+		panic("rococotm: PublishFast without Config.LineTable")
+	}
+	// The shared gate keeps irrevocable turns exclusive. TryRLock, not
+	// RLock: a blocking wait here while holding line ownership could park
+	// the irrevocable transaction's own read spins forever.
+	if !r.gate.TryRLock() {
+		r.restoreFastHeap(f)
+		return tm.AbortCode(tm.CodeFallback)
+	}
+	defer r.gate.RUnlock()
+
+	seq, viaEngine, err := r.claimFastSeq(f)
+	if err != nil {
+		r.restoreFastHeap(f)
+		if errors.Is(err, errUnavailable) {
+			return tm.AbortCode(tm.CodeEngine)
+		}
+		return fmt.Errorf("rococotm: fast sequence claim: %w", err)
+	}
+
+	// Install the update-set entry — the same commit-time lock a slow
+	// committer holds from verdict to write-back completion. From here on,
+	// later-sequence write-backs WAW-order behind us and slow readers
+	// probing our footprint keep spinning. Order matters: sequence, then
+	// words, then active (see Commit).
+	ws := r.fastSigs[f.Thread]
+	ws.Reset()
+	for _, a := range f.WriteAddrs64 {
+		ws.Insert(r.hasher, a)
+	}
+	u := &r.updates[f.Thread]
+	u.seq.Store(seq)
+	for i, w := range ws.Words() {
+		u.words[i].Store(w)
+	}
+	u.active.Store(1)
+
+	// Wait for the exact turn. An engine-issued sequence in FT mode bounds
+	// the wait exactly like awaitTurn: a hole below us needs degradation to
+	// clear, and the quiesce needs us to let go. A fallback-issued sequence
+	// must ALWAYS reach publication — promote() waits for the fallback
+	// window to drain to GlobalTS — so it spins unboundedly and publishes
+	// the empty signature even when doomed.
+	if r.ftEnabled && viaEngine {
+		deadline := time.Now().Add(r.cfg.ValidateDeadline)
+		for i := 0; r.globalTS.Load() != seq; i++ {
+			if r.state.Load() != stateHealthy {
+				return r.abandonFast(f, false)
+			}
+			if i&63 == 63 && time.Now().After(deadline) {
+				r.fc.deadlineMisses.Add(1)
+				return r.abandonFast(f, true)
+			}
+			runtime.Gosched()
+		}
+	} else {
+		for spin := 0; r.globalTS.Load() != seq; spin++ {
+			if spin > 8 {
+				runtime.Gosched()
+			}
+		}
+	}
+
+	// Serialization point: GlobalTS == seq until we store seq+1.
+	failed := r.fastDoomed[f.Thread].Load() != 0
+
+	// Drain scan: an earlier-sequence write-back still active may have
+	// stores or version bumps in flight. One that may touch our read lines
+	// could invalidate them after we check; one that may touch our write
+	// lines is (or will be) waiting out our ownership. Either way we fail
+	// conservatively instead of waiting — waiting could deadlock against a
+	// write-back that is itself doom-spinning on one of our lines.
+	if !failed {
+		rs := r.fastReadSigs[f.Thread]
+		rs.Reset()
+		for _, a := range f.ReadAddrs {
+			rs.Insert(r.hasher, a)
+		}
+		for i := range r.updates {
+			if i == f.Thread {
+				continue
+			}
+			u2 := &r.updates[i]
+			if u2.active.Load() != 1 || u2.seq.Load() >= seq {
+				continue
+			}
+			if r.writerMayOverlap(u2, ws) || r.writerMayOverlap(u2, rs) {
+				failed = true
+				break
+			}
+		}
+	}
+
+	// Read validation: every recorded line version must be exactly what
+	// the read saw. Completed write-backs bumped by 2, fast commits by 2
+	// (BeginApply+EndApply) — any movement is a conflict.
+	if !failed {
+		for i, l := range f.ReadLines {
+			if r.lt.Version(l) != f.ReadVers[i] {
+				failed = true
+				break
+			}
+		}
+	}
+
+	if failed {
+		// The lines are still owned and the update-set entry still active,
+		// so no other path can observe the rollback in flight.
+		r.restoreFastHeap(f)
+		r.publishSlot(seq, r.emptyFastSig)
+		r.publishAggregates(seq)
+		if r.cfg.Observer != nil {
+			r.cfg.Observer.ObserveCommit(seq, seq, nil, nil)
+		}
+		r.globalTS.Store(seq + 1)
+		u.active.Store(0)
+		if r.ftEnabled && viaEngine {
+			r.engineInflight.Add(-1)
+		}
+		return tm.AbortCode(tm.CodeConflict)
+	}
+
+	r.publishSlot(seq, ws)
+	r.publishAggregates(seq)
+	if r.cfg.Observer != nil {
+		// Reads were validated consistent at this very sequence, so the
+		// snapshot the observer records is the commit's own position.
+		r.cfg.Observer.ObserveCommit(seq, seq, f.ReadAddrs, f.WriteAddrs64)
+	}
+	r.lt.BumpClock()
+	r.globalTS.Store(seq + 1)
+	u.active.Store(0)
+	if r.ftEnabled && viaEngine {
+		r.engineInflight.Add(-1)
+	}
+	return nil
+}
+
+// claimFastSeq claims the next commit sequence for a fast footprint,
+// recording the footprint in whichever validation window currently owns
+// the sequence space. viaEngine reports that the claim holds an
+// engineInflight reference (FT mode, healthy state).
+func (r *TM) claimFastSeq(f *FastFootprint) (uint64, bool, error) {
+	if !r.ftEnabled {
+		v, err := r.eng.RecordFast(uint64(f.Thread), f.ReadAddrs, f.WriteAddrs64)
+		if err != nil {
+			return 0, false, err
+		}
+		return uint64(v.Seq), false, nil
+	}
+	for {
+		switch r.state.Load() {
+		case stateHealthy:
+			// Reference before the claim, so degradation's quiesce cannot
+			// rebase the window while we hold an unpublished sequence.
+			r.engineInflight.Add(1)
+			v, err := r.eng.RecordFast(uint64(f.Thread), f.ReadAddrs, f.WriteAddrs64)
+			if err != nil {
+				r.engineInflight.Add(-1)
+				if errors.Is(err, fpga.ErrClosed) {
+					r.fc.engineErrors.Add(1)
+					r.degrade()
+					continue
+				}
+				return 0, false, err
+			}
+			return uint64(v.Seq), true, nil
+		case stateDraining:
+			return 0, false, errUnavailable
+		case stateDegraded:
+			r.fbMu.Lock()
+			if r.state.Load() != stateDegraded {
+				r.fbMu.Unlock()
+				continue
+			}
+			r.fc.fallbackValidations.Add(1)
+			v := r.fbPl.Process(fpga.Request{
+				Token:      uint64(f.Thread),
+				ValidTS:    uint64(r.fbPl.NextSeq()),
+				ReadAddrs:  f.ReadAddrs,
+				WriteAddrs: f.WriteAddrs64,
+			})
+			r.fbMu.Unlock()
+			return uint64(v.Seq), false, nil
+		}
+	}
+}
+
+// abandonFast gives up an engine-issued fast sequence before publication,
+// mirroring abandonCommit: restore the heap, retract the update-set entry,
+// release the inflight reference, optionally trip degradation.
+func (r *TM) abandonFast(f *FastFootprint, triggerDegrade bool) error {
+	r.restoreFastHeap(f)
+	r.updates[f.Thread].active.Store(0)
+	r.engineInflight.Add(-1)
+	r.fc.abandoned.Add(1)
+	if triggerDegrade {
+		r.degrade()
+	}
+	return tm.AbortCode(tm.CodeEngine)
+}
+
+// restoreFastHeap rolls the footprint's eager stores back to the undo
+// values. Callers hold write ownership of every touched line (odd
+// versions), so no reader — fast or slow — can observe the rollback.
+func (r *TM) restoreFastHeap(f *FastFootprint) {
+	for i := len(f.WriteOrder) - 1; i >= 0; i-- {
+		r.heap.Store(f.WriteOrder[i], f.OldVals[i])
+	}
+}
+
+// FastDoomed reports whether a slow write-back has doomed thread's current
+// fast transaction: it wants a line the transaction owns and is waiting
+// for the rollback. The fast path polls this at every operation and inside
+// its commit, and must abort promptly when set.
+//
+//tm:hotpath
+func (r *TM) FastDoomed(thread int) bool {
+	return r.fastDoomed[thread].Load() != 0
+}
+
+// ClearFastDoom resets thread's doom flag; the fast path calls it when a
+// new transaction begins (it owns no lines yet, so a doom arriving from a
+// stale observation can only cause one spurious abort).
+//
+//tm:hotpath
+func (r *TM) ClearFastDoom(thread int) {
+	r.fastDoomed[thread].Store(0)
+}
+
+// IrrevocablePending reports that a thread is waiting for (or holding) the
+// irrevocable gate. Fast transactions poll it and self-abort: they never
+// block on the gate, so the irrevocable turn could otherwise starve behind
+// a stream of fast commits, and a fast owner spinning inside the
+// irrevocable transaction's read would deadlock against it.
+//
+//tm:hotpath
+func (r *TM) IrrevocablePending() bool {
+	return r.irrevPending.Load() > 0
+}
+
+// LineTable returns the shared line table (nil when the hybrid fast path
+// is not configured).
+func (r *TM) LineTable() *mem.LineTable { return r.lt }

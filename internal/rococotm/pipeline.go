@@ -3,6 +3,7 @@ package rococotm
 import (
 	"runtime"
 
+	"rococotm/internal/mem"
 	"rococotm/internal/sig"
 )
 
@@ -107,13 +108,73 @@ func (r *TM) writeBack(x *txn, seq uint64) {
 	}
 	r.awaitWriters(seq, x)
 	hook := r.cfg.WritebackHook
+	lt := r.lt
 	for i, a := range x.writeOrder {
 		if hook != nil {
 			hook(seq, i)
 		}
+		if lt == nil {
+			r.heap.Store(a, x.redo[a])
+			continue
+		}
+		// Hybrid coexistence: never store over a line a fast transaction
+		// owns — its uncommitted eager store is there, and once the two
+		// heap words interleave, neither an abort-restore nor a commit can
+		// recover the right final value. Take the line with the slow
+		// sentinel (dooming any fast owner out of the way), store, bump
+		// the version so fast readers of the line revalidate, release.
+		// Holding the sentinel across store+bump is what keeps a fast
+		// acquisition from capturing a half-applied undo value.
+		line := mem.LineOf(a)
+		r.lockLineSlow(line)
 		r.heap.Store(a, x.redo[a])
+		lt.Bump(line)
+		r.unlockLineSlow(line)
+	}
+	if lt != nil {
+		lt.BumpClock()
 	}
 	r.wbInflight.Add(-1)
+}
+
+// lockLineSlow takes a line's write ownership with the reserved slow-path
+// writer id, dooming each fast owner it meets: the owner observes the doom
+// at its next operation (or inside PublishFast) and rolls back, so the
+// wait is bounded by one fast abort; a new owner arriving mid-spin is
+// doomed in turn. Publications never wait on write-backs, so the global
+// commit order keeps advancing while we spin — no cycle can form. Two
+// slow write-backs never contend here: awaitWriters already serializes
+// overlapping write sets.
+//
+//tm:hotpath
+func (r *TM) lockLineSlow(line uint64) {
+	own := r.lt.Own(line)
+	for {
+		s := own.Load()
+		if w := mem.LineWriterOf(s); w >= 0 {
+			if w < len(r.fastDoomed) {
+				r.fastDoomed[w].Store(1)
+			}
+			runtime.Gosched()
+			continue
+		}
+		if own.CompareAndSwap(s, mem.LineWithWriter(s, mem.LineSlowWriter)) {
+			return
+		}
+	}
+}
+
+// unlockLineSlow releases a lockLineSlow hold, preserving reader bits.
+//
+//tm:hotpath
+func (r *TM) unlockLineSlow(line uint64) {
+	own := r.lt.Own(line)
+	for {
+		s := own.Load()
+		if own.CompareAndSwap(s, mem.LineWithWriter(s, -1)) {
+			return
+		}
+	}
 }
 
 // awaitWriters blocks until no in-flight write-back with an earlier

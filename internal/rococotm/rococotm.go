@@ -164,6 +164,15 @@ type Config struct {
 	// non-zero height reseeds GlobalTS and the engine window (recovery).
 	// Like Observer, it disables the fastTurn commit chain.
 	Durable *Durable
+	// LineTable, when set, enables hybrid fast-path coexistence
+	// (fastpub.go): uninstrumented fast transactions own lines and bump
+	// per-line versions through this table, slow reads spin past
+	// fast-owned lines via the version seqlock, and slow write-backs bump
+	// the versions of the lines they touch so fast readers revalidate.
+	// The table must cover the runtime's heap. Incompatible with a
+	// cycle-level engine (the RTL model owns the sliding window, so the
+	// host has no sequence authority for direct fast inserts).
+	LineTable *mem.LineTable
 }
 
 func (c *Config) fill() {
@@ -261,9 +270,16 @@ type TM struct {
 	// gate serializes commits against irrevocable execution: regular
 	// commits hold it shared for their validate/write-back span; an
 	// irrevocable transaction holds it exclusively from Begin to Commit.
-	gate      sync.RWMutex
-	consec    []int32 // consecutive conflict aborts per thread (owner-only)
-	escalated []bool  // starvation escalation pending per thread (owner-only)
+	// irrevPending counts irrevocable transactions waiting for or holding
+	// the exclusive gate: fast-path transactions poll it and self-abort,
+	// because a fast line owner blocking an irrevocable read while itself
+	// blocked on the gate would deadlock (the fast commit only TryRLocks,
+	// so the deadlock is already impossible — the flag makes the drain
+	// prompt instead of commit-time).
+	gate         sync.RWMutex
+	irrevPending atomic.Int32
+	consec       []int32 // consecutive conflict aborts per thread (owner-only)
+	escalated    []bool  // starvation escalation pending per thread (owner-only)
 
 	// Watchdog state. began[i] holds the wall-clock stamp (UnixNano) of
 	// thread i's live transaction, 0 while idle; doomed[i] holds the
@@ -292,6 +308,15 @@ type TM struct {
 
 	// Durability binding (durable.go); nil unless Config.Durable is set.
 	dur *durableState
+
+	// Hybrid fast-path binding (fastpub.go); nil unless Config.LineTable
+	// is set. fastSigs holds one recycled write signature per thread for
+	// fast publications.
+	lt           *mem.LineTable
+	fastSigs     []sig.Sig       // per-thread write-sig scratch for PublishFast
+	fastReadSigs []sig.Sig       // per-thread read-sig scratch for the drain scan
+	emptyFastSig sig.Sig         // published as a failed fast sequence's signature
+	fastDoomed   []atomic.Uint32 // write-back found this thread's fast txn in its way
 
 	// Fault-tolerant mode state (degrade.go). link is the possibly-wrapped
 	// engine connection; ftEnabled caches ValidateDeadline > 0.
@@ -383,6 +408,35 @@ func New(heap *mem.Heap, cfg Config) *TM {
 				panic("rococotm: reseed engine at recovered height: " + err.Error())
 			}
 		}
+	}
+	if cfg.LineTable != nil {
+		if cfg.Engine.CycleLevel {
+			panic("rococotm: Config.LineTable is incompatible with a cycle-level engine")
+		}
+		if cfg.OrderedWriteback {
+			// The doom-and-wait write-back would sit inside the ordered
+			// section and stall the global commit order behind a fast owner.
+			panic("rococotm: Config.LineTable is incompatible with OrderedWriteback")
+		}
+		if cfg.Durable != nil {
+			// The multi-version store captures chain base values from the
+			// live heap at first touch; a fast transaction's uncommitted
+			// eager store would be captured as committed pre-history.
+			panic("rococotm: Config.LineTable is incompatible with Durable")
+		}
+		if wantLines := (uint64(heap.Cap()-1) >> mem.LineShift) + 1; uint64(cfg.LineTable.Lines()) < wantLines {
+			panic(fmt.Sprintf("rococotm: Config.LineTable covers %d lines, heap needs %d",
+				cfg.LineTable.Lines(), wantLines))
+		}
+		r.lt = cfg.LineTable
+		r.fastSigs = make([]sig.Sig, cfg.MaxThreads)
+		r.fastReadSigs = make([]sig.Sig, cfg.MaxThreads)
+		for i := range r.fastSigs {
+			r.fastSigs[i] = sig.New(eng.Config().Sig)
+			r.fastReadSigs[i] = sig.New(eng.Config().Sig)
+		}
+		r.emptyFastSig = sig.New(eng.Config().Sig)
+		r.fastDoomed = make([]atomic.Uint32, cfg.MaxThreads)
 	}
 	if r.ftEnabled {
 		if cfg.WrapLink != nil {
@@ -593,7 +647,10 @@ func (r *TM) Begin(thread int) (tm.Txn, error) {
 	if irrevocable {
 		// Exclusive gate: in-flight commits drain, nothing new commits
 		// until this transaction finishes, so its snapshot stays valid
-		// and its validation is trivially acyclic.
+		// and its validation is trivially acyclic. The pending count goes
+		// up first so fast-path transactions (which hold line ownership
+		// without the gate) abort promptly instead of stalling the drain.
+		r.irrevPending.Add(1)
 		r.gate.Lock()
 	}
 	now := time.Now().UnixNano()
@@ -632,6 +689,7 @@ func (x *txn) abort(reason string) error {
 		// Only reachable through pathological paths (e.g. commit-queue
 		// overflow with a tiny ring); release the gate.
 		x.r.gate.Unlock()
+		x.r.irrevPending.Add(-1)
 	} else if reason != tm.ReasonExplicit && reason != tm.ReasonEngine &&
 		reason != tm.ReasonWatchdog {
 		// Engine-unavailability and watchdog aborts say nothing about
@@ -730,6 +788,8 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 	idx := r.hasher.Indices(addr, idxBuf[:])
 
 	var v mem.Word
+	lt := r.lt
+	line := mem.LineOf(a)
 	spins := 0
 	for {
 		if spins++; spins > r.cfg.ReadSpinLimit {
@@ -748,10 +808,26 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 			runtime.Gosched()
 			continue
 		}
+		// Hybrid coexistence: an odd line version means a fast-path
+		// transaction owns the line and its eager stores are uncommitted —
+		// spin past it exactly like an in-flight write-back. The version
+		// re-check after the load closes the window where a fast
+		// transaction acquires, stores, and rolls back entirely between
+		// our ownership probes (every fast acquisition bumps the version).
+		var lv uint64
+		if lt != nil {
+			if lv = lt.Version(line); lv&1 != 0 {
+				runtime.Gosched()
+				continue
+			}
+		}
 		v = r.heap.Load(a) // line 8
 		// Re-check: if a committer published or a commit completed while
 		// we read, the value may be torn or from an ambiguous snapshot.
 		if r.updateSetHits(idx, x.thread) || r.globalTS.Load() != g1 {
+			continue
+		}
+		if lt != nil && lt.Version(line) != lv {
 			continue
 		}
 		break
@@ -873,6 +949,7 @@ func (r *TM) Commit(t tm.Txn) error {
 		x.dead = true
 		if x.irrevocable {
 			r.gate.Unlock()
+			r.irrevPending.Add(-1)
 		}
 		r.consec[x.thread] = 0
 		r.cnt.OnCommit(true)
@@ -1074,6 +1151,7 @@ func (r *TM) Commit(t tm.Txn) error {
 	x.dead = true
 	if x.irrevocable {
 		r.gate.Unlock()
+		r.irrevPending.Add(-1)
 	}
 	r.consec[x.thread] = 0
 	r.cnt.OnCommit(false)
@@ -1098,6 +1176,7 @@ func (r *TM) Abort(t tm.Txn) {
 		x.dead = true
 		if x.irrevocable {
 			r.gate.Unlock()
+			r.irrevPending.Add(-1)
 		}
 		r.cnt.OnAbort(tm.ReasonExplicit)
 		r.recycle(x)

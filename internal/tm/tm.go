@@ -38,13 +38,15 @@ const (
 // Runtimes return it from Read/Write/Commit; Run retries the transaction.
 type AbortError struct {
 	Reason string
+	Code   Code
 }
 
 // Error implements error.
 func (e *AbortError) Error() string { return "tm: aborted (" + e.Reason + ")" }
 
-// Abort returns an AbortError with the given reason.
-func Abort(reason string) error { return &AbortError{Reason: reason} }
+// Abort returns an AbortError with the given reason. It allocates; hot
+// paths use AbortCode, which returns a preallocated singleton.
+func Abort(reason string) error { return &AbortError{Reason: reason, Code: reasonCode(reason)} }
 
 // IsAbort reports whether err is (or wraps) a transactional abort, and
 // returns the reason.
@@ -197,6 +199,18 @@ type Stats struct {
 	// drain time. Zero for runtimes without those pipelines.
 	CommitPipelinePeak  uint64
 	ValidationQueuePeak uint64
+	// Per-path routing counters, populated by hybrid runtimes. A fast
+	// attempt ends as exactly one FastCommit or FastAbort; SlowFallbacks
+	// counts the fast aborts whose *next* attempt was routed to the slow
+	// path (a routing demotion, not a new outcome class); Probations
+	// counts slow→probe transitions where a demoted site re-tried the fast
+	// path. The accounting identity Starts == Commits + Aborts holds per
+	// path: FastCommits + FastAborts is the number of fast attempts, and
+	// Commits - FastCommits the number of slow commits.
+	FastCommits   uint64
+	FastAborts    uint64
+	SlowFallbacks uint64
+	Probations    uint64
 }
 
 // AbortRate returns Aborts / Starts.
@@ -218,6 +232,8 @@ type Counters struct {
 	reasonWatchdog, reasonExplicit              atomic.Uint64
 	extendNanos, awaitNanos                     atomic.Uint64
 	publishNanos, writebackNanos                atomic.Uint64
+	fastCommits, fastAborts                     atomic.Uint64
+	slowFallbacks, probations                   atomic.Uint64
 }
 
 // OnStart records a transaction attempt.
@@ -255,6 +271,26 @@ func (c *Counters) OnAbort(reason string) {
 		c.reasonExplicit.Add(1)
 	}
 }
+
+// OnFastCommit records that a committed attempt ran on the uninstrumented
+// fast path (called alongside OnCommit, which still counts the commit).
+//
+//tm:hotpath
+func (c *Counters) OnFastCommit() { c.fastCommits.Add(1) }
+
+// OnFastAbort records that an aborted attempt ran on the fast path
+// (called alongside OnAbort, which still counts the abort and its reason).
+//
+//tm:hotpath
+func (c *Counters) OnFastAbort() { c.fastAborts.Add(1) }
+
+// OnSlowFallback records a routing demotion: the attempt after a fast
+// abort was sent to the slow path.
+func (c *Counters) OnSlowFallback() { c.slowFallbacks.Add(1) }
+
+// OnProbation records a slow→probe transition: a demoted site was granted
+// a probing fast attempt.
+func (c *Counters) OnProbation() { c.probations.Add(1) }
 
 // AddValidation accumulates commit-time validation latency.
 func (c *Counters) AddValidation(d time.Duration) {
@@ -308,6 +344,10 @@ func (c *Counters) Snapshot() Stats {
 		CommitAwaitNanos:     c.awaitNanos.Load(),
 		CommitPublishNanos:   c.publishNanos.Load(),
 		CommitWritebackNanos: c.writebackNanos.Load(),
+		FastCommits:          c.fastCommits.Load(),
+		FastAborts:           c.fastAborts.Load(),
+		SlowFallbacks:        c.slowFallbacks.Load(),
+		Probations:           c.probations.Load(),
 	}
 }
 
@@ -454,12 +494,12 @@ func (p BackoffPolicy) wait(rg *rng, reason string, attempt int) {
 // txn/scratch/sub-signature recycled, any engine slot released — before
 // the panic continues unwinding.
 func Run(m TM, thread int, fn func(Txn) error) error {
-	return RunBackoff(m, thread, DefaultBackoff, fn)
+	return runLoop(nil, m, thread, autoSite(m, 2), DefaultBackoff, fn)
 }
 
 // RunBackoff is Run with an explicit backoff policy.
 func RunBackoff(m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
-	return runLoop(nil, m, thread, pol, fn)
+	return runLoop(nil, m, thread, autoSite(m, 2), pol, fn)
 }
 
 // RunCtx is Run with cancellation: the context's deadline/cancel is
@@ -470,7 +510,10 @@ func RunBackoff(m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
 // never undone (cancellation between the commit point and return is
 // reported as success, matching context convention: commit wins the race).
 func RunCtx(ctx context.Context, m TM, thread int, fn func(Txn) error) error {
-	return RunCtxBackoff(ctx, m, thread, DefaultBackoff, fn)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runLoop(ctx, m, thread, autoSite(m, 2), DefaultBackoff, fn)
 }
 
 // RunCtxBackoff is RunCtx with an explicit backoff policy.
@@ -478,16 +521,21 @@ func RunCtxBackoff(ctx context.Context, m TM, thread int, pol BackoffPolicy, fn 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return runLoop(ctx, m, thread, pol, fn)
+	return runLoop(ctx, m, thread, autoSite(m, 2), pol, fn)
 }
 
 // runLoop is the shared retry loop behind Run and RunCtx. ctx == nil means
 // no cancellation (plain Run): the hot path then carries no context checks.
-func runLoop(ctx context.Context, m TM, thread int, pol BackoffPolicy, fn func(Txn) error) error {
+// site routes every attempt of this loop through SiteRunner.BeginSite when
+// both the site and the runtime support it, so per-site statistics see the
+// whole retry history of one logical transaction.
+func runLoop(ctx context.Context, m TM, thread int, site siteID, pol BackoffPolicy, fn func(Txn) error) error {
 	pol.fill()
 	attempt := 0
 	rg := newRNG()
 	esc, canEscalate := m.(Escalator)
+	sr, canSite := m.(SiteRunner)
+	useSite := site.ok && canSite
 	var wrapper *ctxTxn
 	if ctx != nil {
 		wrapper = &ctxTxn{ctx: ctx, done: ctx.Done()}
@@ -501,7 +549,13 @@ func runLoop(ctx context.Context, m TM, thread int, pol BackoffPolicy, fn func(T
 		if canEscalate && pol.EscalateAfter > 0 && attempt >= pol.EscalateAfter {
 			esc.Escalate(thread)
 		}
-		t, err := m.Begin(thread)
+		var t Txn
+		var err error
+		if useSite {
+			t, err = sr.BeginSite(thread, site.id)
+		} else {
+			t, err = m.Begin(thread)
+		}
 		if err != nil {
 			return fmt.Errorf("tm: begin: %w", err)
 		}

@@ -51,19 +51,26 @@
 #                    real driver — goodput must stay positive while
 #                    shedding, with the accounting identity, conservation
 #                    invariant, auditor and pool checks all certified (~15s)
-#  11. go test -race ./internal/...
+#  11. hybrid lane — go test -race over the adaptive hybrid runtime: the
+#                    mixed fast/slow path oracles (lost-update, cross-path
+#                    write skew, auditor-certified histories), the
+#                    fast-publication protocol unit tests, the chaos
+#                    mass-fallback scenario, then a bounded
+#                    `rococobench -exp hybrid` crossover smoke      (~20s)
+#  12. go test -race ./internal/...
 #                  — the runtime and analyzer packages under the race
 #                    detector; OCC code is concurrency code, so the race
 #                    lane is not optional                          (~2min)
-#  12. bench smoke — every benchmark compiles and survives one iteration
+#  13. bench smoke — every benchmark compiles and survives one iteration
 #                    (benchtime=1x), so perf lanes cannot silently rot;
 #                    the non-race run also picks up the AllocsPerRun
-#                    zero-allocation tests excluded from lane 11   (~30s)
-#  13. bench gate  — cmd/benchgate re-measures the optimization-sensitive
+#                    zero-allocation tests excluded from lane 12   (~30s)
+#  14. bench gate  — cmd/benchgate re-measures the optimization-sensitive
 #                    microbenchmarks (pipelined/ordered counter throughput,
 #                    aggregate/per-commit extension folds, WAL append,
 #                    snapshot read, sharded-plane throughput, serve-stack
-#                    p99 overhead) and fails on a >20% regression vs
+#                    p99 overhead, hybrid fast-commit latency and
+#                    throughput) and fails on a >20% regression vs
 #                    internal/bench/baseline.json; re-record an
 #                    intentional move with `benchgate -record`     (~3min)
 set -eu
@@ -113,6 +120,11 @@ go run ./cmd/rococobench -exp shard -dur 50ms >/dev/null
 echo "== serve lane: overload smoke — goodput under shedding, accounting/auditor certification"
 go test -race -run 'TestServe' -count=1 ./internal/serve/...
 go test -count=1 ./cmd/rococobench/
+
+echo "== hybrid lane: mixed-path oracles + fast-publication protocol + crossover smoke"
+go test -race -run 'TestHybrid|PublishFast|LineTable' -count=1 \
+    ./internal/hybrid/... ./internal/rococotm/... ./internal/mem/...
+go run ./cmd/rococobench -exp hybrid -dur 40ms >/dev/null
 
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
