@@ -196,6 +196,15 @@ func (x *fastTxn) Write(a mem.Addr, v mem.Word) error {
 	own := h.lt.Own(line)
 	s := own.Load()
 	if mem.LineWriterOf(s) != x.thread {
+		if len(x.writeOrder) >= h.cfg.MaxFastWrites {
+			// Capacity check before acquisition: a full write set means this
+			// new line's ownership would never be used, and appending it
+			// would push ownedLines past its MaxFastWrites capacity — a heap
+			// reallocation on the hot path. (A write to a not-yet-owned line
+			// can never be a repeat: a repeated address implies we already
+			// own its line.)
+			return x.fail(tm.CodeCapacity)
+		}
 		for spin := 0; ; spin++ {
 			if w := mem.LineWriterOf(s); w < 0 {
 				if own.CompareAndSwap(s, mem.LineWithWriter(s, x.thread)) {
@@ -261,9 +270,19 @@ func (x *fastTxn) commit() error {
 		return tm.AbortCode(tm.CodeConflict)
 	}
 	if len(x.writeOrder) == 0 {
-		// Read-only: every read was consistent as of the last clock
-		// revalidation, which is the serialization point. Nothing to
-		// publish (slow read-only commits skip the engine the same way).
+		// Read-only: nothing to publish (slow read-only commits skip the
+		// engine the same way), but the snapshot must still be certified at
+		// commit time. The per-read clock check alone is not enough: a slow
+		// write-back bumps the clock once, then applies its stores line by
+		// line, so a read landing between two of its stores sees no clock
+		// movement and never revalidates earlier reads. The commit-time
+		// check — the same drain scan + read-version validation PublishFast
+		// runs for updaters — is the serialization point: on success every
+		// read belongs to one consistent snapshot between two published
+		// commits.
+		if !h.slow.ValidateFastReadOnly(x.thread, x.readAddrs, x.readLines, x.readVers) {
+			return x.finish(tm.CodeConflict) // owns no lines: nothing to roll back
+		}
 		x.dead = true
 		h.cnt.OnCommit(true)
 		h.cnt.OnFastCommit()

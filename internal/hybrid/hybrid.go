@@ -16,7 +16,10 @@
 // caught), takes the next commit sequence, and validates the read-line
 // versions at the serialization point. Fast commits therefore appear in
 // GlobalTS order, in the commit queue, and in the auditor's observer
-// stream exactly like engine-validated commits.
+// stream exactly like engine-validated commits. Read-only fast commits
+// publish nothing; their serialization point is a commit-time validation
+// (rococotm.ValidateFastReadOnly: the same drain scan + read-version
+// check) that certifies the snapshot against in-flight write-backs.
 //
 // # Routing
 //

@@ -302,6 +302,76 @@ func (r *TM) restoreFastHeap(f *FastFootprint) {
 	}
 }
 
+// ValidateFastReadOnly is the commit-time check for a read-only fast
+// transaction: it either certifies that every recorded read belongs to one
+// consistent snapshot, or returns false (abort and retry). Read-only fast
+// commits claim no sequence and publish nothing — their serialization
+// point is this validation, which slots them between two published
+// commits — so without it they would be the one path with no commit-time
+// defense against a write-back applying its stores line by line: the
+// publication clock moves once per write-back, not per line, and a read
+// that lands between two of a write-back's stores sees no clock movement
+// and never revalidates its earlier reads.
+//
+// Two checks close that hole, in this order:
+//
+//  1. drain scan — any active update-set entry whose write signature may
+//     cover a read address is a committer whose write-back may still be
+//     mid-drain; fail conservatively. Every active entry counts (there is
+//     no own sequence to bound the scan by).
+//  2. version validation — every recorded read-line version must equal
+//     what the read saw. A write-back that retired before the scan bumped
+//     each touched line before clearing its entry, so the bumps are
+//     visible here; one that arms after the scan either bumps a read line
+//     before we load it (caught) or applies entirely after our loads
+//     (serializes after us).
+//
+//tm:hotpath
+func (r *TM) ValidateFastReadOnly(thread int, readAddrs, readLines, readVers []uint64) bool {
+	if r.lt == nil {
+		panic("rococotm: ValidateFastReadOnly without Config.LineTable")
+	}
+	rs := r.fastReadSigs[thread]
+	rs.Reset()
+	for _, a := range readAddrs {
+		rs.Insert(r.hasher, a)
+	}
+	for i := range r.updates {
+		if i == thread {
+			continue
+		}
+		u := &r.updates[i]
+		if u.active.Load() != 1 {
+			continue
+		}
+		if r.writerMayOverlap(u, rs) {
+			return false
+		}
+	}
+	for i, l := range readLines {
+		if r.lt.Version(l) != readVers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// doomFastLineOwner sets the doom flag of the fast transaction currently
+// owning line, if any. Irrevocable readers use it: an irrevocable
+// transaction must never abort, but a fast owner stalled in user code
+// holds the line's seqlock odd without holding the gate, and
+// IrrevocablePending only reaches it at its next operation — which may not
+// come. Dooming it from the reader side makes the wait bounded by one fast
+// rollback; the owner could never publish anyway (the gate is held
+// exclusively, so PublishFast's TryRLock fails).
+//
+//tm:hotpath
+func (r *TM) doomFastLineOwner(line uint64) {
+	if w := mem.LineWriterOf(r.lt.Own(line).Load()); w >= 0 && w < len(r.fastDoomed) {
+		r.fastDoomed[w].Store(1)
+	}
+}
+
 // FastDoomed reports whether a slow write-back has doomed thread's current
 // fast transaction: it wants a line the transaction owns and is waiting
 // for the rollback. The fast path polls this at every operation and inside

@@ -109,6 +109,19 @@ func (r *TM) writeBack(x *txn, seq uint64) {
 	r.awaitWriters(seq, x)
 	hook := r.cfg.WritebackHook
 	lt := r.lt
+	if lt != nil {
+		// Announce the publication before any store lands — the LineTable
+		// contract: a fast transaction that began before this bump and then
+		// reads any of this write-back's stores also sees the clock moved,
+		// so it revalidates its earlier read lines instead of silently
+		// pairing a pre-drain read with a post-drain one. Fast transactions
+		// that begin mid-drain miss the signal (their clock snapshot already
+		// includes the bump); their commit-time validation — PublishFast's
+		// drain scan + read-version check for updaters,
+		// ValidateFastReadOnly for read-only commits — is the backstop that
+		// keeps the half-applied state from ever committing.
+		lt.BumpClock()
+	}
 	for i, a := range x.writeOrder {
 		if hook != nil {
 			hook(seq, i)
@@ -130,9 +143,6 @@ func (r *TM) writeBack(x *txn, seq uint64) {
 		r.heap.Store(a, x.redo[a])
 		lt.Bump(line)
 		r.unlockLineSlow(line)
-	}
-	if lt != nil {
-		lt.BumpClock()
 	}
 	r.wbInflight.Add(-1)
 }

@@ -792,7 +792,12 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 	line := mem.LineOf(a)
 	spins := 0
 	for {
-		if spins++; spins > r.cfg.ReadSpinLimit {
+		// An irrevocable transaction is exempt from the spin limit: its
+		// no-abort contract is what the escalation ladder rests on, and
+		// every spin it can be stuck in here resolves — committers drained
+		// when the exclusive gate was taken, and a fast line owner is
+		// doomed below and rolls back promptly.
+		if spins++; spins > r.cfg.ReadSpinLimit && !x.irrevocable {
 			return 0, x.abort(tm.ReasonConflict)
 		}
 		g1 := r.globalTS.Load()
@@ -817,6 +822,15 @@ func (x *txn) Read(a mem.Addr) (mem.Word, error) {
 		var lv uint64
 		if lt != nil {
 			if lv = lt.Version(line); lv&1 != 0 {
+				if x.irrevocable {
+					// The odd version under an exclusively-held gate can
+					// only be a fast owner stalled in user code (write-backs
+					// drained before the gate was granted). It cannot commit
+					// while we hold the gate; doom it so the wait is bounded
+					// by one fast rollback instead of the owner's next
+					// operation, which may never come.
+					r.doomFastLineOwner(line)
+				}
 				runtime.Gosched()
 				continue
 			}
